@@ -1,0 +1,107 @@
+// Ablation: fused hrt (one SpMM over the stacked [E; R] table, §4.2.2)
+// vs unfused (ht SpMM + relation-selection SpMM + elementwise add) — the
+// design decision behind stacking entity and relation embeddings in one
+// dense matrix. Also: co-batching positives and negatives into one
+// incidence matrix vs two separate SpMM calls.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/models/sp_transr.hpp"  // build_relation_selection_csr
+#include "src/sparse/incidence.hpp"
+#include "src/sparse/spmm.hpp"
+
+namespace sptx {
+namespace {
+
+std::vector<Triplet> make_batch(index_t m, index_t n, index_t r) {
+  Rng rng(7);
+  std::vector<Triplet> batch;
+  for (index_t i = 0; i < m; ++i) {
+    batch.push_back({static_cast<std::int64_t>(rng.next_below(
+                         static_cast<std::uint64_t>(n))),
+                     static_cast<std::int64_t>(
+                         rng.next_below(static_cast<std::uint64_t>(r))),
+                     static_cast<std::int64_t>(rng.next_below(
+                         static_cast<std::uint64_t>(n)))});
+  }
+  return batch;
+}
+
+constexpr index_t kN = 20000, kR = 200, kD = 128;
+
+void BM_FusedHrt(benchmark::State& state) {
+  const auto batch = make_batch(state.range(0), kN, kR);
+  Rng rng(9);
+  Matrix stacked(kN + kR, kD);
+  stacked.fill_uniform(rng, -1, 1);
+  const Csr a = build_hrt_incidence_csr(batch, kN, kR);
+  Matrix out(a.rows, kD);
+  for (auto _ : state) {
+    spmm_csr_into(a, stacked, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_UnfusedHtPlusRelationGather(benchmark::State& state) {
+  const auto batch = make_batch(state.range(0), kN, kR);
+  Rng rng(9);
+  Matrix entities(kN, kD);
+  entities.fill_uniform(rng, -1, 1);
+  Matrix relations(kR, kD);
+  relations.fill_uniform(rng, -1, 1);
+  const Csr ht = build_ht_incidence_csr(batch, kN);
+  const Csr rel = models::build_relation_selection_csr(batch, kR);
+  Matrix ht_out(ht.rows, kD);
+  Matrix rel_out(rel.rows, kD);
+  for (auto _ : state) {
+    spmm_csr_into(ht, entities, ht_out);
+    spmm_csr_into(rel, relations, rel_out);
+    ht_out.add_(rel_out);  // extra elementwise pass the fused form avoids
+    benchmark::DoNotOptimize(ht_out.data());
+  }
+}
+
+void BM_CoBatchedPosNeg(benchmark::State& state) {
+  // One incidence matrix over [positives; negatives]: a single SpMM.
+  const auto pos = make_batch(state.range(0), kN, kR);
+  auto both = pos;
+  const auto neg = make_batch(state.range(0), kN, kR);
+  both.insert(both.end(), neg.begin(), neg.end());
+  Rng rng(9);
+  Matrix stacked(kN + kR, kD);
+  stacked.fill_uniform(rng, -1, 1);
+  const Csr a = build_hrt_incidence_csr(both, kN, kR);
+  Matrix out(a.rows, kD);
+  for (auto _ : state) {
+    spmm_csr_into(a, stacked, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_TwoPassPosNeg(benchmark::State& state) {
+  const auto pos = make_batch(state.range(0), kN, kR);
+  const auto neg = make_batch(state.range(0), kN, kR);
+  Rng rng(9);
+  Matrix stacked(kN + kR, kD);
+  stacked.fill_uniform(rng, -1, 1);
+  const Csr ap = build_hrt_incidence_csr(pos, kN, kR);
+  const Csr an = build_hrt_incidence_csr(neg, kN, kR);
+  Matrix out_p(ap.rows, kD);
+  Matrix out_n(an.rows, kD);
+  for (auto _ : state) {
+    spmm_csr_into(ap, stacked, out_p);
+    spmm_csr_into(an, stacked, out_n);
+    benchmark::DoNotOptimize(out_p.data());
+    benchmark::DoNotOptimize(out_n.data());
+  }
+}
+
+BENCHMARK(BM_FusedHrt)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_UnfusedHtPlusRelationGather)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_CoBatchedPosNeg)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_TwoPassPosNeg)->Arg(8192)->Arg(32768);
+
+}  // namespace
+}  // namespace sptx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Ablation: SpMM kernel variants (naive / unrolled / OpenMP-parallel) and
+// storage formats (CSR vs COO) — design choices §2 and §5.5 call out.
+// google-benchmark microbenchmarks over incidence-shaped matrices.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/sparse/incidence.hpp"
+#include "src/sparse/spmm.hpp"
+
+namespace sptx {
+namespace {
+
+struct Workload {
+  Csr csr;
+  Coo coo;
+  Matrix x;
+};
+
+Workload make_workload(index_t m, index_t n, index_t r, index_t d) {
+  Rng rng(7);
+  std::vector<Triplet> batch;
+  batch.reserve(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) {
+    batch.push_back({static_cast<std::int64_t>(rng.next_below(
+                         static_cast<std::uint64_t>(n))),
+                     static_cast<std::int64_t>(
+                         rng.next_below(static_cast<std::uint64_t>(r))),
+                     static_cast<std::int64_t>(rng.next_below(
+                         static_cast<std::uint64_t>(n)))});
+  }
+  Workload w;
+  w.csr = build_hrt_incidence_csr(batch, n, r);
+  w.coo = build_hrt_incidence(batch, n, r);
+  w.x = Matrix(n + r, d);
+  w.x.fill_uniform(rng, -1, 1);
+  return w;
+}
+
+void BM_SpmmCsrNaive(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  Matrix out(w.csr.rows, w.x.cols());
+  for (auto _ : state) {
+    spmm_csr_into(w.csr, w.x, out, SpmmKernel::kNaive);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
+}
+
+void BM_SpmmCsrUnrolled(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  Matrix out(w.csr.rows, w.x.cols());
+  for (auto _ : state) {
+    spmm_csr_into(w.csr, w.x, out, SpmmKernel::kUnrolled);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
+}
+
+void BM_SpmmCsrTiled(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  Matrix out(w.csr.rows, w.x.cols());
+  for (auto _ : state) {
+    spmm_csr_into(w.csr, w.x, out, SpmmKernel::kTiled);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
+}
+
+void BM_SpmmCsrParallel(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  Matrix out(w.csr.rows, w.x.cols());
+  for (auto _ : state) {
+    spmm_csr_into(w.csr, w.x, out, SpmmKernel::kParallel);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
+}
+
+void BM_SpmmCoo(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  for (auto _ : state) {
+    Matrix out = spmm_coo(w.coo, w.x);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.coo.nnz() * w.x.cols());
+}
+
+void BM_SpmmBackwardScatter(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  Matrix g(w.csr.rows, w.x.cols());
+  g.fill(0.5f);
+  Matrix dx(w.x.rows(), w.x.cols());
+  for (auto _ : state) {
+    spmm_csr_transposed_accumulate(w.csr, g, dx);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
+}
+
+void BM_SpmmBackwardExplicitTranspose(benchmark::State& state) {
+  const auto w = make_workload(state.range(0), 20000, 50, state.range(1));
+  Matrix g(w.csr.rows, w.x.cols());
+  g.fill(0.5f);
+  for (auto _ : state) {
+    Matrix dx = spmm_csr_transposed_explicit(w.csr, g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
+}
+
+#define SPTX_ARGS ->Args({8192, 64})->Args({8192, 256})->Args({32768, 128})
+
+BENCHMARK(BM_SpmmCsrNaive) SPTX_ARGS;
+BENCHMARK(BM_SpmmCsrUnrolled) SPTX_ARGS;
+BENCHMARK(BM_SpmmCsrTiled) SPTX_ARGS;
+BENCHMARK(BM_SpmmCsrParallel) SPTX_ARGS;
+BENCHMARK(BM_SpmmCoo) SPTX_ARGS;
+BENCHMARK(BM_SpmmBackwardScatter) SPTX_ARGS;
+BENCHMARK(BM_SpmmBackwardExplicitTranspose) SPTX_ARGS;
+
+}  // namespace
+}  // namespace sptx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Appendix D: non-translational models through the same incidence-matrix
+// formulation with swapped semirings — DistMult, ComplEx, RotatE train end
+// to end on the shared sparse machinery.
+#include "src/eval/link_prediction.hpp"
+
+#include "bench_common.hpp"
+
+using namespace sptx;
+
+int main() {
+  bench::print_header(
+      "Appendix D — semiring extension models (DistMult/ComplEx/RotatE)",
+      "the sparse formulation is not translation-specific: all three train "
+      "(loss decreases) and evaluate through the same pipeline");
+
+  const int ep = bench::epochs(15);
+  const kg::Dataset ds = bench::load_scaled("WN18", 42);
+  std::printf("%-10s %-12s %-12s %-10s %-10s\n", "model", "loss[0]",
+              "loss[end]", "time(s)", "hits@10");
+  for (const std::string model_name : {"DistMult", "ComplEx", "RotatE"}) {
+    models::ModelConfig cfg;
+    cfg.dim = 64;
+    cfg.margin = 0.5f;
+    Rng rng(7);
+    auto model = models::make_sparse_model(
+        model_name, ds.num_entities(), ds.num_relations(), cfg, rng);
+    train::TrainConfig tc = bench::bench_train_config(ep * 3, 2048);
+    tc.lr = 0.5f;
+    tc.use_adagrad = true;
+    tc.resample_negatives = true;
+    const auto result = train::train(*model, ds.train, tc);
+    eval::EvalConfig ec;
+    ec.max_queries = 30;
+    const auto metrics = eval::evaluate(*model, ds, ec);
+    std::printf("%-10s %-12.4f %-12.4f %-10.3f %-10.3f\n",
+                model_name.c_str(), result.epoch_loss.front(),
+                result.epoch_loss.back(), result.total_seconds,
+                metrics.hits_at_10);
+    std::fflush(stdout);
+  }
+  return 0;
+}

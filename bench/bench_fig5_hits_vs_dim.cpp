@@ -1,0 +1,59 @@
+// Figure 5: filtered Hits@10 vs embedding size (FB15K profile).
+// The paper sweeps d = 4 … 2048 at batch 32768 for 100 epochs; at bench
+// scale we sweep a geometric dim ladder and report the same series. The
+// shape to check: accuracy rises with embedding size and saturates.
+#include "src/eval/link_prediction.hpp"
+
+#include "bench_common.hpp"
+
+using namespace sptx;
+
+int main() {
+  bench::print_header(
+      "Figure 5 — Hits@10 vs embedding size (FB15K profile)",
+      "Hits@10 increases with dim then saturates; TransH OOMs beyond 256 "
+      "in the paper (we cap its dim ladder likewise)");
+
+  const int ep = bench::epochs(80);
+  const kg::Dataset ds = bench::load_scaled("FB15K", 42);
+  std::printf("dataset: N=%lld R=%lld M=%lld\n",
+              static_cast<long long>(ds.num_entities()),
+              static_cast<long long>(ds.num_relations()),
+              static_cast<long long>(ds.train.size()));
+
+  const std::vector<index_t> dims = {4, 8, 16, 32, 64, 128};
+  std::printf("%-8s", "model");
+  for (index_t d : dims) std::printf("  d=%-5lld", static_cast<long long>(d));
+  std::printf("\n");
+
+  for (const std::string model_name :
+       {"TransE", "TransR", "TransH", "TorusE"}) {
+    std::printf("%-8s", model_name.c_str());
+    for (index_t d : dims) {
+      // Paper: TransH runs out of memory beyond 256; our ladder stays
+      // below that, but we reproduce its reduced relation dim (8).
+      models::ModelConfig cfg;
+      cfg.dim = d;
+      cfg.normalize_entities = false;
+      cfg.rel_dim = model_name == "TransH" ? std::min<index_t>(d, 8)
+                    : model_name == "TransR"
+                        ? std::max<index_t>(d / 2, 4)
+                        : d;
+      Rng rng(7);
+      auto model = models::make_sparse_model(
+          model_name, ds.num_entities(), ds.num_relations(), cfg, rng);
+      train::TrainConfig tc = bench::bench_train_config(ep, 4096);
+      tc.lr = 1.0f;                  // scaled dataset needs a scaled-up lr
+      tc.use_adagrad = true;         // faster convergence at bench scale
+      tc.resample_negatives = true;  // ranking quality on small graphs
+      train::train(*model, ds.train, tc);
+      eval::EvalConfig ec;
+      ec.max_queries = 50;
+      const auto metrics = eval::evaluate(*model, ds, ec);
+      std::printf("  %-7.3f", metrics.hits_at_10);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7: total training time, every model × every dataset, SpTransX vs
+// the dense baseline, with slowdown factors along the bars — the paper's
+// headline experiment. (One hardware target here — CPU; the paper's GPU
+// panel is reproduced in shape by the same comparison, see DESIGN.md.)
+#include "bench_common.hpp"
+
+using namespace sptx;
+
+int main() {
+  bench::print_header(
+      "Figure 7 — total training time per model × dataset (CPU)",
+      "SpTransX fastest everywhere; slowdowns vs SpTransX around "
+      "3–5x (TransE), 2–3x (TransR), 2–4x (TransH), ~2x (TorusE); "
+      "consistent across small and large datasets");
+
+  const int ep = bench::epochs(10);
+  std::printf("Table 3 dataset statistics (scaled by %.4g):\n",
+              bench::scale());
+  for (const auto& name : bench::figure7_datasets()) {
+    const auto p = kg::scaled(kg::profile_by_name(name), bench::scale());
+    std::printf("  %-10s entities=%-8lld relations=%-6lld triplets=%lld\n",
+                name.c_str(), static_cast<long long>(p.entities),
+                static_cast<long long>(p.relations),
+                static_cast<long long>(p.triplets));
+  }
+
+  for (const std::string model_name :
+       {"TransE", "TransR", "TransH", "TorusE"}) {
+    const models::ModelConfig cfg = bench::bench_config(model_name);
+    std::printf("\n%s (d=%lld, rel_d=%lld):\n", model_name.c_str(),
+                static_cast<long long>(cfg.dim),
+                static_cast<long long>(cfg.rel_dim));
+    std::printf("  %-10s %-14s %-16s %s\n", "dataset", "SpTransX(s)",
+                "Dense(s)", "slowdown");
+    double sp_total = 0.0, dn_total = 0.0;
+    for (const auto& name : bench::figure7_datasets()) {
+      const kg::Dataset ds = bench::load_scaled(name, 42);
+      auto sparse = bench::make_model("SpTransX", model_name,
+                                      ds.num_entities(), ds.num_relations(),
+                                      cfg, 7);
+      const auto rs =
+          train::train(*sparse, ds.train, bench::bench_train_config(ep));
+      auto dense = bench::make_model("dense", model_name, ds.num_entities(),
+                                     ds.num_relations(), cfg, 7);
+      const auto rd =
+          train::train(*dense, ds.train, bench::bench_train_config(ep));
+      sp_total += rs.total_seconds;
+      dn_total += rd.total_seconds;
+      std::printf("  %-10s %-14.3f %-16.3f %.1fx\n", name.c_str(),
+                  rs.total_seconds, rd.total_seconds,
+                  rd.total_seconds / rs.total_seconds);
+      std::fflush(stdout);
+    }
+    std::printf("  %-10s %-14.3f %-16.3f %.1fx (average)\n", "ALL",
+                sp_total / 7.0, dn_total / 7.0, dn_total / sp_total);
+  }
+  return 0;
+}

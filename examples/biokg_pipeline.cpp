@@ -1,0 +1,119 @@
+// Biomedical KG pipeline — the large-scale workload the paper's evaluation
+// ends on (BioKG: 94k entities, 4.8M triplets). At a scaled size this
+// example walks the full production path:
+//
+//   1. generate a BioKG-profile graph and serialise it to the streaming
+//      on-disk format (§4.7.2) as a one-time ingestion step;
+//   2. train SpTransE reading batches straight off the memory-mapped file
+//      (no in-RAM triplet copy);
+//   3. evaluate link prediction (drug–target style completion);
+//   4. classify entities by their latent type from the learned embeddings
+//      (§4.7.1's entity classification task).
+//
+//   build/examples/biokg_pipeline [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/eval/classification.hpp"
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/negative_sampler.hpp"
+#include "src/kg/streaming_store.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/nn/optim.hpp"
+#include "src/train/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sptx;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.005;
+
+  // ---- 1. Ingest ---------------------------------------------------------
+  Rng rng(42);
+  const auto profile = kg::scaled(kg::profile_by_name("BIOKG"), scale);
+  kg::Dataset ds = kg::generate(profile, rng, 0.02, 0.05, /*clusters=*/16);
+  const std::string path = "/tmp/sptx_biokg.sptxs";
+  kg::StreamingTripletStore::write_file(path, ds.train.triplets(),
+                                        ds.num_entities(),
+                                        ds.num_relations());
+  auto store = kg::StreamingTripletStore::open(path);
+  std::printf("BioKG profile at scale %.3g: %lld entities, %lld relations, "
+              "%lld train triplets streamed from %s\n",
+              scale, static_cast<long long>(store.num_entities()),
+              static_cast<long long>(store.num_relations()),
+              static_cast<long long>(store.size()), path.c_str());
+
+  // ---- 2. Train from the mapped file -------------------------------------
+  models::ModelConfig cfg;
+  cfg.dim = 64;
+  cfg.normalize_entities = false;
+  Rng mr(7);
+  auto model = models::make_sparse_model("TransE", store.num_entities(),
+                                         store.num_relations(), cfg, mr);
+
+  // Hand-rolled loop over mmap slices: shows the streaming batch path the
+  // Trainer wraps for in-memory stores.
+  kg::NegativeSampler sampler(ds.train, kg::CorruptionScheme::kBernoulli);
+  nn::Adagrad opt(model->params(), 1.0f);
+  Rng neg_rng(11);
+  const index_t batch_size = 8192;
+  const int epochs = 40;
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double loss_sum = 0.0;
+    index_t batches = 0;
+    for (std::int64_t begin = 0; begin < store.size();
+         begin += batch_size) {
+      const std::int64_t count =
+          std::min<std::int64_t>(batch_size, store.size() - begin);
+      const auto pos = store.slice(begin, count);  // zero-copy mmap view
+      const auto neg = sampler.pregenerate(pos, neg_rng);
+      opt.zero_grad();
+      autograd::Variable loss = model->loss(pos, neg);
+      loss.backward();
+      opt.step();
+      model->post_step();
+      loss_sum += loss.value().at(0, 0);
+      ++batches;
+    }
+    last_loss = static_cast<float>(loss_sum / batches);
+    if (epoch % 10 == 0)
+      std::printf("  epoch %3d  loss %.4f\n", epoch, last_loss);
+  }
+  std::printf("final loss %.4f\n", last_loss);
+
+  // ---- 3. Link prediction -------------------------------------------------
+  eval::EvalConfig ec;
+  ec.max_queries = 60;
+  const auto metrics = eval::evaluate(*model, ds, ec);
+  std::printf("link prediction: filtered Hits@10 %.3f  MRR %.3f\n",
+              metrics.hits_at_10, metrics.mrr);
+
+  // ---- 4. Entity classification ------------------------------------------
+  // The generator assigns latent types implicitly (cluster = entity mod C
+  // shifts under relations); labelling by degree-derived type is the
+  // realistic stand-in: hubs (top decile by degree) vs leaves. A model
+  // whose embeddings organise by connectivity should separate them.
+  std::vector<std::int64_t> degree(
+      static_cast<std::size_t>(ds.num_entities()), 0);
+  for (const Triplet& t : ds.train.triplets()) {
+    degree[static_cast<std::size_t>(t.head)]++;
+    degree[static_cast<std::size_t>(t.tail)]++;
+  }
+  std::vector<index_t> entities, labels;
+  for (index_t e = 0; e < ds.num_entities(); ++e) {
+    if (degree[static_cast<std::size_t>(e)] == 0) continue;
+    entities.push_back(e);
+    labels.push_back(degree[static_cast<std::size_t>(e)] > 20 ? 1 : 0);
+  }
+  eval::CentroidClassifier clf;
+  clf.fit(model->params()[0].value(), entities, labels, 2);
+  std::printf("entity classification (hub vs leaf): accuracy %.3f over %zu "
+              "entities\n",
+              clf.accuracy(model->params()[0].value(), entities, labels),
+              entities.size());
+
+  std::remove(path.c_str());
+  return 0;
+}

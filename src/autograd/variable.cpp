@@ -1,0 +1,65 @@
+#include "src/autograd/variable.hpp"
+
+#include <unordered_set>
+
+#include "src/common/error.hpp"
+#include "src/profiling/timer.hpp"
+
+namespace sptx::autograd {
+
+namespace {
+
+// Iterative post-order DFS: children (parents in graph terms) before the
+// node itself, so reversing yields a valid topological order for backprop.
+void topo_sort(Node* root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    const auto& parents = node->parents();
+    if (next_child < parents.size()) {
+      Node* child = parents[next_child++].get();
+      if (child->requires_grad() && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::backward() const {
+  SPTX_CHECK(defined(), "backward() on undefined Variable");
+  SPTX_CHECK(node_->requires_grad(),
+             "backward() on a graph with no differentiable leaves");
+
+  std::vector<Node*> order;
+  topo_sort(node_.get(), order);
+
+  // Interior (op-result) gradients are scratch space for this traversal;
+  // only leaf gradients accumulate across backward calls (PyTorch
+  // semantics: non-leaf grads are not retained).
+  for (Node* n : order) {
+    if (!n->parents().empty()) n->zero_grad();
+  }
+
+  // Seed: dL/dL = 1 for every element of the root (scalar in practice).
+  node_->grad().fill(1.0f);
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward rule fires.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn_ && n->has_grad()) {
+      profiling::ScopedHotspot hotspot(n->op_name());
+      n->backward_fn_(*n);
+    }
+  }
+}
+
+}  // namespace sptx::autograd

@@ -1,0 +1,121 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// Fills the role PyTorch's autograd plays in the paper's framework: models
+// compose differentiable ops into a graph, `backward()` walks it in reverse
+// topological order, and each op's backward rule accumulates into its
+// parents' gradients. The op set is deliberately the one KGE training needs
+// (Figure 2's hot functions: embedding gather/scatter, SpMM, norms, the
+// torus dissimilarity, margin loss) so the fwd/bwd/step breakdown of
+// Table 1 / Figure 8 can be measured like-for-like against the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.hpp"
+
+namespace sptx::autograd {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// A node in the autograd graph: a value, an optional gradient, and the
+/// backward rule that pushes this node's gradient into its parents.
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad, const char* op_name)
+      : value_(std::move(value)),
+        requires_grad_(requires_grad),
+        op_name_(op_name) {}
+
+  const Matrix& value() const { return value_; }
+  Matrix& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  const char* op_name() const { return op_name_; }
+
+  /// Gradient matrix, allocated zeroed on first access.
+  Matrix& grad() {
+    if (grad_.empty() && value_.size() > 0) {
+      grad_ = Matrix(value_.rows(), value_.cols());
+    }
+    return grad_;
+  }
+  bool has_grad() const { return !grad_.empty(); }
+  void zero_grad() {
+    if (!grad_.empty()) grad_.zero();
+  }
+
+  const std::vector<NodePtr>& parents() const { return parents_; }
+
+ private:
+  friend class Variable;
+  Matrix value_;
+  Matrix grad_;
+  bool requires_grad_;
+  const char* op_name_;
+  std::vector<NodePtr> parents_;
+  std::function<void(Node&)> backward_fn_;
+};
+
+/// Value-semantics handle to a graph node. Copies share the node.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// A leaf (parameter or constant). Parameters set requires_grad.
+  static Variable leaf(Matrix value, bool requires_grad = false,
+                       const char* name = "leaf") {
+    Variable v;
+    v.node_ = std::make_shared<Node>(std::move(value), requires_grad, name);
+    return v;
+  }
+
+  /// An op result with recorded parents and backward rule.
+  static Variable op(Matrix value, std::vector<Variable> parents,
+                     std::function<void(Node&)> backward_fn,
+                     const char* name) {
+    bool any_grad = false;
+    std::vector<NodePtr> parent_nodes;
+    parent_nodes.reserve(parents.size());
+    for (const Variable& p : parents) {
+      any_grad = any_grad || p.requires_grad();
+      parent_nodes.push_back(p.node_);
+    }
+    Variable v;
+    v.node_ = std::make_shared<Node>(std::move(value), any_grad, name);
+    if (any_grad) {
+      v.node_->parents_ = std::move(parent_nodes);
+      v.node_->backward_fn_ = std::move(backward_fn);
+    }
+    return v;
+  }
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value(); }
+  Matrix& mutable_value() { return node_->mutable_value(); }
+  Matrix& grad() { return node_->grad(); }
+  bool has_grad() const { return node_ && node_->has_grad(); }
+  bool requires_grad() const { return node_ && node_->requires_grad(); }
+  void zero_grad() {
+    if (node_) node_->zero_grad();
+  }
+  index_t rows() const { return value().rows(); }
+  index_t cols() const { return value().cols(); }
+
+  Node* node() const { return node_.get(); }
+  const NodePtr& node_ptr() const { return node_; }
+
+  /// Run reverse-mode autodiff from this (scalar or any-shaped) variable.
+  /// Seeds d(this)/d(this) = 1 and accumulates into every reachable
+  /// requires-grad node's grad(). Existing gradients are accumulated into,
+  /// not overwritten (call zero_grad on parameters between steps).
+  void backward() const;
+
+ private:
+  NodePtr node_;
+};
+
+}  // namespace sptx::autograd

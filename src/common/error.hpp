@@ -1,0 +1,45 @@
+// Error handling primitives for the SparseTransX library.
+//
+// We use exceptions for contract violations (mis-shaped matrices, bad
+// indices) so that library users get actionable messages instead of UB.
+// SPTX_CHECK is always on (the conditions it guards are O(1)); the
+// hot inner kernels use SPTX_DCHECK which compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sptx {
+
+/// Exception thrown on any violated precondition inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "sptx check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace sptx
+
+#define SPTX_CHECK(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sptx::detail::fail(#cond, __FILE__, __LINE__,               \
+                           (std::ostringstream{} << msg).str());    \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPTX_DCHECK(cond, msg) ((void)0)
+#else
+#define SPTX_DCHECK(cond, msg) SPTX_CHECK(cond, msg)
+#endif

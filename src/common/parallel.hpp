@@ -1,0 +1,45 @@
+// Shared-memory parallelism helpers.
+//
+// The paper's SpMM kernels use dynamic load balancing across threads (§4.1);
+// we expose the same via parallel_for, implemented on OpenMP when available
+// and degrading to a serial loop otherwise. Grain-size control keeps the
+// scheduling overhead negligible for the small batches used in tests.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace sptx {
+
+/// Number of worker threads the parallel loops will use.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+#endif
+}
+
+/// Parallel loop over [begin, end) with dynamic scheduling.
+/// `body` is invoked as body(i) for every index exactly once.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
+                  std::int64_t grain = 64) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+#ifdef _OPENMP
+  if (n > grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(dynamic, 16)
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#endif
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+}
+
+}  // namespace sptx

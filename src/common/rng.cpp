@@ -1,0 +1,10 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+
+namespace sptx {
+
+float Rng::sqrt_neg2log(float u) { return std::sqrt(-2.0f * std::log(u)); }
+float Rng::cosf_(float x) { return std::cos(x); }
+
+}  // namespace sptx

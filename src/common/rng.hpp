@@ -1,0 +1,73 @@
+// Deterministic, fast random number generation.
+//
+// All stochastic components (initializers, negative samplers, synthetic
+// dataset generators) take an explicit Rng so experiments are reproducible
+// from a single seed, matching the paper's fixed-seed accuracy runs
+// (Appendix E averages 9 seeds).
+#pragma once
+
+#include <cstdint>
+
+namespace sptx {
+
+/// xoshiro256** — small-state, high-quality, splittable-enough PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Unbiased enough for sampling (n << 2^64).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Standard normal via Box–Muller (one value per call; simple and fine
+  /// for initialization workloads).
+  float normal() {
+    float u1 = next_float();
+    float u2 = next_float();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    return sqrt_neg2log(u1) * cosf_(6.28318530717958647692f * u2);
+  }
+
+  /// Derive an independent stream (e.g. one per worker thread).
+  Rng split() { return Rng(next_u64() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static float sqrt_neg2log(float u);
+  static float cosf_(float x);
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace sptx

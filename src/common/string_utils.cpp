@@ -1,0 +1,23 @@
+#include "src/common/string_utils.hpp"
+
+#include <cstdlib>
+
+namespace sptx {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  return end == v ? fallback : d;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long d = std::strtol(v, &end, 10);
+  return end == v ? fallback : static_cast<int>(d);
+}
+
+}  // namespace sptx

@@ -1,0 +1,40 @@
+// Small string helpers used by the dataset loaders.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sptx {
+
+/// Split `line` on `delim`, keeping empty fields.
+inline std::vector<std::string_view> split(std::string_view line, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Strip leading/trailing whitespace (space, tab, CR, LF).
+inline std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+/// Environment variable as double, with default. Used for SPTX_SCALE.
+double env_double(const char* name, double fallback);
+
+/// Environment variable as int, with default.
+int env_int(const char* name, int fallback);
+
+}  // namespace sptx

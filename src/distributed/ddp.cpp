@@ -1,0 +1,117 @@
+#include "src/distributed/ddp.hpp"
+
+#include <cmath>
+#include <thread>
+
+#include "src/common/error.hpp"
+#include "src/kg/negative_sampler.hpp"
+
+namespace sptx::distributed {
+
+DdpResult train_ddp(
+    const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
+    const TripletStore& data, const DdpConfig& config) {
+  SPTX_CHECK(config.workers >= 1, "need at least one worker");
+  const int p = config.workers;
+
+  // Identical replicas: every worker constructs from the same seed.
+  std::vector<std::unique_ptr<models::KgeModel>> replicas;
+  replicas.reserve(static_cast<std::size_t>(p));
+  for (int w = 0; w < p; ++w) {
+    Rng rng(config.seed);
+    replicas.push_back(make_model(rng));
+  }
+
+  Rng data_rng(config.seed + 1);
+  kg::NegativeSampler sampler(data, kg::CorruptionScheme::kUniform);
+  const std::vector<Triplet> negatives =
+      sampler.pregenerate(data.triplets(), data_rng);
+
+  DdpResult result;
+  const auto t0 = profiling::clock::now();
+  const index_t m = data.size();
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    index_t batches = 0;
+    for (index_t begin = 0; begin < m; begin += config.batch_size) {
+      const index_t count = std::min<index_t>(config.batch_size, m - begin);
+      const index_t shard = (count + p - 1) / p;
+
+      // Each worker: forward+backward on its shard. Gradients accumulate in
+      // each replica's own parameter grads.
+      std::vector<float> shard_loss(static_cast<std::size_t>(p), 0.0f);
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(p));
+      for (int w = 0; w < p; ++w) {
+        threads.emplace_back([&, w] {
+          const index_t s_begin = begin + static_cast<index_t>(w) * shard;
+          if (s_begin >= begin + count) return;
+          const index_t s_count =
+              std::min<index_t>(shard, begin + count - s_begin);
+          const auto pos = data.slice(s_begin, s_count);
+          const std::span<const Triplet> neg(
+              negatives.data() + s_begin, static_cast<std::size_t>(s_count));
+          for (auto& param : replicas[static_cast<std::size_t>(w)]->params())
+            param.zero_grad();
+          autograd::Variable loss =
+              replicas[static_cast<std::size_t>(w)]->loss(pos, neg);
+          loss.backward();
+          shard_loss[static_cast<std::size_t>(w)] = loss.value().at(0, 0);
+        });
+      }
+      for (auto& t : threads) t.join();
+
+      // All-reduce: average worker gradients into worker 0's buffers, then
+      // broadcast the SGD update by stepping every replica with the same
+      // averaged gradient.
+      auto params0 = replicas[0]->params();
+      for (std::size_t pi = 0; pi < params0.size(); ++pi) {
+        Matrix& g0 = params0[pi].grad();
+        for (int w = 1; w < p; ++w) {
+          auto params_w = replicas[static_cast<std::size_t>(w)]->params();
+          g0.add_(params_w[pi].grad());
+        }
+        g0.scale_(1.0f / static_cast<float>(p));
+      }
+      for (int w = 0; w < p; ++w) {
+        auto params_w = replicas[static_cast<std::size_t>(w)]->params();
+        for (std::size_t pi = 0; pi < params_w.size(); ++pi) {
+          const Matrix& g =
+              w == 0 ? params_w[pi].grad() : params0[pi].grad();
+          params_w[pi].mutable_value().axpy_(-config.lr, g);
+        }
+        replicas[static_cast<std::size_t>(w)]->post_step();
+      }
+
+      float batch_loss = 0.0f;
+      for (float l : shard_loss) batch_loss += l;
+      loss_sum += batch_loss / static_cast<float>(p);
+      ++batches;
+    }
+    result.epoch_loss.push_back(
+        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f);
+  }
+
+  result.total_seconds = profiling::seconds_since(t0);
+  return result;
+}
+
+double ScalingModel::predict_seconds(int p, int epochs) const {
+  SPTX_CHECK(p >= 1, "workers must be >= 1");
+  // Efficiency decays per doubling: eff(p) = parallel_efficiency^log2(p).
+  const double doublings = std::log2(static_cast<double>(p));
+  const double eff = std::pow(parallel_efficiency, doublings);
+  const double compute = single_worker_epoch_s / (p * eff);
+  // Ring all-reduce: 2(p−1)/p of the buffer crosses each link; 2(p−1)
+  // latency hops.
+  const double bw_bytes_per_s = bandwidth_gbps * 1e9 / 8.0;
+  const double comm =
+      p > 1 ? 2.0 * (p - 1) / p * static_cast<double>(gradient_bytes) /
+                      bw_bytes_per_s +
+                  2.0 * (p - 1) * latency_us * 1e-6
+            : 0.0;
+  return epochs * (compute + comm);
+}
+
+}  // namespace sptx::distributed

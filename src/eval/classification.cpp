@@ -1,0 +1,71 @@
+#include "src/eval/classification.hpp"
+
+#include "src/common/error.hpp"
+
+namespace sptx::eval {
+
+void CentroidClassifier::fit(const Matrix& embeddings,
+                             std::span<const index_t> entities,
+                             std::span<const index_t> labels,
+                             index_t num_classes) {
+  SPTX_CHECK(entities.size() == labels.size(), "entities/labels mismatch");
+  SPTX_CHECK(num_classes > 0, "need at least one class");
+  centroids_ = Matrix(num_classes, embeddings.cols());
+  std::vector<index_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    const index_t e = entities[i];
+    const index_t c = labels[i];
+    SPTX_CHECK(e >= 0 && e < embeddings.rows(), "entity out of range");
+    SPTX_CHECK(c >= 0 && c < num_classes, "label out of range");
+    const float* row = embeddings.row(e);
+    float* centroid = centroids_.row(c);
+    for (index_t j = 0; j < embeddings.cols(); ++j) centroid[j] += row[j];
+    counts[static_cast<std::size_t>(c)]++;
+  }
+  for (index_t c = 0; c < num_classes; ++c) {
+    const index_t n = counts[static_cast<std::size_t>(c)];
+    if (n == 0) continue;
+    float* centroid = centroids_.row(c);
+    const float inv = 1.0f / static_cast<float>(n);
+    for (index_t j = 0; j < centroids_.cols(); ++j) centroid[j] *= inv;
+  }
+}
+
+index_t CentroidClassifier::predict(const Matrix& embeddings,
+                                    index_t entity) const {
+  SPTX_CHECK(!centroids_.empty(), "classifier not fitted");
+  SPTX_CHECK(entity >= 0 && entity < embeddings.rows(),
+             "entity out of range");
+  SPTX_CHECK(embeddings.cols() == centroids_.cols(),
+             "embedding dim changed since fit");
+  const float* row = embeddings.row(entity);
+  index_t best = 0;
+  float best_dist = 0.0f;
+  for (index_t c = 0; c < centroids_.rows(); ++c) {
+    const float* centroid = centroids_.row(c);
+    float dist = 0.0f;
+    for (index_t j = 0; j < centroids_.cols(); ++j) {
+      const float v = row[j] - centroid[j];
+      dist += v * v;
+    }
+    if (c == 0 || dist < best_dist) {
+      best = c;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+double CentroidClassifier::accuracy(const Matrix& embeddings,
+                                    std::span<const index_t> entities,
+                                    std::span<const index_t> labels) const {
+  SPTX_CHECK(entities.size() == labels.size(), "entities/labels mismatch");
+  if (entities.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    if (predict(embeddings, entities[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(entities.size());
+}
+
+}  // namespace sptx::eval

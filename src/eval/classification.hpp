@@ -1,0 +1,39 @@
+// Entity classification on trained embeddings — §4.7.1 lists "classifying
+// entities" among the framework's model functionalities (and the intro
+// cites entity classification as a standard KGE downstream task).
+//
+// A nearest-centroid classifier: fit computes the mean embedding of each
+// class over labelled training entities; predict assigns the class of the
+// closest centroid. Simple, deterministic, and exactly what "are the
+// learned embeddings linearly organised by type?" needs for evaluation.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/matrix.hpp"
+
+namespace sptx::eval {
+
+class CentroidClassifier {
+ public:
+  /// Fit centroids. `labels[i]` is the class of `entities[i]`, classes are
+  /// dense ints in [0, num_classes); `embeddings` is the full entity table.
+  void fit(const Matrix& embeddings, std::span<const index_t> entities,
+           std::span<const index_t> labels, index_t num_classes);
+
+  /// Predicted class for one entity row.
+  index_t predict(const Matrix& embeddings, index_t entity) const;
+
+  /// Fraction of (entity, label) pairs predicted correctly.
+  double accuracy(const Matrix& embeddings,
+                  std::span<const index_t> entities,
+                  std::span<const index_t> labels) const;
+
+  index_t num_classes() const { return centroids_.rows(); }
+  const Matrix& centroids() const { return centroids_; }
+
+ private:
+  Matrix centroids_;  // num_classes × d
+};
+
+}  // namespace sptx::eval

@@ -1,0 +1,189 @@
+#include "src/eval/link_prediction.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace sptx::eval {
+
+namespace {
+
+std::uint64_t key_of(std::int64_t h, std::int64_t r, std::int64_t t) {
+  return (static_cast<std::uint64_t>(h) << 42) ^
+         (static_cast<std::uint64_t>(r) << 21) ^ static_cast<std::uint64_t>(t);
+}
+
+void insert_all(std::unordered_set<std::uint64_t>& keys,
+                const TripletStore& store) {
+  for (const Triplet& t : store.triplets())
+    keys.insert(key_of(t.head, t.relation, t.tail));
+}
+
+struct RankAccumulator {
+  double rr_sum = 0.0;
+  double rank_sum = 0.0;
+  std::int64_t h1 = 0, h3 = 0, h10 = 0;
+  std::int64_t queries = 0;
+
+  void add(double rank) {
+    rr_sum += 1.0 / rank;
+    rank_sum += rank;
+    if (rank <= 1.0) ++h1;
+    if (rank <= 3.0) ++h3;
+    if (rank <= 10.0) ++h10;
+    ++queries;
+  }
+
+  RankingMetrics finish() const {
+    RankingMetrics m;
+    m.queries = queries;
+    if (queries > 0) {
+      const auto q = static_cast<double>(queries);
+      m.mrr = rr_sum / q;
+      m.mean_rank = rank_sum / q;
+      m.hits_at_1 = static_cast<double>(h1) / q;
+      m.hits_at_3 = static_cast<double>(h3) / q;
+      m.hits_at_10 = static_cast<double>(h10) / q;
+    }
+    return m;
+  }
+};
+
+// Shared ranking walk: for every evaluated (test triplet, side) pair,
+// computes the filtered optimistic-average rank and hands it to `sink`
+// together with the triplet (so callers can bucket by relation).
+void rank_all(const models::KgeModel& model, const kg::Dataset& dataset,
+              const EvalConfig& config,
+              const std::function<void(const Triplet&, bool /*tail_side*/,
+                                       double /*rank*/)>& sink) {
+  const index_t n = dataset.num_entities();
+  std::unordered_set<std::uint64_t> known;
+  if (config.filtered) {
+    known.reserve(static_cast<std::size_t>(dataset.train.size() +
+                                           dataset.valid.size() +
+                                           dataset.test.size()) *
+                  2);
+    insert_all(known, dataset.train);
+    insert_all(known, dataset.valid);
+    insert_all(known, dataset.test);
+  }
+  const bool higher_better = model.higher_is_better();
+
+  std::int64_t query_budget =
+      config.max_queries > 0 ? config.max_queries : dataset.test.size();
+  std::vector<Triplet> candidates(static_cast<std::size_t>(n));
+
+  for (std::int64_t qi = 0; qi < dataset.test.size() && query_budget > 0;
+       ++qi) {
+    const Triplet& truth = dataset.test[qi];
+    auto rank_side = [&](bool corrupt_tail) {
+      for (index_t e = 0; e < n; ++e) {
+        Triplet c = truth;
+        (corrupt_tail ? c.tail : c.head) = e;
+        candidates[static_cast<std::size_t>(e)] = c;
+      }
+      const std::vector<float> scores = model.score(candidates);
+      const float truth_score = scores[static_cast<std::size_t>(
+          corrupt_tail ? truth.tail : truth.head)];
+      // Optimistic-average tie handling: rank = 1 + #strictly better +
+      // #ties/2 (excluding the truth itself).
+      std::int64_t better = 0, ties = 0;
+      for (index_t e = 0; e < n; ++e) {
+        if (e == (corrupt_tail ? truth.tail : truth.head)) continue;
+        if (config.filtered) {
+          const Triplet& c = candidates[static_cast<std::size_t>(e)];
+          if (known.count(key_of(c.head, c.relation, c.tail))) continue;
+        }
+        const float s = scores[static_cast<std::size_t>(e)];
+        const bool is_better =
+            higher_better ? s > truth_score : s < truth_score;
+        if (is_better) {
+          ++better;
+        } else if (s == truth_score) {
+          ++ties;
+        }
+      }
+      const double rank = 1.0 + static_cast<double>(better) +
+                          static_cast<double>(ties) / 2.0;
+      sink(truth, corrupt_tail, rank);
+    };
+    if (config.corrupt_tails) rank_side(true);
+    if (config.corrupt_heads) rank_side(false);
+    --query_budget;
+  }
+}
+
+}  // namespace
+
+RankingMetrics evaluate(const models::KgeModel& model,
+                        const kg::Dataset& dataset, const EvalConfig& config) {
+  RankAccumulator acc;
+  rank_all(model, dataset, config,
+           [&](const Triplet&, bool, double rank) { acc.add(rank); });
+  return acc.finish();
+}
+
+const char* to_string(RelationCategory category) {
+  switch (category) {
+    case RelationCategory::kOneToOne:
+      return "1-1";
+    case RelationCategory::kOneToMany:
+      return "1-N";
+    case RelationCategory::kManyToOne:
+      return "N-1";
+    case RelationCategory::kManyToMany:
+      return "N-N";
+  }
+  return "?";
+}
+
+std::vector<RelationCategory> classify_relations(const TripletStore& train) {
+  // Average tails-per-(head,relation) and heads-per-(tail,relation);
+  // thresholds at 1.5 per the TransE evaluation protocol.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> hr, tr;
+  for (const Triplet& t : train.triplets()) {
+    hr[{t.head, t.relation}]++;
+    tr[{t.tail, t.relation}]++;
+  }
+  const auto r = static_cast<std::size_t>(train.num_relations());
+  std::vector<double> tph_sum(r), tph_cnt(r), hpt_sum(r), hpt_cnt(r);
+  for (const auto& [key, cnt] : hr) {
+    tph_sum[static_cast<std::size_t>(key.second)] += cnt;
+    tph_cnt[static_cast<std::size_t>(key.second)] += 1;
+  }
+  for (const auto& [key, cnt] : tr) {
+    hpt_sum[static_cast<std::size_t>(key.second)] += cnt;
+    hpt_cnt[static_cast<std::size_t>(key.second)] += 1;
+  }
+  std::vector<RelationCategory> out(r, RelationCategory::kOneToOne);
+  for (std::size_t i = 0; i < r; ++i) {
+    const double tph = tph_cnt[i] > 0 ? tph_sum[i] / tph_cnt[i] : 0.0;
+    const double hpt = hpt_cnt[i] > 0 ? hpt_sum[i] / hpt_cnt[i] : 0.0;
+    const bool many_tails = tph >= 1.5;
+    const bool many_heads = hpt >= 1.5;
+    out[i] = many_tails ? (many_heads ? RelationCategory::kManyToMany
+                                      : RelationCategory::kOneToMany)
+                        : (many_heads ? RelationCategory::kManyToOne
+                                      : RelationCategory::kOneToOne);
+  }
+  return out;
+}
+
+CategoryMetrics evaluate_by_category(const models::KgeModel& model,
+                                     const kg::Dataset& dataset,
+                                     const EvalConfig& config) {
+  const std::vector<RelationCategory> categories =
+      classify_relations(dataset.train);
+  RankAccumulator acc[4];
+  rank_all(model, dataset, config,
+           [&](const Triplet& truth, bool, double rank) {
+             const auto c = static_cast<std::size_t>(
+                 categories[static_cast<std::size_t>(truth.relation)]);
+             acc[c].add(rank);
+           });
+  CategoryMetrics out;
+  for (int c = 0; c < 4; ++c) out.by_category[c] = acc[c].finish();
+  return out;
+}
+
+}  // namespace sptx::eval

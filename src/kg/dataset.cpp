@@ -1,0 +1,197 @@
+#include "src/kg/dataset.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "src/common/error.hpp"
+#include "src/common/string_utils.hpp"
+
+namespace sptx::kg {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5350545831ULL;  // "SPTX1"
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_string(std::ofstream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+void write_store(std::ofstream& os, const TripletStore& store) {
+  write_u64(os, static_cast<std::uint64_t>(store.size()));
+  for (const Triplet& t : store.triplets()) {
+    write_u64(os, static_cast<std::uint64_t>(t.head));
+    write_u64(os, static_cast<std::uint64_t>(t.relation));
+    write_u64(os, static_cast<std::uint64_t>(t.tail));
+  }
+}
+
+TripletStore read_store(std::ifstream& is, std::int64_t n_ent,
+                        std::int64_t n_rel) {
+  const std::uint64_t m = read_u64(is);
+  std::vector<Triplet> triplets;
+  triplets.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Triplet t;
+    t.head = static_cast<std::int64_t>(read_u64(is));
+    t.relation = static_cast<std::int64_t>(read_u64(is));
+    t.tail = static_cast<std::int64_t>(read_u64(is));
+    triplets.push_back(t);
+  }
+  return TripletStore(n_ent, n_rel, std::move(triplets));
+}
+
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  SPTX_CHECK(os.good(), "cannot write " << path);
+  write_u64(os, kMagic);
+  write_string(os, name);
+  write_u64(os, static_cast<std::uint64_t>(num_entities()));
+  write_u64(os, static_cast<std::uint64_t>(num_relations()));
+  write_store(os, train);
+  write_store(os, valid);
+  write_store(os, test);
+  write_u64(os, entity_names.size());
+  for (const auto& s : entity_names) write_string(os, s);
+  write_u64(os, relation_names.size());
+  for (const auto& s : relation_names) write_string(os, s);
+  SPTX_CHECK(os.good(), "write to " << path << " failed");
+}
+
+Dataset Dataset::load_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SPTX_CHECK(is.good(), "cannot read " << path);
+  SPTX_CHECK(read_u64(is) == kMagic, path << " is not an sptx dataset file");
+  Dataset ds;
+  ds.name = read_string(is);
+  const auto n_ent = static_cast<std::int64_t>(read_u64(is));
+  const auto n_rel = static_cast<std::int64_t>(read_u64(is));
+  ds.train = read_store(is, n_ent, n_rel);
+  ds.valid = read_store(is, n_ent, n_rel);
+  ds.test = read_store(is, n_ent, n_rel);
+  const std::uint64_t ne = read_u64(is);
+  ds.entity_names.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i)
+    ds.entity_names.push_back(read_string(is));
+  const std::uint64_t nr = read_u64(is);
+  ds.relation_names.reserve(nr);
+  for (std::uint64_t i = 0; i < nr; ++i)
+    ds.relation_names.push_back(read_string(is));
+  SPTX_CHECK(is.good(), "truncated dataset file " << path);
+  return ds;
+}
+
+Dataset load_triplet_file(const std::string& path, char delim,
+                          const std::string& name) {
+  std::ifstream is(path);
+  SPTX_CHECK(is.good(), "cannot open " << path);
+  std::unordered_map<std::string, std::int64_t> ent_ids;
+  std::unordered_map<std::string, std::int64_t> rel_ids;
+  Dataset ds;
+  ds.name = name;
+  std::vector<Triplet> triplets;
+
+  auto intern = [](std::unordered_map<std::string, std::int64_t>& map,
+                   std::vector<std::string>& names,
+                   std::string_view token) -> std::int64_t {
+    auto it = map.find(std::string(token));
+    if (it != map.end()) return it->second;
+    const auto id = static_cast<std::int64_t>(names.size());
+    names.emplace_back(token);
+    map.emplace(names.back(), id);
+    return id;
+  };
+
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto fields = sptx::split(sv, delim);
+    SPTX_CHECK(fields.size() >= 3,
+               path << ":" << lineno << ": expected 3 fields, got "
+                    << fields.size());
+    Triplet t;
+    t.head = intern(ent_ids, ds.entity_names, trim(fields[0]));
+    t.relation = intern(rel_ids, ds.relation_names, trim(fields[1]));
+    t.tail = intern(ent_ids, ds.entity_names, trim(fields[2]));
+    triplets.push_back(t);
+  }
+  const auto n_ent = static_cast<std::int64_t>(ds.entity_names.size());
+  const auto n_rel = static_cast<std::int64_t>(ds.relation_names.size());
+  ds.train = TripletStore(n_ent, n_rel, std::move(triplets));
+  ds.valid = TripletStore(n_ent, n_rel, {});
+  ds.test = TripletStore(n_ent, n_rel, {});
+  return ds;
+}
+
+Dataset split(Dataset all, double valid_frac, double test_frac, Rng& rng) {
+  SPTX_CHECK(valid_frac >= 0 && test_frac >= 0 &&
+                 valid_frac + test_frac < 1.0,
+             "bad split fractions");
+  std::vector<Triplet> triplets(all.train.triplets().begin(),
+                                all.train.triplets().end());
+  // Fisher–Yates with our RNG for reproducibility.
+  for (std::size_t i = triplets.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(triplets[i - 1], triplets[j]);
+  }
+  const auto n = static_cast<std::int64_t>(triplets.size());
+  const auto n_valid = static_cast<std::int64_t>(valid_frac * n);
+  const auto n_test = static_cast<std::int64_t>(test_frac * n);
+  const auto n_train = n - n_valid - n_test;
+
+  const auto n_ent = all.num_entities();
+  const auto n_rel = all.num_relations();
+  auto make_store = [&](std::int64_t begin, std::int64_t count) {
+    return TripletStore(
+        n_ent, n_rel,
+        std::vector<Triplet>(triplets.begin() + begin,
+                             triplets.begin() + begin + count));
+  };
+  all.train = make_store(0, n_train);
+  all.valid = make_store(n_train, n_valid);
+  all.test = make_store(n_train + n_valid, n_test);
+  return all;
+}
+
+void write_tsv(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path);
+  SPTX_CHECK(os.good(), "cannot write " << path);
+  auto label_ent = [&](std::int64_t e) {
+    return ds.entity_names.empty() ? "e" + std::to_string(e)
+                                   : ds.entity_names[static_cast<std::size_t>(e)];
+  };
+  auto label_rel = [&](std::int64_t r) {
+    return ds.relation_names.empty()
+               ? "r" + std::to_string(r)
+               : ds.relation_names[static_cast<std::size_t>(r)];
+  };
+  for (const Triplet& t : ds.train.triplets()) {
+    os << label_ent(t.head) << '\t' << label_rel(t.relation) << '\t'
+       << label_ent(t.tail) << '\n';
+  }
+}
+
+}  // namespace sptx::kg

@@ -1,0 +1,61 @@
+// Knowledge-graph dataset handling.
+//
+// Covers §4.7.2's dataloader roles:
+//  * load_tsv/load_csv — parse (head, relation, tail) text files, building
+//    the entity/relation string↔index vocabulary on the fly.
+//  * save_index / Dataset::save / Dataset::load — a compact on-disk binary
+//    representation of the indexed KG (the role SQLite plays in the Python
+//    framework: persist the entity-index mapping plus triplets so repeated
+//    runs skip re-indexing).
+//  * train/valid/test splitting for link-prediction evaluation.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/kg/triplet.hpp"
+
+namespace sptx::kg {
+
+/// A fully indexed dataset: triplet splits plus the vocabulary.
+struct Dataset {
+  std::string name;
+  TripletStore train;
+  TripletStore valid;
+  TripletStore test;
+  std::vector<std::string> entity_names;    // may be empty for synthetic
+  std::vector<std::string> relation_names;  // may be empty for synthetic
+
+  std::int64_t num_entities() const { return train.num_entities(); }
+  std::int64_t num_relations() const { return train.num_relations(); }
+
+  /// Persist to / restore from a compact binary file.
+  void save(const std::string& path) const;
+  static Dataset load_binary(const std::string& path);
+};
+
+/// Parse a delimiter-separated triplet file (one `head<d>relation<d>tail`
+/// per line, '#'-prefixed comment lines skipped). Strings are interned into
+/// a fresh vocabulary; all triplets land in `train`.
+Dataset load_triplet_file(const std::string& path, char delim,
+                          const std::string& name);
+inline Dataset load_tsv(const std::string& path,
+                        const std::string& name = "tsv") {
+  return load_triplet_file(path, '\t', name);
+}
+inline Dataset load_csv(const std::string& path,
+                        const std::string& name = "csv") {
+  return load_triplet_file(path, ',', name);
+}
+
+/// Shuffle `all` and split into train/valid/test by fraction (in place over
+/// a copy; vocabulary is shared).
+Dataset split(Dataset all, double valid_frac, double test_frac, Rng& rng);
+
+/// Write a dataset's training triplets back to TSV (round-trip tests,
+/// interop with the Python framework's file formats).
+void write_tsv(const Dataset& ds, const std::string& path);
+
+}  // namespace sptx::kg

@@ -1,0 +1,119 @@
+#include "src/kg/streaming_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "src/common/error.hpp"
+
+namespace sptx::kg {
+
+namespace {
+
+struct FileHeader {
+  std::uint64_t magic = 0x53505458'53545231ULL;  // "SPTXSTR1"
+  std::int64_t count = 0;
+  std::int64_t num_entities = 0;
+  std::int64_t num_relations = 0;
+};
+
+static_assert(sizeof(Triplet) == 24, "streaming format assumes packed h,r,t");
+
+}  // namespace
+
+void StreamingTripletStore::write_file(const std::string& path,
+                                       std::span<const Triplet> triplets,
+                                       std::int64_t num_entities,
+                                       std::int64_t num_relations) {
+  std::ofstream os(path, std::ios::binary);
+  SPTX_CHECK(os.good(), "cannot create " << path);
+  FileHeader header;
+  header.count = static_cast<std::int64_t>(triplets.size());
+  header.num_entities = num_entities;
+  header.num_relations = num_relations;
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  os.write(reinterpret_cast<const char*>(triplets.data()),
+           static_cast<std::streamsize>(triplets.size_bytes()));
+  SPTX_CHECK(os.good(), "write to " << path << " failed");
+}
+
+StreamingTripletStore StreamingTripletStore::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  SPTX_CHECK(fd >= 0, "cannot open " << path);
+  struct stat st {};
+  SPTX_CHECK(::fstat(fd, &st) == 0, "fstat failed for " << path);
+  SPTX_CHECK(static_cast<std::size_t>(st.st_size) >= sizeof(FileHeader),
+             path << " too small for a streaming store");
+  void* mem = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                     PROT_READ, MAP_PRIVATE, fd, 0);
+  SPTX_CHECK(mem != MAP_FAILED, "mmap failed for " << path);
+  const auto* header = static_cast<const FileHeader*>(mem);
+  FileHeader expected;
+  if (header->magic != expected.magic) {
+    ::munmap(mem, static_cast<std::size_t>(st.st_size));
+    ::close(fd);
+    throw Error(path + " is not an sptx streaming triplet file");
+  }
+  const std::size_t payload =
+      static_cast<std::size_t>(st.st_size) - sizeof(FileHeader);
+  SPTX_CHECK(payload >=
+                 static_cast<std::size_t>(header->count) * sizeof(Triplet),
+             path << " truncated: header claims " << header->count
+                  << " triplets");
+  const auto* data = reinterpret_cast<const Triplet*>(
+      static_cast<const char*>(mem) + sizeof(FileHeader));
+  return StreamingTripletStore(fd, data, header->count, header->num_entities,
+                               header->num_relations,
+                               static_cast<std::size_t>(st.st_size));
+}
+
+StreamingTripletStore::StreamingTripletStore(int fd, const Triplet* data,
+                                             std::int64_t count,
+                                             std::int64_t num_entities,
+                                             std::int64_t num_relations,
+                                             std::size_t mapped_bytes)
+    : fd_(fd),
+      data_(data),
+      count_(count),
+      num_entities_(num_entities),
+      num_relations_(num_relations),
+      mapped_bytes_(mapped_bytes) {}
+
+StreamingTripletStore::StreamingTripletStore(
+    StreamingTripletStore&& o) noexcept
+    : fd_(o.fd_),
+      data_(o.data_),
+      count_(o.count_),
+      num_entities_(o.num_entities_),
+      num_relations_(o.num_relations_),
+      mapped_bytes_(o.mapped_bytes_) {
+  o.fd_ = -1;
+  o.data_ = nullptr;
+}
+
+StreamingTripletStore::~StreamingTripletStore() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<void*>(static_cast<const void*>(
+                 reinterpret_cast<const char*>(data_) - sizeof(FileHeader))),
+             mapped_bytes_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::span<const Triplet> StreamingTripletStore::slice(
+    std::int64_t begin, std::int64_t count) const {
+  SPTX_CHECK(begin >= 0 && count >= 0 && begin + count <= count_,
+             "streaming slice out of range");
+  return {data_ + begin, static_cast<std::size_t>(count)};
+}
+
+TripletStore StreamingTripletStore::to_memory() const {
+  return TripletStore(num_entities_, num_relations_,
+                      std::vector<Triplet>(data_, data_ + count_));
+}
+
+}  // namespace sptx::kg

@@ -1,0 +1,58 @@
+// Disk-backed triplet streaming — §4.7.2's "streaming dataset module for
+// datasets that are too large to fit in memory".
+//
+// StreamingTripletStore memory-maps a flat binary file of (h, r, t) int64
+// records; batches are read as zero-copy spans over the mapping, so a
+// training epoch over a multi-billion-triplet file touches only the pages
+// the current batch needs. `write_file` converts an in-memory TripletStore
+// (or any triplet range) to the on-disk format; the header carries the
+// vocabulary sizes so a store opens self-describing.
+#pragma once
+
+#include <string>
+
+#include "src/kg/triplet.hpp"
+
+namespace sptx::kg {
+
+class StreamingTripletStore {
+ public:
+  /// Serialise triplets (with vocab sizes) into the streaming format.
+  static void write_file(const std::string& path,
+                         std::span<const Triplet> triplets,
+                         std::int64_t num_entities,
+                         std::int64_t num_relations);
+
+  /// Map an existing file read-only.
+  static StreamingTripletStore open(const std::string& path);
+
+  ~StreamingTripletStore();
+  StreamingTripletStore(StreamingTripletStore&&) noexcept;
+  StreamingTripletStore& operator=(StreamingTripletStore&&) = delete;
+  StreamingTripletStore(const StreamingTripletStore&) = delete;
+  StreamingTripletStore& operator=(const StreamingTripletStore&) = delete;
+
+  std::int64_t size() const { return count_; }
+  std::int64_t num_entities() const { return num_entities_; }
+  std::int64_t num_relations() const { return num_relations_; }
+
+  /// Zero-copy batch view over the mapping. Valid while the store lives.
+  std::span<const Triplet> slice(std::int64_t begin, std::int64_t count) const;
+
+  /// Copy everything into RAM (small files / tests).
+  TripletStore to_memory() const;
+
+ private:
+  StreamingTripletStore(int fd, const Triplet* data, std::int64_t count,
+                        std::int64_t num_entities, std::int64_t num_relations,
+                        std::size_t mapped_bytes);
+
+  int fd_ = -1;
+  const Triplet* data_ = nullptr;
+  std::int64_t count_ = 0;
+  std::int64_t num_entities_ = 0;
+  std::int64_t num_relations_ = 0;
+  std::size_t mapped_bytes_ = 0;
+};
+
+}  // namespace sptx::kg

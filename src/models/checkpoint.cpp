@@ -1,0 +1,79 @@
+#include "src/models/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "src/tensor/serialize.hpp"
+
+namespace sptx::models {
+
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0x53505458434b5031ULL;  // SPTXCKP1
+
+void write_string(std::ofstream& os, const std::string& s) {
+  const std::uint64_t n = s.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+std::string read_string(std::ifstream& is) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+}  // namespace
+
+void save_checkpoint(KgeModel& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  SPTX_CHECK(os.good(), "cannot write checkpoint " << path);
+  const std::uint64_t magic = kCheckpointMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  write_string(os, model.name());
+  const std::int64_t n = model.num_entities(), r = model.num_relations();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  auto params = model.params();
+  const std::uint64_t count = params.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (auto& p : params) write_matrix(os, p.value());
+  SPTX_CHECK(os.good(), "checkpoint write failed: " << path);
+}
+
+void load_checkpoint(KgeModel& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SPTX_CHECK(is.good(), "cannot read checkpoint " << path);
+  std::uint64_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SPTX_CHECK(is.good() && magic == kCheckpointMagic,
+             path << " is not an sptx checkpoint");
+  const std::string name = read_string(is);
+  SPTX_CHECK(name == model.name(), "checkpoint holds " << name
+                                                       << ", target model is "
+                                                       << model.name());
+  std::int64_t n = 0, r = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  is.read(reinterpret_cast<char*>(&r), sizeof(r));
+  SPTX_CHECK(n == model.num_entities() && r == model.num_relations(),
+             "checkpoint vocab " << n << "/" << r << " vs model "
+                                 << model.num_entities() << "/"
+                                 << model.num_relations());
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto params = model.params();
+  SPTX_CHECK(count == params.size(), "checkpoint has " << count
+                                                       << " tensors, model "
+                                                       << params.size());
+  for (auto& p : params) {
+    Matrix loaded = read_matrix(is);
+    SPTX_CHECK(loaded.same_shape(p.value()),
+               "parameter shape " << loaded.shape_str() << " vs "
+                                  << p.value().shape_str());
+    p.mutable_value() = std::move(loaded);
+  }
+}
+
+}  // namespace sptx::models

@@ -1,0 +1,22 @@
+// Model checkpointing: persist and restore all parameter tables.
+//
+// A checkpoint records the model name, vocabulary sizes, and every
+// parameter matrix in params() order. Restoring validates that the target
+// model has the same architecture (name, sizes, per-parameter shapes), so
+// a TransR checkpoint cannot be silently loaded into a TransE model.
+#pragma once
+
+#include <string>
+
+#include "src/models/model.hpp"
+
+namespace sptx::models {
+
+/// Write `model`'s parameters to `path`.
+void save_checkpoint(KgeModel& model, const std::string& path);
+
+/// Load parameters from `path` into `model`. Throws on any mismatch
+/// (model name, entity/relation counts, parameter shapes).
+void load_checkpoint(KgeModel& model, const std::string& path);
+
+}  // namespace sptx::models

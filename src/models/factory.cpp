@@ -1,0 +1,76 @@
+#include "src/baseline/dense_models.hpp"
+#include "src/models/model.hpp"
+#include "src/models/semiring_models.hpp"
+#include "src/models/sp_extra.hpp"
+#include "src/models/sp_toruse.hpp"
+#include "src/models/sp_transe.hpp"
+#include "src/models/sp_transh.hpp"
+#include "src/models/sp_transr.hpp"
+
+namespace sptx::models {
+
+std::unique_ptr<KgeModel> make_sparse_model(const std::string& name,
+                                            index_t num_entities,
+                                            index_t num_relations,
+                                            const ModelConfig& config,
+                                            Rng& rng) {
+  if (name == "TransE")
+    return std::make_unique<SpTransE>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TransR")
+    return std::make_unique<SpTransR>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TransH")
+    return std::make_unique<SpTransH>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TorusE")
+    return std::make_unique<SpTorusE>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TransD")
+    return std::make_unique<SpTransD>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TransA")
+    return std::make_unique<SpTransA>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TransC")
+    return std::make_unique<SpTransC>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "TransM")
+    return std::make_unique<SpTransM>(num_entities, num_relations, config,
+                                      rng);
+  if (name == "DistMult")
+    return std::make_unique<SpDistMult>(num_entities, num_relations, config,
+                                        rng);
+  if (name == "ComplEx")
+    return std::make_unique<SpComplEx>(num_entities, num_relations, config,
+                                       rng);
+  if (name == "RotatE")
+    return std::make_unique<SpRotatE>(num_entities, num_relations, config,
+                                      rng);
+  throw Error("unknown sparse model: " + name);
+}
+
+std::unique_ptr<KgeModel> make_dense_model(const std::string& name,
+                                           index_t num_entities,
+                                           index_t num_relations,
+                                           const ModelConfig& config,
+                                           Rng& rng) {
+  if (name == "TransE")
+    return std::make_unique<baseline::DenseTransE>(num_entities,
+                                                   num_relations, config, rng);
+  if (name == "TransR")
+    return std::make_unique<baseline::DenseTransR>(num_entities,
+                                                   num_relations, config, rng);
+  if (name == "TransH")
+    return std::make_unique<baseline::DenseTransH>(num_entities,
+                                                   num_relations, config, rng);
+  if (name == "TorusE")
+    return std::make_unique<baseline::DenseTorusE>(num_entities,
+                                                   num_relations, config, rng);
+  if (name == "TransD")
+    return std::make_unique<baseline::DenseTransD>(num_entities,
+                                                   num_relations, config, rng);
+  throw Error("unknown dense model: " + name);
+}
+
+}  // namespace sptx::models

@@ -1,0 +1,108 @@
+// Model interface shared by the sparse (SpTransX) and dense (baseline)
+// implementations.
+//
+// A model owns its parameter tables and exposes:
+//  * loss(pos, neg)  — build the differentiable margin-ranking loss for a
+//    batch of positives and index-aligned negatives (the training op);
+//  * score(batch)    — fast non-autograd scoring for evaluation;
+//  * params()        — leaf Variables for the optimizer;
+//  * post_step()     — per-batch constraints (entity renormalisation for
+//    TransE-family, unit normals for TransH).
+// Scores are distances for translational models (lower = more plausible)
+// and similarities for the semiring models (higher = better);
+// higher_is_better() tells the evaluator which way to rank.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/autograd/ops.hpp"
+#include "src/autograd/variable.hpp"
+#include "src/common/rng.hpp"
+#include "src/kg/triplet.hpp"
+
+namespace sptx::models {
+
+enum class Dissimilarity { kL1, kL2 };
+
+/// Training objective built inside each model's loss().
+enum class LossType {
+  kMarginRanking,  // §5.3's MarginRankingLoss (hinge)
+  kLogistic,       // smooth softplus ranking loss
+};
+
+/// Hyperparameters shared across models (Table 4 defaults are set per
+/// experiment in the bench harness; these are the library defaults).
+struct ModelConfig {
+  index_t dim = 128;       // entity embedding size
+  index_t rel_dim = 128;   // relation space size (TransR / TransH d_r)
+  float margin = 0.5f;     // §5.3 margin
+  Dissimilarity dissimilarity = Dissimilarity::kL2;
+  LossType loss = LossType::kMarginRanking;
+  SpmmKernel kernel = SpmmKernel::kParallel;  // SpMM variant (§5.5)
+  bool normalize_entities = true;
+};
+
+/// Ranking loss dispatch shared by every model.
+inline autograd::Variable ranking_loss(const autograd::Variable& pos,
+                                       const autograd::Variable& neg,
+                                       const ModelConfig& config) {
+  return config.loss == LossType::kMarginRanking
+             ? autograd::margin_ranking_loss(pos, neg, config.margin)
+             : autograd::logistic_ranking_loss(pos, neg, config.margin);
+}
+
+class KgeModel {
+ public:
+  virtual ~KgeModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Margin-ranking loss over a batch; `neg` is index-aligned with `pos`
+  /// (one pre-generated negative per positive, §5.3).
+  virtual autograd::Variable loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) = 0;
+
+  /// Non-autograd scores for evaluation/link prediction.
+  virtual std::vector<float> score(std::span<const Triplet> batch) const = 0;
+
+  virtual bool higher_is_better() const { return false; }
+
+  virtual std::vector<autograd::Variable> params() = 0;
+
+  /// Apply model constraints after an optimizer step.
+  virtual void post_step() {}
+
+  index_t num_entities() const { return num_entities_; }
+  index_t num_relations() const { return num_relations_; }
+
+ protected:
+  KgeModel(index_t num_entities, index_t num_relations, ModelConfig config)
+      : num_entities_(num_entities),
+        num_relations_(num_relations),
+        config_(config) {}
+
+  index_t num_entities_;
+  index_t num_relations_;
+  ModelConfig config_;
+};
+
+/// Factory over {"TransE","TransR","TransH","TorusE"} sparse variants plus
+/// {"DistMult","ComplEx","RotatE"} semiring extensions.
+std::unique_ptr<KgeModel> make_sparse_model(const std::string& name,
+                                            index_t num_entities,
+                                            index_t num_relations,
+                                            const ModelConfig& config,
+                                            Rng& rng);
+
+/// Factory over the dense gather/scatter baselines (TorchKGE-style):
+/// {"TransE","TransR","TransH","TorusE"}.
+std::unique_ptr<KgeModel> make_dense_model(const std::string& name,
+                                           index_t num_entities,
+                                           index_t num_relations,
+                                           const ModelConfig& config,
+                                           Rng& rng);
+
+}  // namespace sptx::models

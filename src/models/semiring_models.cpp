@@ -1,0 +1,143 @@
+#include "src/models/semiring_models.hpp"
+
+#include <cmath>
+
+namespace sptx::models {
+
+namespace {
+/// Even embedding size for the complex-pair models.
+index_t even_dim(index_t d) { return d % 2 == 0 ? d : d + 1; }
+
+std::shared_ptr<std::vector<Triplet>> to_shared(
+    std::span<const Triplet> batch) {
+  return std::make_shared<std::vector<Triplet>>(batch.begin(), batch.end());
+}
+}  // namespace
+
+// ------------------------------------------------------------- SpDistMult
+
+SpDistMult::SpDistMult(index_t num_entities, index_t num_relations,
+                       const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, config.dim, rng) {}
+
+autograd::Variable SpDistMult::loss(std::span<const Triplet> pos,
+                                    std::span<const Triplet> neg) {
+  // Similarity scores: margin loss wants distances, so negate.
+  autograd::Variable pos_s = autograd::scale(
+      autograd::distmult_score(ent_rel_.var(), to_shared(pos), num_entities_),
+      -1.0f);
+  autograd::Variable neg_s = autograd::scale(
+      autograd::distmult_score(ent_rel_.var(), to_shared(neg), num_entities_),
+      -1.0f);
+  return ranking_loss(pos_s, neg_s, config_);
+}
+
+std::vector<float> SpDistMult::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const index_t d = e.cols();
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    for (index_t j = 0; j < d; ++j) acc += h[j] * r[j] * tl[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpDistMult::params() {
+  return {ent_rel_.var()};
+}
+
+// -------------------------------------------------------------- SpComplEx
+
+SpComplEx::SpComplEx(index_t num_entities, index_t num_relations,
+                     const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, even_dim(config.dim), rng) {}
+
+autograd::Variable SpComplEx::loss(std::span<const Triplet> pos,
+                                   std::span<const Triplet> neg) {
+  autograd::Variable pos_s = autograd::scale(
+      autograd::complex_score(ent_rel_.var(), to_shared(pos), num_entities_),
+      -1.0f);
+  autograd::Variable neg_s = autograd::scale(
+      autograd::complex_score(ent_rel_.var(), to_shared(neg), num_entities_),
+      -1.0f);
+  return ranking_loss(pos_s, neg_s, config_);
+}
+
+std::vector<float> SpComplEx::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const index_t dc = e.cols() / 2;
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    for (index_t j = 0; j < dc; ++j) {
+      const float hr_re = h[2 * j] * r[2 * j] - h[2 * j + 1] * r[2 * j + 1];
+      const float hr_im = h[2 * j] * r[2 * j + 1] + h[2 * j + 1] * r[2 * j];
+      acc += hr_re * tl[2 * j] + hr_im * tl[2 * j + 1];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpComplEx::params() {
+  return {ent_rel_.var()};
+}
+
+// --------------------------------------------------------------- SpRotatE
+
+SpRotatE::SpRotatE(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, even_dim(config.dim), rng) {}
+
+autograd::Variable SpRotatE::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  autograd::Variable pos_s =
+      autograd::rotate_score(ent_rel_.var(), to_shared(pos), num_entities_);
+  autograd::Variable neg_s =
+      autograd::rotate_score(ent_rel_.var(), to_shared(neg), num_entities_);
+  return ranking_loss(pos_s, neg_s, config_);
+}
+
+std::vector<float> SpRotatE::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const index_t dc = e.cols() / 2;
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    for (index_t j = 0; j < dc; ++j) {
+      const float mag =
+          std::max(std::sqrt(r[2 * j] * r[2 * j] +
+                             r[2 * j + 1] * r[2 * j + 1]),
+                   1e-12f);
+      const float rre = r[2 * j] / mag, rim = r[2 * j + 1] / mag;
+      const float dre = h[2 * j] * rre - h[2 * j + 1] * rim - tl[2 * j];
+      const float dim = h[2 * j] * rim + h[2 * j + 1] * rre - tl[2 * j + 1];
+      acc += dre * dre + dim * dim;
+    }
+    out[i] = std::sqrt(acc);
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpRotatE::params() {
+  return {ent_rel_.var()};
+}
+
+}  // namespace sptx::models

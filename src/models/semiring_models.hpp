@@ -1,0 +1,63 @@
+// Semiring-SpMM extension models — Appendix D.
+//
+// The incidence-matrix formulation extends beyond translations by changing
+// the semiring of the SpMM:
+//  * SpDistMult — score Σ h⊙r⊙t, (×,×) semiring over reals (similarity:
+//    higher is better);
+//  * SpComplEx — score Σ Re(h⊙r⊙conj(t)) over interleaved complex pairs;
+//  * SpRotatE  — distance ||h⊙r − t|| with unit-modulus relation rotations.
+// All three share the stacked [entities; relations] table layout of
+// SpTransE. Similarity models train with the same margin-ranking loss on
+// negated scores so one trainer drives every model.
+#pragma once
+
+#include "src/models/model.hpp"
+#include "src/nn/embedding.hpp"
+
+namespace sptx::models {
+
+class SpDistMult final : public KgeModel {
+ public:
+  SpDistMult(index_t num_entities, index_t num_relations,
+             const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpDistMult"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  bool higher_is_better() const override { return true; }
+  std::vector<autograd::Variable> params() override;
+
+ private:
+  nn::EmbeddingTable ent_rel_;
+};
+
+class SpComplEx final : public KgeModel {
+ public:
+  SpComplEx(index_t num_entities, index_t num_relations,
+            const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpComplEx"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  bool higher_is_better() const override { return true; }
+  std::vector<autograd::Variable> params() override;
+
+ private:
+  nn::EmbeddingTable ent_rel_;  // interleaved (re, im): cols = 2·(dim/2)
+};
+
+class SpRotatE final : public KgeModel {
+ public:
+  SpRotatE(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpRotatE"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+
+ private:
+  nn::EmbeddingTable ent_rel_;
+};
+
+}  // namespace sptx::models

@@ -1,0 +1,292 @@
+#include "src/models/sp_extra.hpp"
+
+#include <cmath>
+
+#include "src/models/sp_transr.hpp"  // build_relation_selection_csr
+#include "src/sparse/incidence.hpp"
+
+namespace sptx::models {
+
+namespace {
+
+autograd::Variable norm_for(const autograd::Variable& x, Dissimilarity d) {
+  return d == Dissimilarity::kL2 ? autograd::row_l2(x) : autograd::row_l1(x);
+}
+
+void clamp_nonnegative(Matrix& m, float floor_at = 1e-4f) {
+  for (index_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] < floor_at) m.data()[i] = floor_at;
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- SpTransD
+
+SpTransD::SpTransD(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      entities_(num_entities, config.dim, rng),
+      entity_proj_(num_entities, config.dim, rng),
+      relations_(num_relations, config.dim, rng),
+      relation_proj_(num_relations, config.dim, rng) {
+  // Projection vectors start small so the model begins near plain TransE.
+  entity_proj_.mutable_weights().scale_(0.1f);
+  relation_proj_.mutable_weights().scale_(0.1f);
+}
+
+autograd::Variable SpTransD::distance(std::span<const Triplet> batch) {
+  auto ht_inc =
+      std::make_shared<Csr>(build_ht_incidence_csr(batch, num_entities_));
+  auto head_sel = std::make_shared<Csr>(build_entity_selection_csr(
+      batch, num_entities_, TripletSlot::kHead));
+  auto tail_sel = std::make_shared<Csr>(build_entity_selection_csr(
+      batch, num_entities_, TripletSlot::kTail));
+  auto rel_sel = std::make_shared<Csr>(
+      build_relation_selection_csr(batch, num_relations_));
+
+  // Rearranged TransD: (h − t) + r + ((h_pᵀh) − (t_pᵀt)) r_p.
+  autograd::Variable ht =
+      autograd::spmm(std::move(ht_inc), entities_.var(), config_.kernel);
+  autograd::Variable h =
+      autograd::spmm(head_sel, entities_.var(), config_.kernel);
+  autograd::Variable hp =
+      autograd::spmm(std::move(head_sel), entity_proj_.var(),
+                     config_.kernel);
+  autograd::Variable t =
+      autograd::spmm(tail_sel, entities_.var(), config_.kernel);
+  autograd::Variable tp =
+      autograd::spmm(std::move(tail_sel), entity_proj_.var(),
+                     config_.kernel);
+  autograd::Variable r =
+      autograd::spmm(rel_sel, relations_.var(), config_.kernel);
+  autograd::Variable rp =
+      autograd::spmm(std::move(rel_sel), relation_proj_.var(),
+                     config_.kernel);
+
+  autograd::Variable proj_scale =
+      autograd::sub(autograd::row_dot(hp, h), autograd::row_dot(tp, t));
+  autograd::Variable expr = autograd::add(
+      autograd::add(ht, r), autograd::scale_rows(proj_scale, rp));
+  return norm_for(expr, config_.dissimilarity);
+}
+
+autograd::Variable SpTransD::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransD::score(std::span<const Triplet> batch) const {
+  const Matrix& e = entities_.weights();
+  const Matrix& ep = entity_proj_.weights();
+  const Matrix& r = relations_.weights();
+  const Matrix& rp = relation_proj_.weights();
+  const index_t d = config_.dim;
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* tl = e.row(t.tail);
+    const float* hp = ep.row(t.head);
+    const float* tp = ep.row(t.tail);
+    const float* rv = r.row(t.relation);
+    const float* rpv = rp.row(t.relation);
+    float hdot = 0.0f, tdot = 0.0f;
+    for (index_t j = 0; j < d; ++j) {
+      hdot += hp[j] * h[j];
+      tdot += tp[j] * tl[j];
+    }
+    const float s = hdot - tdot;
+    float acc = 0.0f;
+    for (index_t j = 0; j < d; ++j) {
+      const float v = (h[j] - tl[j]) + rv[j] + s * rpv[j];
+      acc += config_.dissimilarity == Dissimilarity::kL2 ? v * v
+                                                         : std::fabs(v);
+    }
+    out[i] =
+        config_.dissimilarity == Dissimilarity::kL2 ? std::sqrt(acc) : acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransD::params() {
+  return {entities_.var(), entity_proj_.var(), relations_.var(),
+          relation_proj_.var()};
+}
+
+void SpTransD::post_step() {
+  if (config_.normalize_entities) entities_.normalize_rows();
+}
+
+// --------------------------------------------------------------- SpTransA
+
+SpTransA::SpTransA(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, config.dim, rng),
+      metric_(num_relations, config.dim, rng) {
+  metric_.mutable_weights().fill(1.0f);  // start at the Euclidean metric
+}
+
+autograd::Variable SpTransA::distance(std::span<const Triplet> batch) {
+  auto a = std::make_shared<Csr>(
+      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
+  auto rel_sel = std::make_shared<Csr>(
+      build_relation_selection_csr(batch, num_relations_));
+  autograd::Variable hrt =
+      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
+  autograd::Variable w =
+      autograd::spmm(std::move(rel_sel), metric_.var(), config_.kernel);
+  // Diagonal adaptive metric: Σ_j w_rj · hrt_j².
+  return autograd::row_dot(w, autograd::mul(hrt, hrt));
+}
+
+autograd::Variable SpTransA::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransA::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const Matrix& w = metric_.weights();
+  const index_t d = e.cols();
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    const float* wr = w.row(t.relation);
+    float acc = 0.0f;
+    for (index_t j = 0; j < d; ++j) {
+      const float v = h[j] + r[j] - tl[j];
+      acc += wr[j] * v * v;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransA::params() {
+  return {ent_rel_.var(), metric_.var()};
+}
+
+void SpTransA::post_step() {
+  // W_r must stay PSD; for a diagonal metric that is elementwise ≥ 0.
+  clamp_nonnegative(metric_.mutable_weights());
+  if (config_.normalize_entities) {
+    ent_rel_.normalize_rows_prefix(num_entities_);
+  }
+}
+
+// --------------------------------------------------------------- SpTransC
+
+SpTransC::SpTransC(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, config.dim, rng) {}
+
+autograd::Variable SpTransC::distance(std::span<const Triplet> batch) {
+  auto a = std::make_shared<Csr>(
+      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
+  autograd::Variable hrt =
+      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
+  return autograd::row_squared_l2(hrt);  // Table 2: ||h + r − t||₂²
+}
+
+autograd::Variable SpTransC::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransC::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const index_t d = e.cols();
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    for (index_t j = 0; j < d; ++j) {
+      const float v = h[j] + r[j] - tl[j];
+      acc += v * v;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransC::params() {
+  return {ent_rel_.var()};
+}
+
+void SpTransC::post_step() {
+  if (!config_.normalize_entities) return;
+  ent_rel_.normalize_rows_prefix(num_entities_);
+}
+
+// --------------------------------------------------------------- SpTransM
+
+SpTransM::SpTransM(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, config.dim, rng),
+      rel_weight_(num_relations, 1, rng) {
+  rel_weight_.mutable_weights().fill(1.0f);
+}
+
+autograd::Variable SpTransM::distance(std::span<const Triplet> batch) {
+  auto a = std::make_shared<Csr>(
+      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
+  auto rel_sel = std::make_shared<Csr>(
+      build_relation_selection_csr(batch, num_relations_));
+  autograd::Variable hrt =
+      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
+  autograd::Variable w =
+      autograd::spmm(std::move(rel_sel), rel_weight_.var(), config_.kernel);
+  return autograd::mul(w, norm_for(hrt, config_.dissimilarity));
+}
+
+autograd::Variable SpTransM::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransM::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const Matrix& w = rel_weight_.weights();
+  const index_t d = e.cols();
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    if (config_.dissimilarity == Dissimilarity::kL2) {
+      for (index_t j = 0; j < d; ++j) {
+        const float v = h[j] + r[j] - tl[j];
+        acc += v * v;
+      }
+      acc = std::sqrt(acc);
+    } else {
+      for (index_t j = 0; j < d; ++j) acc += std::fabs(h[j] + r[j] - tl[j]);
+    }
+    out[i] = w.at(t.relation, 0) * acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransM::params() {
+  return {ent_rel_.var(), rel_weight_.var()};
+}
+
+void SpTransM::post_step() {
+  clamp_nonnegative(rel_weight_.mutable_weights());
+  if (!config_.normalize_entities) return;
+  ent_rel_.normalize_rows_prefix(num_entities_);
+}
+
+}  // namespace sptx::models

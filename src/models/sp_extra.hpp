@@ -1,0 +1,105 @@
+// Additional translational models in the sparse formulation.
+//
+// §1 and the conclusion state the approach "can be extended to accelerate
+// other translation-based models (such as TransC, TransM, etc.)", Table 2
+// lists their score functions, and Figure 2 profiles TransD. These four
+// close that set:
+//
+//  * SpTransD (Ji et al., 2015) — dynamic mapping via projection vectors:
+//      h⊥ = h + (h_pᵀh) r_p,  t⊥ = t + (t_pᵀt) r_p,
+//      score ||h⊥ + r − t⊥||.
+//    Rearranged: (h − t) + r + ((h_pᵀh) − (t_pᵀt)) r_p — one fused ht SpMM
+//    plus per-side selection SpMMs for the projection dots.
+//  * SpTransA (Xiao et al., 2015) — adaptive metric |hrt|ᵀ W_r |hrt|. We
+//    implement the standard diagonal-W_r variant: score Σ_j w_rj·hrt_j²
+//    with w_r ≥ 0 enforced after each step (DESIGN.md notes the
+//    full-matrix → diagonal substitution).
+//  * SpTransC (Lv et al., 2018) — score ||h + r − t||₂² (Table 2's
+//    expression; the concept-sphere constraints of the full paper are out
+//    of scope here).
+//  * SpTransM (Fan et al., 2014) — score w_r·||h + r − t|| with one
+//    learnable scalar weight per relation.
+//
+// All hrt-shaped models reuse SpTransE's stacked [entities; relations]
+// table and its single fused SpMM.
+#pragma once
+
+#include "src/models/model.hpp"
+#include "src/nn/embedding.hpp"
+
+namespace sptx::models {
+
+class SpTransD final : public KgeModel {
+ public:
+  SpTransD(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpTransD"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+  void post_step() override;
+
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable entities_;       // N × d
+  nn::EmbeddingTable entity_proj_;    // N × d  (h_p / t_p)
+  nn::EmbeddingTable relations_;      // R × d
+  nn::EmbeddingTable relation_proj_;  // R × d  (r_p)
+};
+
+class SpTransA final : public KgeModel {
+ public:
+  SpTransA(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpTransA"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+  void post_step() override;
+
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]
+  nn::EmbeddingTable metric_;   // R × d diagonal metric weights (≥ 0)
+};
+
+class SpTransC final : public KgeModel {
+ public:
+  SpTransC(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpTransC"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+  void post_step() override;
+
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable ent_rel_;
+};
+
+class SpTransM final : public KgeModel {
+ public:
+  SpTransM(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+  std::string name() const override { return "SpTransM"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+  void post_step() override;
+
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable ent_rel_;
+  nn::EmbeddingTable rel_weight_;  // R × 1 scalar weights (≥ 0)
+};
+
+}  // namespace sptx::models

@@ -1,0 +1,59 @@
+#include "src/models/sp_toruse.hpp"
+
+#include <cmath>
+
+#include "src/sparse/incidence.hpp"
+
+namespace sptx::models {
+
+SpTorusE::SpTorusE(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, config.dim, rng) {
+  // TorusE lives on [0,1)^d: map the Xavier init onto the torus.
+  Matrix& w = ent_rel_.mutable_weights();
+  for (index_t i = 0; i < w.size(); ++i)
+    w.data()[i] = w.data()[i] - std::floor(w.data()[i]);
+}
+
+autograd::Variable SpTorusE::distance(std::span<const Triplet> batch) {
+  auto a = std::make_shared<Csr>(
+      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
+  autograd::Variable hrt =
+      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
+  return config_.dissimilarity == Dissimilarity::kL2
+             ? autograd::row_squared_l2_torus(hrt)
+             : autograd::row_l1_torus(hrt);
+}
+
+autograd::Variable SpTorusE::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTorusE::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const index_t d = e.cols();
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    for (index_t j = 0; j < d; ++j) {
+      const float x = h[j] + r[j] - tl[j];
+      const float f = x - std::floor(x);
+      const float m = f < 0.5f ? f : 1.0f - f;
+      acc += config_.dissimilarity == Dissimilarity::kL2 ? m * m : m;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTorusE::params() {
+  return {ent_rel_.var()};
+}
+
+}  // namespace sptx::models

@@ -1,0 +1,33 @@
+// SpTorusE — sparse TorusE (§4.6).
+//
+// Identical incidence structure to SpTransE (one hrt SpMM per batch); the
+// score swaps the Euclidean norm for the torus dissimilarity, which works
+// on the fractional part of each embedding component with wraparound
+// distance min(frac, 1 − frac). The paper notes this dissimilarity — not
+// the embedding gather — dominates TorusE's profile (Figure 2), which is
+// why TorusE shows the smallest SpMM speedup (~1.9×).
+#pragma once
+
+#include "src/models/model.hpp"
+#include "src/nn/embedding.hpp"
+
+namespace sptx::models {
+
+class SpTorusE final : public KgeModel {
+ public:
+  SpTorusE(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+
+  std::string name() const override { return "SpTorusE"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]
+};
+
+}  // namespace sptx::models

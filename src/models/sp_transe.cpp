@@ -1,0 +1,63 @@
+#include "src/models/sp_transe.hpp"
+
+#include <cmath>
+
+#include "src/sparse/incidence.hpp"
+
+namespace sptx::models {
+
+SpTransE::SpTransE(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      ent_rel_(num_entities + num_relations, config.dim, rng) {}
+
+autograd::Variable SpTransE::distance(std::span<const Triplet> batch) {
+  auto a = std::make_shared<Csr>(
+      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
+  autograd::Variable hrt =
+      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
+  return config_.dissimilarity == Dissimilarity::kL2 ? autograd::row_l2(hrt)
+                                                     : autograd::row_l1(hrt);
+}
+
+autograd::Variable SpTransE::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransE::score(std::span<const Triplet> batch) const {
+  const Matrix& e = ent_rel_.weights();
+  const index_t d = e.cols();
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* r = e.row(num_entities_ + t.relation);
+    const float* tl = e.row(t.tail);
+    float acc = 0.0f;
+    if (config_.dissimilarity == Dissimilarity::kL2) {
+      for (index_t j = 0; j < d; ++j) {
+        const float v = h[j] + r[j] - tl[j];
+        acc += v * v;
+      }
+      out[i] = std::sqrt(acc);
+    } else {
+      for (index_t j = 0; j < d; ++j) acc += std::fabs(h[j] + r[j] - tl[j]);
+      out[i] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransE::params() {
+  return {ent_rel_.var()};
+}
+
+void SpTransE::post_step() {
+  if (!config_.normalize_entities) return;
+  // Normalise only the entity block; relation translations stay free
+  // (the TransE training protocol).
+  ent_rel_.normalize_rows_prefix(num_entities_);
+}
+
+}  // namespace sptx::models

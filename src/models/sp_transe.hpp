@@ -1,0 +1,36 @@
+// SpTransE — sparse TransE (§4.3).
+//
+// Entities and relations live in ONE stacked embedding matrix
+// E ∈ R^{(N+R)×d} (entities first). A batch's score expression
+// h + r − t is a single SpMM with the hrt incidence matrix (§4.2.2);
+// the backward pass is one transposed SpMM (Appendix G). The dense
+// baseline needs three gathers, two elementwise passes and three
+// scatter-adds for the same computation.
+#pragma once
+
+#include "src/models/model.hpp"
+#include "src/nn/embedding.hpp"
+
+namespace sptx::models {
+
+class SpTransE final : public KgeModel {
+ public:
+  SpTransE(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+
+  std::string name() const override { return "SpTransE"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+  void post_step() override;
+
+  /// Distance column for one batch (shared with SpTorusE's structure;
+  /// exposed for tests).
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]
+};
+
+}  // namespace sptx::models

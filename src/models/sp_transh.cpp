@@ -1,0 +1,83 @@
+#include "src/models/sp_transh.hpp"
+
+#include <cmath>
+
+#include "src/models/sp_transr.hpp"  // build_relation_selection_csr
+#include "src/sparse/incidence.hpp"
+
+namespace sptx::models {
+
+SpTransH::SpTransH(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      entities_(num_entities, config.dim, rng),
+      normals_(num_relations, config.dim, rng),
+      transfers_(num_relations, config.dim, rng) {
+  normals_.normalize_rows();  // hyperplane normals start unit-length
+}
+
+autograd::Variable SpTransH::distance(std::span<const Triplet> batch) {
+  auto ht_inc =
+      std::make_shared<Csr>(build_ht_incidence_csr(batch, num_entities_));
+  auto rel_inc = std::make_shared<Csr>(
+      build_relation_selection_csr(batch, num_relations_));
+
+  // One shared (h − t); w and d gathered through the same selection matrix.
+  autograd::Variable ht =
+      autograd::spmm(std::move(ht_inc), entities_.var(), config_.kernel);
+  autograd::Variable w =
+      autograd::spmm(rel_inc, normals_.var(), config_.kernel);
+  autograd::Variable d =
+      autograd::spmm(rel_inc, transfers_.var(), config_.kernel);
+
+  // (h − t) + d_r − (w_rᵀ(h − t)) w_r
+  autograd::Variable wdot = autograd::row_dot(w, ht);
+  autograd::Variable proj = autograd::scale_rows(wdot, w);
+  autograd::Variable expr =
+      autograd::sub(autograd::add(ht, d), proj);
+  return config_.dissimilarity == Dissimilarity::kL2 ? autograd::row_l2(expr)
+                                                     : autograd::row_l1(expr);
+}
+
+autograd::Variable SpTransH::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransH::score(std::span<const Triplet> batch) const {
+  const Matrix& e = entities_.weights();
+  const Matrix& wn = normals_.weights();
+  const Matrix& dt = transfers_.weights();
+  const index_t d = config_.dim;
+  std::vector<float> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* tl = e.row(t.tail);
+    const float* w = wn.row(t.relation);
+    const float* dr = dt.row(t.relation);
+    float wdot = 0.0f;
+    for (index_t j = 0; j < d; ++j) wdot += w[j] * (h[j] - tl[j]);
+    float acc = 0.0f;
+    for (index_t j = 0; j < d; ++j) {
+      const float v = (h[j] - tl[j]) + dr[j] - wdot * w[j];
+      acc += config_.dissimilarity == Dissimilarity::kL2 ? v * v
+                                                         : std::fabs(v);
+    }
+    out[i] =
+        config_.dissimilarity == Dissimilarity::kL2 ? std::sqrt(acc) : acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransH::params() {
+  return {entities_.var(), normals_.var(), transfers_.var()};
+}
+
+void SpTransH::post_step() {
+  // TransH constraints: unit hyperplane normals always; entity norm cap.
+  normals_.normalize_rows();
+  if (config_.normalize_entities) entities_.normalize_rows();
+}
+
+}  // namespace sptx::models

@@ -1,0 +1,105 @@
+#include "src/models/sp_transr.hpp"
+
+#include <cmath>
+
+#include "src/sparse/incidence.hpp"
+
+namespace sptx::models {
+
+Csr build_relation_selection_csr(std::span<const Triplet> batch,
+                                 index_t num_relations) {
+  Csr a;
+  a.rows = static_cast<index_t>(batch.size());
+  a.cols = num_relations;
+  a.row_ptr.resize(batch.size() + 1);
+  a.col_idx.resize(batch.size());
+  a.values.assign(batch.size(), 1.0f);
+  for (std::size_t m = 0; m < batch.size(); ++m) {
+    SPTX_CHECK(batch[m].relation >= 0 && batch[m].relation < num_relations,
+               "relation out of range");
+    a.row_ptr[m] = static_cast<index_t>(m);
+    a.col_idx[m] = batch[m].relation;
+  }
+  a.row_ptr[batch.size()] = static_cast<index_t>(batch.size());
+  return a;
+}
+
+SpTransR::SpTransR(index_t num_entities, index_t num_relations,
+                   const ModelConfig& config, Rng& rng)
+    : KgeModel(num_entities, num_relations, config),
+      entities_(num_entities, config.dim, rng),
+      relations_(num_relations, config.rel_dim, rng),
+      projections_(num_relations * config.rel_dim, config.dim, rng) {
+  // Start projections near identity-like scale so early training is stable:
+  // Xavier already scales by 1/√d; nothing further needed, but we keep the
+  // relation vectors unit-ish via post_step().
+}
+
+autograd::Variable SpTransR::distance(std::span<const Triplet> batch) {
+  auto ht_inc =
+      std::make_shared<Csr>(build_ht_incidence_csr(batch, num_entities_));
+  auto rel_inc = std::make_shared<Csr>(
+      build_relation_selection_csr(batch, num_relations_));
+  auto rel_idx = std::make_shared<std::vector<index_t>>();
+  rel_idx->reserve(batch.size());
+  for (const Triplet& t : batch) rel_idx->push_back(t.relation);
+
+  // ht = h − t via one SpMM; project once; add the gathered relations.
+  autograd::Variable ht =
+      autograd::spmm(std::move(ht_inc), entities_.var(), config_.kernel);
+  autograd::Variable projected = autograd::relation_project(
+      projections_.var(), ht, std::move(rel_idx), config_.rel_dim);
+  autograd::Variable r =
+      autograd::spmm(std::move(rel_inc), relations_.var(), config_.kernel);
+  autograd::Variable translated = autograd::add(projected, r);
+  return config_.dissimilarity == Dissimilarity::kL2
+             ? autograd::row_l2(translated)
+             : autograd::row_l1(translated);
+}
+
+autograd::Variable SpTransR::loss(std::span<const Triplet> pos,
+                                  std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+std::vector<float> SpTransR::score(std::span<const Triplet> batch) const {
+  const Matrix& e = entities_.weights();
+  const Matrix& r = relations_.weights();
+  const Matrix& m = projections_.weights();
+  const index_t de = config_.dim;
+  const index_t dr = config_.rel_dim;
+  std::vector<float> out(batch.size());
+  std::vector<float> diff(static_cast<std::size_t>(de));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Triplet& t = batch[i];
+    const float* h = e.row(t.head);
+    const float* tl = e.row(t.tail);
+    for (index_t j = 0; j < de; ++j)
+      diff[static_cast<std::size_t>(j)] = h[j] - tl[j];
+    const float* rv = r.row(t.relation);
+    float acc = 0.0f;
+    for (index_t p = 0; p < dr; ++p) {
+      const float* mrow = m.row(t.relation * dr + p);
+      float proj = 0.0f;
+      for (index_t q = 0; q < de; ++q)
+        proj += mrow[q] * diff[static_cast<std::size_t>(q)];
+      const float v = proj + rv[p];
+      acc += config_.dissimilarity == Dissimilarity::kL2 ? v * v
+                                                         : std::fabs(v);
+    }
+    out[i] =
+        config_.dissimilarity == Dissimilarity::kL2 ? std::sqrt(acc) : acc;
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> SpTransR::params() {
+  return {entities_.var(), relations_.var(), projections_.var()};
+}
+
+void SpTransR::post_step() {
+  if (!config_.normalize_entities) return;
+  entities_.normalize_rows();
+}
+
+}  // namespace sptx::models

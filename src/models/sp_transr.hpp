@@ -1,0 +1,43 @@
+// SpTransR — sparse TransR (§4.4).
+//
+// TransR scores ||M_r·h + r − M_r·t||. The paper's rearrangement
+// M_r(h − t) + r means the batch needs only the ht expression (one SpMM
+// with the 2-nnz-per-row incidence matrix, §4.2.1), ONE per-relation
+// projection of the difference — instead of two separate projections of
+// h and t as dense implementations do — and a relation gather, which we
+// also express as an SpMM with a one-hot relation-selection incidence
+// matrix so every embedding movement stays a sparse matrix product.
+#pragma once
+
+#include "src/models/model.hpp"
+#include "src/nn/embedding.hpp"
+
+namespace sptx::models {
+
+/// Build the (M×R) relation-selection incidence matrix: row m has +1 at
+/// rel(m). SpMM with the relation table gathers per-triplet relation rows;
+/// the transposed SpMM scatters their gradients (shared with SpTransH).
+Csr build_relation_selection_csr(std::span<const Triplet> batch,
+                                 index_t num_relations);
+
+class SpTransR final : public KgeModel {
+ public:
+  SpTransR(index_t num_entities, index_t num_relations,
+           const ModelConfig& config, Rng& rng);
+
+  std::string name() const override { return "SpTransR"; }
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) override;
+  std::vector<float> score(std::span<const Triplet> batch) const override;
+  std::vector<autograd::Variable> params() override;
+  void post_step() override;
+
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+ private:
+  nn::EmbeddingTable entities_;     // N × d
+  nn::EmbeddingTable relations_;    // R × d_r
+  nn::EmbeddingTable projections_;  // (R·d_r) × d, R stacked d_r×d blocks
+};
+
+}  // namespace sptx::models

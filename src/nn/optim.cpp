@@ -1,0 +1,90 @@
+#include "src/nn/optim.hpp"
+
+#include <cmath>
+
+#include "src/profiling/flops.hpp"
+
+namespace sptx::nn {
+
+void Optimizer::apply_constraints() {
+  if (grad_clip_norm_ > 0.0f) {
+    double sq = 0.0;
+    for (auto& p : params_) {
+      if (p.has_grad()) sq += static_cast<double>(p.grad().squared_norm());
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > grad_clip_norm_) {
+      const float scale = grad_clip_norm_ / static_cast<float>(norm);
+      for (auto& p : params_) {
+        if (p.has_grad()) p.grad().scale_(scale);
+      }
+    }
+  }
+  if (weight_decay_ > 0.0f) {
+    const float shrink = 1.0f - lr_ * weight_decay_;
+    for (auto& p : params_) p.mutable_value().scale_(shrink);
+  }
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {}
+
+void Sgd::step() {
+  apply_constraints();
+  if (momentum_ > 0.0f && velocity_.empty()) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_)
+      velocity_.emplace_back(p.value().rows(), p.value().cols());
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    if (momentum_ > 0.0f) {
+      Matrix& v = velocity_[i];
+      v.scale_(momentum_);
+      v.axpy_(1.0f, p.grad());
+      p.mutable_value().axpy_(-lr_, v);
+    } else {
+      p.mutable_value().axpy_(-lr_, p.grad());
+    }
+  }
+}
+
+Adagrad::Adagrad(std::vector<autograd::Variable> params, float lr, float eps)
+    : Optimizer(std::move(params), lr), eps_(eps) {
+  accum_.reserve(params_.size());
+  for (auto& p : params_)
+    accum_.emplace_back(p.value().rows(), p.value().cols());
+}
+
+void Adagrad::step() {
+  apply_constraints();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Matrix& g = p.grad();
+    Matrix& acc = accum_[i];
+    Matrix& w = p.mutable_value();
+    profiling::count_flops(5 * g.size());
+    for (index_t k = 0; k < g.size(); ++k) {
+      const float gk = g.data()[k];
+      acc.data()[k] += gk * gk;
+      w.data()[k] -= lr_ * gk / (std::sqrt(acc.data()[k]) + eps_);
+    }
+  }
+}
+
+void StepLr::on_epoch(int epoch) {
+  const int decays = step_size_ > 0 ? epoch / step_size_ : 0;
+  opt_.set_lr(base_lr_ * std::pow(gamma_, static_cast<float>(decays)));
+}
+
+void CosineLr::on_epoch(int epoch) {
+  if (total_epochs_ <= 1) return;
+  const float t = static_cast<float>(epoch) /
+                  static_cast<float>(total_epochs_ - 1);
+  const float cos_term = 0.5f * (1.0f + std::cos(3.14159265358979f * t));
+  opt_.set_lr(min_lr_ + (base_lr_ - min_lr_) * cos_term);
+}
+
+}  // namespace sptx::nn

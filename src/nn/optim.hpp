@@ -1,0 +1,105 @@
+// Optimizers and learning-rate schedulers.
+//
+// The paper trains with a fixed learning rate (0.0004, §5.3) and, for the
+// accuracy study of Appendix E, a learning-rate scheduler. SGD covers the
+// timing experiments; Adagrad is provided because per-coordinate scaling is
+// the standard choice for sparse-gradient embedding training, and a
+// StepLR / CosineLR pair covers the scheduler runs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/autograd/variable.hpp"
+
+namespace sptx::nn {
+
+/// Interface over a set of parameters (autograd leaf Variables).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clear gradients (call between batches).
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  /// Decoupled L2 weight decay applied before the gradient step
+  /// (w ← (1 − lr·λ)·w), 0 disables.
+  void set_weight_decay(float lambda) { weight_decay_ = lambda; }
+  /// Global gradient-norm clip across all parameters, 0 disables.
+  void set_grad_clip_norm(float max_norm) { grad_clip_norm_ = max_norm; }
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  /// Weight decay + clipping, called by concrete steps before the update.
+  void apply_constraints();
+
+  std::vector<autograd::Variable> params_;
+  float lr_;
+  float weight_decay_ = 0.0f;
+  float grad_clip_norm_ = 0.0f;
+};
+
+/// Plain SGD: w ← w − lr · g (optional classical momentum).
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<Matrix> velocity_;  // allocated lazily when momentum > 0
+};
+
+/// Adagrad: w ← w − lr · g / (√G + ε), G accumulating squared gradients.
+class Adagrad final : public Optimizer {
+ public:
+  Adagrad(std::vector<autograd::Variable> params, float lr,
+          float eps = 1e-10f);
+  void step() override;
+
+ private:
+  float eps_;
+  std::vector<Matrix> accum_;
+};
+
+/// Multiplies the optimizer lr by `gamma` every `step_size` epochs.
+class StepLr {
+ public:
+  StepLr(Optimizer& opt, int step_size, float gamma)
+      : opt_(opt), base_lr_(opt.lr()), step_size_(step_size), gamma_(gamma) {}
+  void on_epoch(int epoch);
+
+ private:
+  Optimizer& opt_;
+  float base_lr_;
+  int step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from the base lr to `min_lr` over `total_epochs`.
+class CosineLr {
+ public:
+  CosineLr(Optimizer& opt, int total_epochs, float min_lr = 0.0f)
+      : opt_(opt),
+        base_lr_(opt.lr()),
+        total_epochs_(total_epochs),
+        min_lr_(min_lr) {}
+  void on_epoch(int epoch);
+
+ private:
+  Optimizer& opt_;
+  float base_lr_;
+  int total_epochs_;
+  float min_lr_;
+};
+
+}  // namespace sptx::nn

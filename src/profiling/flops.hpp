@@ -1,0 +1,51 @@
+// Explicit FLOP accounting.
+//
+// The paper reports average FLOPs per framework (Table 6) measured with
+// Linux perf. perf is not available here, so every kernel in this library
+// reports the floating-point operations it performs to a process-wide
+// counter; the relative counts between the sparse formulation and the dense
+// baseline reproduce the table. Counting is a single relaxed atomic add per
+// kernel call — negligible against the kernels themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sptx::profiling {
+
+namespace detail {
+inline std::atomic<std::int64_t>& flop_counter() {
+  static std::atomic<std::int64_t> counter{0};
+  return counter;
+}
+inline std::atomic<bool>& flops_enabled() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+}  // namespace detail
+
+/// Record `n` floating point operations.
+inline void count_flops(std::int64_t n) {
+  detail::flop_counter().fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Total FLOPs recorded since process start / last reset.
+inline std::int64_t flops() {
+  return detail::flop_counter().load(std::memory_order_relaxed);
+}
+
+inline void reset_flops() {
+  detail::flop_counter().store(0, std::memory_order_relaxed);
+}
+
+/// RAII window: flops() relative to construction.
+class FlopWindow {
+ public:
+  FlopWindow() : start_(flops()) {}
+  std::int64_t elapsed() const { return flops() - start_; }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace sptx::profiling

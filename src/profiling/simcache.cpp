@@ -1,0 +1,161 @@
+#include "src/profiling/simcache.hpp"
+
+#include "src/common/error.hpp"
+
+namespace sptx::profiling {
+
+CacheSim::CacheSim(const CacheConfig& config)
+    : line_bytes_(config.line_bytes), assoc_(config.associativity) {
+  SPTX_CHECK(config.line_bytes > 0 && config.associativity > 0 &&
+                 config.size_bytes >= config.line_bytes * config.associativity,
+             "bad cache config");
+  num_sets_ = config.size_bytes / (config.line_bytes * config.associativity);
+  SPTX_CHECK(num_sets_ > 0, "cache has no sets");
+  tags_.assign(num_sets_ * assoc_, 0);
+  stamps_.assign(num_sets_ * assoc_, 0);
+}
+
+void CacheSim::touch_line(std::uint64_t line_addr) {
+  // Tag 0 marks an empty way, so bias stored tags by +1.
+  const std::uint64_t tag = line_addr + 1;
+  const std::size_t set =
+      static_cast<std::size_t>(line_addr % num_sets_) * assoc_;
+  ++stats_.accesses;
+  ++tick_;
+  std::size_t lru_way = 0;
+  std::uint64_t lru_stamp = UINT64_MAX;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    if (tags_[set + w] == tag) {
+      stamps_[set + w] = tick_;
+      return;  // hit
+    }
+    if (stamps_[set + w] < lru_stamp) {
+      lru_stamp = stamps_[set + w];
+      lru_way = w;
+    }
+  }
+  ++stats_.misses;
+  tags_[set + lru_way] = tag;
+  stamps_[set + lru_way] = tick_;
+}
+
+void CacheSim::access(std::uint64_t addr, std::uint64_t bytes) {
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) /
+                             line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) touch_line(line);
+}
+
+namespace {
+
+// Region bases far enough apart that regions never alias.
+constexpr std::uint64_t kEmbeddingBase = 0;
+constexpr std::uint64_t kIntermediateBase = 1ULL << 40;
+constexpr std::uint64_t kGradBase = 1ULL << 41;
+
+struct Addresser {
+  const TraceLayout& layout;
+  std::uint64_t row_bytes() const {
+    return static_cast<std::uint64_t>(layout.dim) * sizeof(float);
+  }
+  std::uint64_t entity_row(std::int64_t e) const {
+    return kEmbeddingBase + static_cast<std::uint64_t>(e) * row_bytes();
+  }
+  std::uint64_t relation_row(std::int64_t r) const {
+    return entity_row(layout.num_entities + r);
+  }
+  // Per-batch intermediate buffers, identified by slot index.
+  std::uint64_t intermediate_row(int slot, std::int64_t i) const {
+    return kIntermediateBase + static_cast<std::uint64_t>(slot) * (1ULL << 34) +
+           static_cast<std::uint64_t>(i) * row_bytes();
+  }
+  std::uint64_t grad_row(std::int64_t e) const {
+    return kGradBase + static_cast<std::uint64_t>(e) * row_bytes();
+  }
+};
+
+}  // namespace
+
+CacheStats trace_gather_scatter(std::span<const Triplet> batch,
+                                const TraceLayout& layout,
+                                const CacheConfig& config) {
+  CacheSim cache(config);
+  const Addresser a{layout};
+  const std::uint64_t rb = a.row_bytes();
+  const auto m = static_cast<std::int64_t>(batch.size());
+
+  // Forward: three separate gather passes (h, t, r), each writing its own
+  // M×d buffer — the framework evaluates one embedding() call at a time.
+  for (std::int64_t i = 0; i < m; ++i) {  // gather h
+    cache.access(a.entity_row(batch[static_cast<std::size_t>(i)].head), rb);
+    cache.access(a.intermediate_row(0, i), rb);
+  }
+  for (std::int64_t i = 0; i < m; ++i) {  // gather t
+    cache.access(a.entity_row(batch[static_cast<std::size_t>(i)].tail), rb);
+    cache.access(a.intermediate_row(1, i), rb);
+  }
+  for (std::int64_t i = 0; i < m; ++i) {  // gather r
+    cache.access(a.relation_row(batch[static_cast<std::size_t>(i)].relation),
+                 rb);
+    cache.access(a.intermediate_row(2, i), rb);
+  }
+  // h + r pass, then (h+r) − t pass: two more full sweeps with new outputs.
+  for (std::int64_t i = 0; i < m; ++i) {
+    cache.access(a.intermediate_row(0, i), rb);
+    cache.access(a.intermediate_row(2, i), rb);
+    cache.access(a.intermediate_row(3, i), rb);
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    cache.access(a.intermediate_row(3, i), rb);
+    cache.access(a.intermediate_row(1, i), rb);
+    cache.access(a.intermediate_row(4, i), rb);
+  }
+  // Backward: three fine-grained scatter passes into the gradient table.
+  for (int slot = 0; slot < 3; ++slot) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const Triplet& t = batch[static_cast<std::size_t>(i)];
+      cache.access(a.intermediate_row(4, i), rb);  // upstream grad row
+      const std::int64_t target = slot == 0   ? t.head
+                                  : slot == 1 ? t.tail
+                                              : layout.num_entities +
+                                                    t.relation;
+      cache.access(a.grad_row(target), rb);  // read-modify-write
+      cache.access(a.grad_row(target), rb);
+    }
+  }
+  return cache.stats();
+}
+
+CacheStats trace_spmm(std::span<const Triplet> batch,
+                      const TraceLayout& layout, const CacheConfig& config) {
+  CacheSim cache(config);
+  const Addresser a{layout};
+  const std::uint64_t rb = a.row_bytes();
+  const auto m = static_cast<std::int64_t>(batch.size());
+
+  // Forward SpMM: one pass; per row, read the 3 embedding rows the
+  // incidence row selects and stream one output row. The incidence arrays
+  // themselves (3 int64 + 3 float per row) are tiny next to the rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const Triplet& t = batch[static_cast<std::size_t>(i)];
+    cache.access(a.entity_row(t.head), rb);
+    cache.access(a.entity_row(t.tail), rb);
+    cache.access(a.relation_row(t.relation), rb);
+    cache.access(a.intermediate_row(0, i), rb);
+  }
+  // Backward transposed SpMM: one pass; per row, read the upstream grad row
+  // once and update the 3 gradient rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const Triplet& t = batch[static_cast<std::size_t>(i)];
+    cache.access(a.intermediate_row(0, i), rb);
+    cache.access(a.grad_row(t.head), rb);
+    cache.access(a.grad_row(t.head), rb);
+    cache.access(a.grad_row(t.tail), rb);
+    cache.access(a.grad_row(t.tail), rb);
+    cache.access(a.grad_row(layout.num_entities + t.relation), rb);
+    cache.access(a.grad_row(layout.num_entities + t.relation), rb);
+  }
+  return cache.stats();
+}
+
+}  // namespace sptx::profiling

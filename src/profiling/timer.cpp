@@ -1,0 +1,26 @@
+#include "src/profiling/timer.hpp"
+
+#include <algorithm>
+
+namespace sptx::profiling {
+
+HotspotRegistry& HotspotRegistry::instance() {
+  static HotspotRegistry registry;
+  return registry;
+}
+
+std::vector<std::pair<std::string, double>> HotspotRegistry::ranked() const {
+  std::vector<std::pair<std::string, double>> out(accum_.begin(),
+                                                  accum_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+double HotspotRegistry::total() const {
+  double t = 0.0;
+  for (const auto& [name, s] : accum_) t += s;
+  return t;
+}
+
+}  // namespace sptx::profiling

@@ -1,0 +1,54 @@
+#include "src/sparse/semiring.hpp"
+
+#include "src/profiling/flops.hpp"
+
+namespace sptx {
+
+Matrix spmm_complex_hrt(const Csr& a, const Matrix& x, ComplexSpmmMode mode) {
+  SPTX_CHECK(x.rows() == a.cols, "spmm_complex_hrt: shape mismatch");
+  SPTX_CHECK(x.cols() % 2 == 0,
+             "complex embeddings need even dim, got " << x.cols());
+  Matrix c(a.rows, x.cols());
+  const index_t dc = x.cols() / 2;  // complex components per row
+  profiling::count_flops(6 * a.nnz() * dc);
+  for (index_t i = 0; i < a.rows; ++i) {
+    float* crow = c.row(i);
+    // Seed the multiplicative accumulator at complex 1.
+    for (index_t j = 0; j < dc; ++j) {
+      crow[2 * j] = 1.0f;
+      crow[2 * j + 1] = 0.0f;
+    }
+    const float* tail_row = nullptr;
+    for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const float v = a.values[static_cast<std::size_t>(k)];
+      const float* xrow = x.row(a.col_idx[static_cast<std::size_t>(k)]);
+      if (v < 0.0f) {
+        // Tail operand: handled after the multiplicative factors so the
+        // result is order-independent.
+        tail_row = xrow;
+        continue;
+      }
+      for (index_t j = 0; j < dc; ++j) {
+        const float ar = crow[2 * j], ai = crow[2 * j + 1];
+        const float br = xrow[2 * j], bi = xrow[2 * j + 1];
+        crow[2 * j] = ar * br - ai * bi;
+        crow[2 * j + 1] = ar * bi + ai * br;
+      }
+    }
+    if (tail_row == nullptr) continue;
+    if (mode == ComplexSpmmMode::kComplExConjTail) {
+      for (index_t j = 0; j < dc; ++j) {
+        const float ar = crow[2 * j], ai = crow[2 * j + 1];
+        const float br = tail_row[2 * j], bi = -tail_row[2 * j + 1];
+        crow[2 * j] = ar * br - ai * bi;
+        crow[2 * j + 1] = ar * bi + ai * br;
+      }
+    } else {  // kRotateSubTail
+      for (index_t j = 0; j < 2 * dc; ++j) crow[j] -= tail_row[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace sptx

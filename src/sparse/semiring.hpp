@@ -1,0 +1,84 @@
+// Semiring-generalised SpMM — Appendix D of the paper.
+//
+// TransE's hrt expression is an SpMM under the standard (+, ×) semiring:
+//   Z_ij = ⊕_k (A_ik ⊗ E_kj).
+// Swapping the operators extends the same incidence-matrix formulation to
+// non-translational models:
+//   * DistMult:  ⊕ = ×, ⊗ = × over reals, incidence stores +1 at h, r, t
+//     → Z row = h ⊙ r ⊙ t elementwise product.
+//   * ComplEx:   same but over complex numbers, with the tail's coefficient
+//     marking conjugation → h ⊙ r ⊙ conj(t).
+//   * RotatE:    multiplicative combine for h and r, additive (−) for t
+//     → h ⊙ r − t.
+// The real-valued template mirrors the custom-semiring SpMM of GraphBLAS /
+// Ginkgo the appendix cites; the complex variants are concrete kernels over
+// interleaved (re, im) float pairs.
+#pragma once
+
+#include "src/sparse/sparse_matrix.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace sptx {
+
+/// Standard arithmetic semiring: plain SpMM.
+struct PlusTimesSemiring {
+  static constexpr float identity = 0.0f;
+  static float combine(float a, float x) { return a * x; }
+  static float reduce(float acc, float term) { return acc + term; }
+};
+
+/// Multiplicative-reduce semiring used by DistMult (h ⊙ r ⊙ t). The
+/// incidence coefficient is applied multiplicatively, so a DistMult
+/// incidence stores +1 at head, relation and tail columns.
+struct TimesTimesSemiring {
+  static constexpr float identity = 1.0f;
+  static float combine(float a, float x) { return a * x; }
+  static float reduce(float acc, float term) { return acc * term; }
+};
+
+/// Max-plus (tropical) semiring; included to demonstrate the GraphBLAS-style
+/// generality of the kernel (e.g. path-length style scores).
+struct MaxPlusSemiring {
+  static constexpr float identity = -1e30f;
+  static float combine(float a, float x) { return a + x; }
+  static float reduce(float acc, float term) {
+    return acc > term ? acc : term;
+  }
+};
+
+/// Generic semiring SpMM: C_ij = reduce_k combine(A_ik, X_kj), with the
+/// reduction seeded at SR::identity over each row's nonzeros.
+template <typename SR>
+Matrix spmm_semiring(const Csr& a, const Matrix& x) {
+  SPTX_CHECK(x.rows() == a.cols, "spmm_semiring: shape mismatch, A cols "
+                                     << a.cols << " vs X " << x.shape_str());
+  Matrix c(a.rows, x.cols());
+  const index_t d = x.cols();
+  for (index_t i = 0; i < a.rows; ++i) {
+    float* crow = c.row(i);
+    for (index_t j = 0; j < d; ++j) crow[j] = SR::identity;
+    for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const float v = a.values[static_cast<std::size_t>(k)];
+      const float* xrow = x.row(a.col_idx[static_cast<std::size_t>(k)]);
+      for (index_t j = 0; j < d; ++j)
+        crow[j] = SR::reduce(crow[j], SR::combine(v, xrow[j]));
+    }
+  }
+  return c;
+}
+
+/// Complex-semiring modes for the hrt incidence structure. Embeddings hold
+/// d/2 complex numbers as interleaved (re, im) float pairs.
+enum class ComplexSpmmMode {
+  kComplExConjTail,  // h ⊙ r ⊙ conj(t)
+  kRotateSubTail,    // h ⊙ r − t
+};
+
+/// Complex semiring SpMM over an hrt incidence matrix: coefficients +1 mark
+/// multiplicative operands (head, relation), −1 marks the tail, whose role
+/// depends on the mode (conjugated factor for ComplEx, subtrahend for
+/// RotatE). Output has the same interleaved complex layout as the input.
+Matrix spmm_complex_hrt(const Csr& a, const Matrix& x, ComplexSpmmMode mode);
+
+}  // namespace sptx

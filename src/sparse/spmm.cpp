@@ -1,0 +1,187 @@
+#include "src/sparse/spmm.hpp"
+
+#include "src/common/parallel.hpp"
+#include "src/profiling/flops.hpp"
+#include "src/profiling/timer.hpp"
+
+namespace sptx {
+
+namespace {
+
+// Incidence matrices hold only ±1 coefficients, so the multiply in the
+// kernel's FMA folds into an add/sub on any optimized implementation (and
+// in hardware a multiply by ±1 costs nothing extra). FLOP accounting
+// reflects that: 1 FLOP per (nonzero × column) for unit-valued matrices,
+// 2 otherwise.
+std::int64_t spmm_flops(const Csr& a, index_t dim) {
+  for (float v : a.values) {
+    if (v != 1.0f && v != -1.0f) return 2 * a.nnz() * dim;
+  }
+  return a.nnz() * dim;
+}
+
+std::int64_t spmm_flops(const Coo& a, index_t dim) {
+  for (float v : a.values) {
+    if (v != 1.0f && v != -1.0f) return 2 * a.nnz() * dim;
+  }
+  return a.nnz() * dim;
+}
+
+// Plain CSR row loop: for each output row, accumulate val * X[col, :].
+void kernel_naive(const Csr& a, const Matrix& x, Matrix& c) {
+  const index_t d = x.cols();
+  for (index_t i = 0; i < a.rows; ++i) {
+    float* crow = c.row(i);
+    for (index_t j = 0; j < d; ++j) crow[j] = 0.0f;
+    for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const float v = a.values[static_cast<std::size_t>(k)];
+      const float* xrow = x.row(a.col_idx[static_cast<std::size_t>(k)]);
+      for (index_t j = 0; j < d; ++j) crow[j] += v * xrow[j];
+    }
+  }
+}
+
+// Unrolled-by-4 inner loop over the embedding dimension. With ±1 values the
+// multiply folds into add/sub, but we keep the FMA form so the kernel works
+// for general sparse matrices too.
+inline void axpy_unrolled(float v, const float* __restrict xrow,
+                          float* __restrict crow, index_t d) {
+  index_t j = 0;
+  const index_t d4 = d - (d % 4);
+  for (; j < d4; j += 4) {
+    crow[j + 0] += v * xrow[j + 0];
+    crow[j + 1] += v * xrow[j + 1];
+    crow[j + 2] += v * xrow[j + 2];
+    crow[j + 3] += v * xrow[j + 3];
+  }
+  for (; j < d; ++j) crow[j] += v * xrow[j];
+}
+
+void kernel_row_unrolled(const Csr& a, const Matrix& x, Matrix& c,
+                         index_t i) {
+  const index_t d = x.cols();
+  float* crow = c.row(i);
+  for (index_t j = 0; j < d; ++j) crow[j] = 0.0f;
+  for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
+       k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+    axpy_unrolled(a.values[static_cast<std::size_t>(k)],
+                  x.row(a.col_idx[static_cast<std::size_t>(k)]), crow, d);
+  }
+}
+
+void kernel_unrolled(const Csr& a, const Matrix& x, Matrix& c) {
+  for (index_t i = 0; i < a.rows; ++i) kernel_row_unrolled(a, x, c, i);
+}
+
+// Cache-blocked kernel: the embedding dimension is processed in column
+// panels sized to keep one panel of every touched X row in L1/L2, and
+// output rows in blocks so the CSR metadata of a block is reused across
+// panels. Pays off when d is large enough that full rows thrash the cache.
+void kernel_tiled(const Csr& a, const Matrix& x, Matrix& c) {
+  constexpr index_t kPanel = 64;    // floats per column panel (256 B)
+  constexpr index_t kRowBlock = 256;  // output rows per block
+  const index_t d = x.cols();
+  for (index_t i0 = 0; i0 < a.rows; i0 += kRowBlock) {
+    const index_t i1 = std::min<index_t>(i0 + kRowBlock, a.rows);
+    for (index_t j0 = 0; j0 < d; j0 += kPanel) {
+      const index_t j1 = std::min<index_t>(j0 + kPanel, d);
+      for (index_t i = i0; i < i1; ++i) {
+        float* crow = c.row(i);
+        for (index_t j = j0; j < j1; ++j) crow[j] = 0.0f;
+        for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
+             k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const float v = a.values[static_cast<std::size_t>(k)];
+          const float* xrow =
+              x.row(a.col_idx[static_cast<std::size_t>(k)]);
+          for (index_t j = j0; j < j1; ++j) crow[j] += v * xrow[j];
+        }
+      }
+    }
+  }
+}
+
+void kernel_parallel(const Csr& a, const Matrix& x, Matrix& c) {
+  parallel_for(0, a.rows,
+               [&](index_t i) { kernel_row_unrolled(a, x, c, i); });
+}
+
+}  // namespace
+
+void spmm_csr_into(const Csr& a, const Matrix& x, Matrix& c,
+                   SpmmKernel kernel) {
+  SPTX_CHECK(x.rows() == a.cols,
+             "spmm: A is " << a.rows << "x" << a.cols << ", X is "
+                           << x.shape_str());
+  SPTX_CHECK(c.rows() == a.rows && c.cols() == x.cols(),
+             "spmm: output shape " << c.shape_str());
+  profiling::ScopedHotspot hotspot("sptx::spmm_csr");
+  profiling::count_flops(spmm_flops(a, x.cols()));
+  switch (kernel) {
+    case SpmmKernel::kNaive:
+      kernel_naive(a, x, c);
+      break;
+    case SpmmKernel::kUnrolled:
+      kernel_unrolled(a, x, c);
+      break;
+    case SpmmKernel::kTiled:
+      kernel_tiled(a, x, c);
+      break;
+    case SpmmKernel::kParallel:
+      kernel_parallel(a, x, c);
+      break;
+  }
+}
+
+Matrix spmm_csr(const Csr& a, const Matrix& x, SpmmKernel kernel) {
+  Matrix c(a.rows, x.cols());
+  spmm_csr_into(a, x, c, kernel);
+  return c;
+}
+
+Matrix spmm_coo(const Coo& a, const Matrix& x) {
+  SPTX_CHECK(x.rows() == a.cols,
+             "spmm_coo: A is " << a.rows << "x" << a.cols << ", X is "
+                               << x.shape_str());
+  profiling::ScopedHotspot hotspot("sptx::spmm_coo");
+  profiling::count_flops(spmm_flops(a, x.cols()));
+  Matrix c(a.rows, x.cols());
+  const index_t d = x.cols();
+  for (index_t k = 0; k < a.nnz(); ++k) {
+    const index_t r = a.row_idx[static_cast<std::size_t>(k)];
+    const float v = a.values[static_cast<std::size_t>(k)];
+    axpy_unrolled(v, x.row(a.col_idx[static_cast<std::size_t>(k)]), c.row(r),
+                  d);
+  }
+  return c;
+}
+
+void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g,
+                                    Matrix& dx) {
+  SPTX_CHECK(g.rows() == a.rows,
+             "spmm^T: A is " << a.rows << "x" << a.cols << ", g is "
+                             << g.shape_str());
+  SPTX_CHECK(dx.rows() == a.cols && dx.cols() == g.cols(),
+             "spmm^T: dx shape " << dx.shape_str());
+  profiling::ScopedHotspot hotspot("sptx::spmm_csr_backward");
+  profiling::count_flops(spmm_flops(a, g.cols()));
+  const index_t d = g.cols();
+  // Serial scatter over rows. Parallelising this safely needs either
+  // atomics or a column partition; on the single-socket targets we profile,
+  // the scatter is memory-bound and the serial loop already saturates.
+  for (index_t i = 0; i < a.rows; ++i) {
+    const float* grow = g.row(i);
+    for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      axpy_unrolled(a.values[static_cast<std::size_t>(k)], grow,
+                    dx.row(a.col_idx[static_cast<std::size_t>(k)]), d);
+    }
+  }
+}
+
+Matrix spmm_csr_transposed_explicit(const Csr& a, const Matrix& g) {
+  const Csr at = transpose(a);
+  return spmm_csr(at, g);
+}
+
+}  // namespace sptx

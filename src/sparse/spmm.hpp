@@ -1,0 +1,48 @@
+// Sparse-dense matrix multiplication kernels — the paper's core operation.
+//
+// Forward:  C = A · X        (spmm_csr / spmm_coo)
+// Backward: dX = Aᵀ · dC     (spmm_csr_transposed — Appendix G shows the
+//                             gradient of SpMM w.r.t. the dense operand is
+//                             another SpMM with the transposed sparse matrix;
+//                             we compute it by scattering per CSR row, which
+//                             avoids materialising Aᵀ.)
+//
+// Kernel variants implement the optimizations §2 lists for the library
+// (loop unrolling, register blocking, OpenMP dynamic scheduling); the
+// ablation bench compares them. All kernels count FLOPs (2·nnz·d).
+#pragma once
+
+#include "src/sparse/sparse_matrix.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace sptx {
+
+enum class SpmmKernel {
+  kNaive,      // plain row loop
+  kUnrolled,   // inner dim unrolled by 4
+  kTiled,      // cache-blocked: column panels × row blocks (§2's tiling)
+  kParallel,   // OpenMP dynamic over rows, unrolled inner loop
+};
+
+/// C = A · X with A in CSR. X must have A.cols rows. Returns (A.rows × d).
+Matrix spmm_csr(const Csr& a, const Matrix& x,
+                SpmmKernel kernel = SpmmKernel::kParallel);
+
+/// In-place variant writing into a caller-owned output (avoids allocation
+/// in the training loop's hot path).
+void spmm_csr_into(const Csr& a, const Matrix& x, Matrix& c,
+                   SpmmKernel kernel = SpmmKernel::kParallel);
+
+/// C = A · X with A in COO (the GPU-library format in the paper, §5.5).
+Matrix spmm_coo(const Coo& a, const Matrix& x);
+
+/// dX += Aᵀ · g where g is (A.rows × d): the SpMM backward pass. Scatters
+/// row m of g into dX at A's column indices, scaled by A's values — exactly
+/// the Aᵀ·(∂L/∂C) product of Appendix G without forming Aᵀ.
+void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g, Matrix& dx);
+
+/// Same, but materialises Aᵀ first and runs a forward SpMM (ablation /
+/// verification path).
+Matrix spmm_csr_transposed_explicit(const Csr& a, const Matrix& g);
+
+}  // namespace sptx

@@ -1,0 +1,25 @@
+// Umbrella header: the SparseTransX public API in one include.
+//
+//   #include "src/sptransx.hpp"
+//
+// Pulls in the dataset tooling, model factories, trainer, evaluators,
+// checkpointing, and the profiling utilities most programs want. The
+// sub-headers remain individually includable for finer control.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/eval/classification.hpp"
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/dataset.hpp"
+#include "src/kg/negative_sampler.hpp"
+#include "src/kg/streaming_store.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/checkpoint.hpp"
+#include "src/models/model.hpp"
+#include "src/nn/embedding.hpp"
+#include "src/nn/optim.hpp"
+#include "src/profiling/flops.hpp"
+#include "src/profiling/timer.hpp"
+#include "src/tensor/memory_tracker.hpp"
+#include "src/tensor/serialize.hpp"
+#include "src/train/trainer.hpp"

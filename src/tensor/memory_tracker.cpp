@@ -1,0 +1,10 @@
+#include "src/tensor/memory_tracker.hpp"
+
+namespace sptx {
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+}  // namespace sptx

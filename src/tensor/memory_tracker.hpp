@@ -1,0 +1,68 @@
+// Instrumented allocation tracking.
+//
+// The paper reports peak CUDA memory allocation (Table 5, Figure 6) via
+// torch.cuda.max_memory_allocated. We reproduce the measurement with a
+// process-wide tracker that every Matrix buffer registers with: `current()`
+// is live training-tensor bytes, `peak()` the high-water mark since the
+// last reset_peak(). Relative footprints between the sparse formulation and
+// the dense gather/scatter baseline are what the paper's tables compare.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sptx {
+
+class MemoryTracker {
+ public:
+  static MemoryTracker& instance();
+
+  void on_alloc(std::size_t bytes) {
+    const std::int64_t cur =
+        current_.fetch_add(static_cast<std::int64_t>(bytes),
+                           std::memory_order_relaxed) +
+        static_cast<std::int64_t>(bytes);
+    // Lock-free peak update.
+    std::int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (cur > prev &&
+           !peak_.compare_exchange_weak(prev, cur, std::memory_order_relaxed)) {
+    }
+    total_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void on_free(std::size_t bytes) {
+    current_.fetch_sub(static_cast<std::int64_t>(bytes),
+                       std::memory_order_relaxed);
+  }
+
+  /// Live tracked bytes right now.
+  std::int64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark since the last reset_peak().
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  /// Number of tracked allocations since process start.
+  std::int64_t total_allocs() const {
+    return total_allocs_.load(std::memory_order_relaxed);
+  }
+
+  /// Start a new measurement window: the peak restarts from current().
+  void reset_peak() { peak_.store(current(), std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> current_{0};
+  std::atomic<std::int64_t> peak_{0};
+  std::atomic<std::int64_t> total_allocs_{0};
+};
+
+/// RAII measurement window: peak_bytes() after the scope ran gives the
+/// high-water mark of allocations made inside it (plus pre-existing live
+/// bytes, as torch.cuda.max_memory_allocated also would).
+class ScopedPeakWindow {
+ public:
+  ScopedPeakWindow() { MemoryTracker::instance().reset_peak(); }
+  std::int64_t peak_bytes() const { return MemoryTracker::instance().peak(); }
+};
+
+}  // namespace sptx

@@ -1,0 +1,53 @@
+#include "src/tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "src/common/error.hpp"
+
+namespace sptx {
+
+namespace {
+constexpr std::uint64_t kMatrixMagic = 0x5350545826'4d41ULL;  // "SPTX&MA"
+}
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  const std::uint64_t magic = kMatrixMagic;
+  const std::int64_t rows = m.rows(), cols = m.cols();
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.bytes()));
+  SPTX_CHECK(os.good(), "matrix write failed");
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::uint64_t magic = 0;
+  std::int64_t rows = 0, cols = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SPTX_CHECK(is.good() && magic == kMatrixMagic,
+             "stream does not hold an sptx matrix");
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  SPTX_CHECK(is.good() && rows >= 0 && cols >= 0, "bad matrix header");
+  Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.bytes()));
+  SPTX_CHECK(is.good() || m.size() == 0, "truncated matrix payload");
+  return m;
+}
+
+void save_matrix(const std::string& path, const Matrix& m) {
+  std::ofstream os(path, std::ios::binary);
+  SPTX_CHECK(os.good(), "cannot write " << path);
+  write_matrix(os, m);
+}
+
+Matrix load_matrix(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SPTX_CHECK(is.good(), "cannot read " << path);
+  return read_matrix(is);
+}
+
+}  // namespace sptx

@@ -1,0 +1,21 @@
+// Binary Matrix serialisation — substrate for model checkpoints.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/tensor/matrix.hpp"
+
+namespace sptx {
+
+/// Append a matrix (shape header + row-major float payload) to a stream.
+void write_matrix(std::ostream& os, const Matrix& m);
+
+/// Read the next matrix from a stream written by write_matrix.
+Matrix read_matrix(std::istream& is);
+
+/// Whole-file convenience wrappers.
+void save_matrix(const std::string& path, const Matrix& m);
+Matrix load_matrix(const std::string& path);
+
+}  // namespace sptx

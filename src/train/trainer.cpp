@@ -1,0 +1,149 @@
+#include "src/train/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "src/profiling/flops.hpp"
+#include "src/tensor/memory_tracker.hpp"
+
+namespace sptx::train {
+
+TrainResult train(models::KgeModel& model, const TripletStore& data,
+                  const TrainConfig& config,
+                  const std::function<void(int, float)>& on_epoch) {
+  SPTX_CHECK(!data.empty(), "empty training set");
+  SPTX_CHECK(config.batch_size > 0 && config.epochs >= 0, "bad train config");
+
+  Rng rng(config.seed);
+
+  // §5.3: negatives are generated once per positive, outside the loop
+  // (refreshed per epoch only when resample_negatives opts in).
+  SPTX_CHECK(config.negatives_per_positive >= 1, "need k >= 1 negatives");
+  const int k = config.negatives_per_positive;
+  kg::NegativeSampler sampler(data, config.corruption,
+                              config.filtered_negatives);
+  std::vector<Triplet> negatives =
+      sampler.pregenerate_k(data.triplets(), k, rng);
+
+  std::unique_ptr<nn::Optimizer> opt;
+  if (config.use_adagrad) {
+    opt = std::make_unique<nn::Adagrad>(model.params(), config.lr);
+  } else {
+    opt = std::make_unique<nn::Sgd>(model.params(), config.lr);
+  }
+  opt->set_weight_decay(config.weight_decay);
+  opt->set_grad_clip_norm(config.grad_clip_norm);
+  nn::StepLr step_lr(*opt, config.step_lr_every, config.step_lr_gamma);
+  nn::CosineLr cosine_lr(*opt, std::max(config.epochs, 1));
+
+  // Shuffled epochs permute pair indices; positives and their aligned
+  // corruptions move together so the §5.3 pairing survives the shuffle.
+  std::vector<index_t> positions(static_cast<std::size_t>(data.size()));
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    positions[i] = static_cast<index_t>(i);
+
+  TrainResult result;
+  ScopedPeakWindow memory_window;
+  profiling::FlopWindow flop_window;
+  const auto t_start = profiling::clock::now();
+
+  const index_t m = data.size();
+  float best_loss = std::numeric_limits<float>::infinity();
+  int epochs_without_improvement = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    switch (config.schedule) {
+      case LrSchedule::kStep:
+        step_lr.on_epoch(epoch);
+        break;
+      case LrSchedule::kCosine:
+        cosine_lr.on_epoch(epoch);
+        break;
+      case LrSchedule::kConstant:
+        break;
+    }
+
+    if (config.resample_negatives && epoch > 0) {
+      negatives = sampler.pregenerate_k(data.triplets(), k, rng);
+    }
+    if (config.shuffle) {
+      // Fisher–Yates with the run's RNG (reproducible given the seed).
+      for (std::size_t i = positions.size(); i > 1; --i) {
+        const std::size_t j = rng.next_below(i);
+        std::swap(positions[i - 1], positions[j]);
+      }
+    }
+
+    double loss_sum = 0.0;
+    index_t batches = 0;
+    std::vector<Triplet> pos_staged, neg_staged;  // shuffle / k>1 buffers
+    for (index_t begin = 0; begin < m; begin += config.batch_size) {
+      const index_t count = std::min<index_t>(config.batch_size, m - begin);
+      std::span<const Triplet> pos_batch;
+      std::span<const Triplet> neg_batch;
+      if (!config.shuffle && k == 1) {
+        // Fast path: contiguous views, no copies.
+        pos_batch = data.slice(begin, count);
+        neg_batch = {negatives.data() + begin,
+                     static_cast<std::size_t>(count)};
+      } else {
+        // Stage the (possibly permuted) pairs; with k > 1 the positives
+        // tile k times against each repetition block of pregenerate_k.
+        pos_staged.clear();
+        neg_staged.clear();
+        for (int rep = 0; rep < k; ++rep) {
+          for (index_t i = begin; i < begin + count; ++i) {
+            const index_t p = positions[static_cast<std::size_t>(i)];
+            pos_staged.push_back(data[p]);
+            neg_staged.push_back(
+                negatives[static_cast<std::size_t>(rep) *
+                              static_cast<std::size_t>(m) +
+                          static_cast<std::size_t>(p)]);
+          }
+        }
+        pos_batch = pos_staged;
+        neg_batch = neg_staged;
+      }
+
+      opt->zero_grad();
+
+      autograd::Variable loss;
+      {
+        profiling::ScopedAccum fwd(result.phases.forward_s);
+        loss = model.loss(pos_batch, neg_batch);
+      }
+      {
+        profiling::ScopedAccum bwd(result.phases.backward_s);
+        loss.backward();
+      }
+      {
+        profiling::ScopedAccum stp(result.phases.step_s);
+        opt->step();
+        model.post_step();
+      }
+      loss_sum += loss.value().at(0, 0);
+      ++batches;
+    }
+
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+    if (config.record_loss_curve) result.epoch_loss.push_back(mean_loss);
+    if (on_epoch) on_epoch(epoch, mean_loss);
+
+    if (config.patience > 0) {
+      if (mean_loss < best_loss - config.min_delta) {
+        best_loss = mean_loss;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >= config.patience) {
+        break;  // early stop: no progress for `patience` epochs
+      }
+    }
+  }
+
+  result.total_seconds = profiling::seconds_since(t_start);
+  result.peak_bytes = memory_window.peak_bytes();
+  result.flops = flop_window.elapsed();
+  return result;
+}
+
+}  // namespace sptx::train

@@ -1,0 +1,45 @@
+// Finite-difference gradient checking utility for the autograd tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/autograd/variable.hpp"
+
+namespace sptx::testing {
+
+/// Checks d loss / d param against central finite differences on every
+/// element of `param`. `build_loss` must construct a fresh scalar loss from
+/// the given leaf (called many times). Tolerances sized for float.
+inline void expect_gradient_matches(
+    Matrix param_init,
+    const std::function<autograd::Variable(autograd::Variable&)>& build_loss,
+    float eps = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradient.
+  autograd::Variable param = autograd::Variable::leaf(param_init, true);
+  autograd::Variable loss = build_loss(param);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  loss.backward();
+  const Matrix analytic = param.grad();
+
+  // Numeric gradient, element by element.
+  for (index_t i = 0; i < param_init.size(); ++i) {
+    Matrix plus(param_init);
+    plus.data()[i] += eps;
+    Matrix minus(param_init);
+    minus.data()[i] -= eps;
+    autograd::Variable vp = autograd::Variable::leaf(std::move(plus), true);
+    autograd::Variable vm = autograd::Variable::leaf(std::move(minus), true);
+    const float lp = build_loss(vp).value().at(0, 0);
+    const float lm = build_loss(vm).value().at(0, 0);
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tol * (1.0f + std::fabs(numeric)))
+        << "at flat index " << i;
+  }
+}
+
+}  // namespace sptx::testing

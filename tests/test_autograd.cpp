@@ -1,0 +1,119 @@
+// Tests for the autograd engine mechanics (graph traversal, accumulation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/autograd/ops.hpp"
+#include "src/autograd/variable.hpp"
+
+namespace sptx {
+namespace {
+
+using autograd::Variable;
+
+TEST(Autograd, LeafHasNoGradUntilBackward) {
+  Variable x = Variable::leaf(Matrix{{1, 2}}, true);
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(Autograd, BackwardThroughSingleOp) {
+  Variable x = Variable::leaf(Matrix{{1, 2, 3}}, true);
+  Variable loss = autograd::sum_all(x);
+  loss.backward();
+  for (index_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(x.grad().at(0, j), 1.0f);
+}
+
+TEST(Autograd, MeanScalesGradient) {
+  Variable x = Variable::leaf(Matrix{{2, 4}, {6, 8}}, true);
+  autograd::mean_all(x).backward();
+  for (index_t i = 0; i < x.grad().size(); ++i)
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 0.25f);
+}
+
+TEST(Autograd, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(x + x): grad should be 2 everywhere, not 1.
+  Variable x = Variable::leaf(Matrix{{1, 1}}, true);
+  Variable y = autograd::add(x, x);
+  autograd::sum_all(y).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 1), 2.0f);
+}
+
+TEST(Autograd, DeepChainPropagates) {
+  Variable x = Variable::leaf(Matrix{{1}}, true);
+  Variable y = x;
+  for (int i = 0; i < 20; ++i) y = autograd::scale(y, 1.1f);
+  autograd::sum_all(y).backward();
+  EXPECT_NEAR(x.grad().at(0, 0), std::pow(1.1f, 20), 1e-3f);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient) {
+  Variable x = Variable::leaf(Matrix{{1, 2}}, true);
+  Variable c = Variable::leaf(Matrix{{5, 5}}, false);
+  Variable y = autograd::add(x, c);
+  autograd::sum_all(y).backward();
+  EXPECT_TRUE(x.has_grad());
+  EXPECT_FALSE(c.has_grad());
+}
+
+TEST(Autograd, BackwardTwiceAccumulates) {
+  Variable x = Variable::leaf(Matrix{{3}}, true);
+  Variable loss = autograd::sum_all(autograd::scale(x, 2.0f));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 2.0f);
+  loss.backward();  // no zero_grad in between → accumulate
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 4.0f);
+}
+
+TEST(Autograd, ZeroGradClears) {
+  Variable x = Variable::leaf(Matrix{{3}}, true);
+  autograd::sum_all(x).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 1.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.0f);
+}
+
+TEST(Autograd, BackwardOnPureConstantGraphThrows) {
+  Variable c = Variable::leaf(Matrix{{1}}, false);
+  Variable y = autograd::scale(c, 3.0f);
+  EXPECT_THROW(y.backward(), Error);
+}
+
+TEST(Autograd, SharedSubgraphVisitedOnce) {
+  // z = sub(y, y) where y = scale(x, 2): dz/dx = 0. If the engine visited
+  // y's backward twice per path incorrectly, the gradient would be wrong.
+  Variable x = Variable::leaf(Matrix{{7}}, true);
+  Variable y = autograd::scale(x, 2.0f);
+  Variable z = autograd::sub(y, y);
+  autograd::sum_all(z).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.0f);
+}
+
+TEST(Autograd, WideFanInGraph) {
+  // loss = sum over 32 scaled copies of x; gradient = Σ scales.
+  Variable x = Variable::leaf(Matrix{{1}}, true);
+  Variable acc = autograd::scale(x, 0.0f);
+  float expected = 0.0f;
+  for (int i = 1; i <= 32; ++i) {
+    acc = autograd::add(acc, autograd::scale(x, static_cast<float>(i)));
+    expected += static_cast<float>(i);
+  }
+  autograd::sum_all(acc).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), expected);
+}
+
+TEST(Autograd, GraphOutlivesCallerScopes) {
+  // The graph holds shared ownership of intermediates; backward after the
+  // construction scope closed must still work.
+  Variable x = Variable::leaf(Matrix{{2}}, true);
+  Variable loss;
+  {
+    Variable tmp = autograd::scale(x, 5.0f);
+    loss = autograd::sum_all(tmp);
+  }
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 5.0f);
+}
+
+}  // namespace
+}  // namespace sptx

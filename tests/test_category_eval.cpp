@@ -1,0 +1,124 @@
+// Tests for relation-category classification and per-category evaluation.
+#include <gtest/gtest.h>
+
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/synthetic.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Categories, FunctionalRelationIsOneToOne) {
+  // r0: bijection between {0..4} and {5..9}.
+  std::vector<Triplet> t;
+  for (std::int64_t i = 0; i < 5; ++i) t.push_back({i, 0, i + 5});
+  const auto cats = eval::classify_relations(TripletStore(10, 1, t));
+  EXPECT_EQ(cats[0], eval::RelationCategory::kOneToOne);
+}
+
+TEST(Categories, FanOutIsOneToMany) {
+  // Every head links to 4 tails.
+  std::vector<Triplet> t;
+  for (std::int64_t h = 0; h < 3; ++h)
+    for (std::int64_t k = 0; k < 4; ++k) t.push_back({h, 0, 3 + h * 4 + k});
+  const auto cats = eval::classify_relations(TripletStore(20, 1, t));
+  EXPECT_EQ(cats[0], eval::RelationCategory::kOneToMany);
+}
+
+TEST(Categories, FanInIsManyToOne) {
+  std::vector<Triplet> t;
+  for (std::int64_t h = 0; h < 8; ++h) t.push_back({h, 0, 9});
+  const auto cats = eval::classify_relations(TripletStore(10, 1, t));
+  EXPECT_EQ(cats[0], eval::RelationCategory::kManyToOne);
+}
+
+TEST(Categories, DenseBipartiteIsManyToMany) {
+  std::vector<Triplet> t;
+  for (std::int64_t h = 0; h < 4; ++h)
+    for (std::int64_t tl = 4; tl < 8; ++tl) t.push_back({h, 0, tl});
+  const auto cats = eval::classify_relations(TripletStore(8, 1, t));
+  EXPECT_EQ(cats[0], eval::RelationCategory::kManyToMany);
+}
+
+TEST(Categories, MixedRelationsClassifiedIndependently) {
+  std::vector<Triplet> t;
+  for (std::int64_t i = 0; i < 5; ++i) t.push_back({i, 0, i + 5});  // 1-1
+  for (std::int64_t h = 0; h < 8; ++h) t.push_back({h, 1, 9});      // N-1
+  const auto cats = eval::classify_relations(TripletStore(10, 2, t));
+  EXPECT_EQ(cats[0], eval::RelationCategory::kOneToOne);
+  EXPECT_EQ(cats[1], eval::RelationCategory::kManyToOne);
+}
+
+TEST(Categories, ToStringCoversAll) {
+  EXPECT_STREQ(eval::to_string(eval::RelationCategory::kOneToOne), "1-1");
+  EXPECT_STREQ(eval::to_string(eval::RelationCategory::kOneToMany), "1-N");
+  EXPECT_STREQ(eval::to_string(eval::RelationCategory::kManyToOne), "N-1");
+  EXPECT_STREQ(eval::to_string(eval::RelationCategory::kManyToMany), "N-N");
+}
+
+// Mock that scores by fixed function (same trick as test_eval).
+class ConstModel final : public models::KgeModel {
+ public:
+  ConstModel(index_t n, index_t r) : KgeModel(n, r, {}) {}
+  std::string name() const override { return "Const"; }
+  autograd::Variable loss(std::span<const Triplet>,
+                          std::span<const Triplet>) override {
+    return autograd::Variable::leaf(Matrix(1, 1), false);
+  }
+  std::vector<float> score(std::span<const Triplet> batch) const override {
+    std::vector<float> out(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      out[i] = static_cast<float>((batch[i].head * 3 + batch[i].tail) % 7);
+    return out;
+  }
+  std::vector<autograd::Variable> params() override { return {}; }
+};
+
+TEST(CategoryEval, QueriesPartitionAcrossCategories) {
+  // Dataset with one 1-1 and one N-1 relation; test triplets in both.
+  std::vector<Triplet> train;
+  for (std::int64_t i = 0; i < 5; ++i) train.push_back({i, 0, i + 5});
+  for (std::int64_t h = 0; h < 8; ++h) train.push_back({h, 1, 9});
+  kg::Dataset ds;
+  ds.train = TripletStore(12, 2, train);
+  ds.valid = TripletStore(12, 2, {});
+  ds.test = TripletStore(12, 2, {{0, 0, 5}, {1, 1, 9}, {2, 1, 9}});
+
+  ConstModel model(12, 2);
+  eval::EvalConfig cfg;
+  cfg.filtered = false;
+  const auto by_cat = eval::evaluate_by_category(model, ds, cfg);
+  const auto total = eval::evaluate(model, ds, cfg);
+
+  std::int64_t partitioned = 0;
+  for (int c = 0; c < 4; ++c) partitioned += by_cat.by_category[c].queries;
+  EXPECT_EQ(partitioned, total.queries);
+  // 1-1 relation contributed 1 test triplet × 2 sides.
+  EXPECT_EQ(by_cat.by_category[0].queries, 2);
+  // N-1 relation contributed 2 × 2 sides.
+  EXPECT_EQ(by_cat
+                .by_category[static_cast<int>(
+                    eval::RelationCategory::kManyToOne)]
+                .queries,
+            4);
+}
+
+TEST(CategoryEval, EmptyCategoriesReportZeroQueries) {
+  std::vector<Triplet> train;
+  for (std::int64_t i = 0; i < 5; ++i) train.push_back({i, 0, i + 5});
+  kg::Dataset ds;
+  ds.train = TripletStore(10, 1, train);
+  ds.valid = TripletStore(10, 1, {});
+  ds.test = TripletStore(10, 1, {{0, 0, 5}});
+  ConstModel model(10, 1);
+  eval::EvalConfig cfg;
+  cfg.filtered = false;
+  const auto by_cat = eval::evaluate_by_category(model, ds, cfg);
+  EXPECT_GT(by_cat.by_category[0].queries, 0);
+  for (int c = 1; c < 4; ++c) {
+    EXPECT_EQ(by_cat.by_category[c].queries, 0);
+    EXPECT_EQ(by_cat.by_category[c].mrr, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sptx

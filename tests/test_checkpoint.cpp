@@ -1,0 +1,143 @@
+// Tests for matrix serialisation and model checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/rng.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/checkpoint.hpp"
+#include "src/models/model.hpp"
+#include "src/tensor/serialize.hpp"
+
+namespace sptx {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, MatrixRoundTripsExactly) {
+  Rng rng(1);
+  Matrix m(17, 23);
+  m.fill_uniform(rng, -3, 3);
+  const std::string path = temp_path("matrix.bin");
+  save_matrix(path, m);
+  const Matrix back = load_matrix(path);
+  EXPECT_EQ(back.rows(), 17);
+  EXPECT_EQ(back.cols(), 23);
+  EXPECT_EQ(max_abs_diff(m, back), 0.0f);  // bit-exact
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyMatrixRoundTrips) {
+  const std::string path = temp_path("empty.bin");
+  save_matrix(path, Matrix(0, 5));
+  const Matrix back = load_matrix(path);
+  EXPECT_EQ(back.rows(), 0);
+  EXPECT_EQ(back.cols(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MultipleMatricesShareAStream) {
+  Rng rng(2);
+  Matrix a(3, 4), b(7, 2);
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  const std::string path = temp_path("multi.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    write_matrix(os, a);
+    write_matrix(os, b);
+  }
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_EQ(max_abs_diff(read_matrix(is), a), 0.0f);
+  EXPECT_EQ(max_abs_diff(read_matrix(is), b), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, GarbageRejected) {
+  const std::string path = temp_path("garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "definitely not a matrix";
+  }
+  EXPECT_THROW(load_matrix(path), Error);
+  std::remove(path.c_str());
+}
+
+class CheckpointTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointTest, SaveLoadRestoresScores) {
+  models::ModelConfig cfg;
+  cfg.dim = 12;
+  cfg.rel_dim = 6;
+  Rng r1(7);
+  auto model = models::make_sparse_model(GetParam(), 30, 4, cfg, r1);
+  std::vector<Triplet> batch = {{0, 0, 1}, {5, 3, 9}, {29, 1, 15}};
+  const auto before = model->score(batch);
+
+  const std::string path = temp_path("ckpt.sptxc");
+  models::save_checkpoint(*model, path);
+
+  // A fresh model with a different seed scores differently...
+  Rng r2(99);
+  auto other = models::make_sparse_model(GetParam(), 30, 4, cfg, r2);
+  bool any_diff = false;
+  const auto fresh = other->score(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    any_diff = any_diff || fresh[i] != before[i];
+  EXPECT_TRUE(any_diff);
+
+  // ...until the checkpoint restores the original parameters exactly.
+  models::load_checkpoint(*other, path);
+  const auto after = other->score(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_FLOAT_EQ(after[i], before[i]);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CheckpointTest,
+                         ::testing::Values("TransE", "TransR", "TransH",
+                                           "TorusE", "TransD", "DistMult"));
+
+TEST(Checkpoint, WrongModelNameRejected) {
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng r1(7), r2(7);
+  auto transe = models::make_sparse_model("TransE", 10, 2, cfg, r1);
+  auto toruse = models::make_sparse_model("TorusE", 10, 2, cfg, r2);
+  const std::string path = temp_path("wrongname.sptxc");
+  models::save_checkpoint(*transe, path);
+  EXPECT_THROW(models::load_checkpoint(*toruse, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WrongVocabularyRejected) {
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng r1(7), r2(7);
+  auto small = models::make_sparse_model("TransE", 10, 2, cfg, r1);
+  auto big = models::make_sparse_model("TransE", 11, 2, cfg, r2);
+  const std::string path = temp_path("wrongvocab.sptxc");
+  models::save_checkpoint(*small, path);
+  EXPECT_THROW(models::load_checkpoint(*big, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  const std::string path = temp_path("ckpt_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "nope";
+  }
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng rng(7);
+  auto model = models::make_sparse_model("TransE", 10, 2, cfg, rng);
+  EXPECT_THROW(models::load_checkpoint(*model, path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,89 @@
+// Tests for the nearest-centroid entity classifier (§4.7.1).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/eval/classification.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Classifier, SeparatedClustersClassifyPerfectly) {
+  // Two well-separated blobs in 2-D.
+  Matrix emb(6, 2);
+  // Class 0 near (0, 0); class 1 near (10, 10).
+  const float pts[6][2] = {{0.1f, 0.0f},  {-0.1f, 0.2f}, {0.0f, -0.1f},
+                           {10.1f, 9.9f}, {9.8f, 10.2f}, {10.0f, 10.0f}};
+  for (index_t i = 0; i < 6; ++i) {
+    emb.at(i, 0) = pts[i][0];
+    emb.at(i, 1) = pts[i][1];
+  }
+  std::vector<index_t> entities = {0, 1, 2, 3, 4, 5};
+  std::vector<index_t> labels = {0, 0, 0, 1, 1, 1};
+  eval::CentroidClassifier clf;
+  clf.fit(emb, entities, labels, 2);
+  EXPECT_DOUBLE_EQ(clf.accuracy(emb, entities, labels), 1.0);
+  EXPECT_EQ(clf.predict(emb, 0), 0);
+  EXPECT_EQ(clf.predict(emb, 5), 1);
+}
+
+TEST(Classifier, CentroidIsClassMean) {
+  Matrix emb{{1, 0}, {3, 0}, {0, 5}};
+  std::vector<index_t> entities = {0, 1, 2};
+  std::vector<index_t> labels = {0, 0, 1};
+  eval::CentroidClassifier clf;
+  clf.fit(emb, entities, labels, 2);
+  EXPECT_FLOAT_EQ(clf.centroids().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(clf.centroids().at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(clf.centroids().at(1, 1), 5.0f);
+}
+
+TEST(Classifier, UnlabelledClassKeepsZeroCentroid) {
+  Matrix emb{{1, 1}, {2, 2}};
+  std::vector<index_t> entities = {0, 1};
+  std::vector<index_t> labels = {2, 2};  // only class 2 is populated
+  eval::CentroidClassifier clf;
+  clf.fit(emb, entities, labels, 3);
+  EXPECT_FLOAT_EQ(clf.centroids().at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(clf.centroids().at(1, 0), 0.0f);
+  EXPECT_EQ(clf.predict(emb, 1), 2);
+}
+
+TEST(Classifier, InputValidation) {
+  Matrix emb(4, 3);
+  eval::CentroidClassifier clf;
+  std::vector<index_t> entities = {0, 1};
+  std::vector<index_t> short_labels = {0};
+  EXPECT_THROW(clf.fit(emb, entities, short_labels, 2), Error);
+  std::vector<index_t> bad_label = {0, 7};
+  EXPECT_THROW(clf.fit(emb, entities, bad_label, 2), Error);
+  std::vector<index_t> bad_entity = {0, 9};
+  std::vector<index_t> labels = {0, 1};
+  EXPECT_THROW(clf.fit(emb, bad_entity, labels, 2), Error);
+  eval::CentroidClassifier unfitted;
+  EXPECT_THROW(unfitted.predict(emb, 0), Error);
+}
+
+TEST(Classifier, NoisyClustersAboveChance) {
+  Rng rng(9);
+  const index_t per_class = 100, d = 8, classes = 4;
+  Matrix emb(per_class * classes, d);
+  std::vector<index_t> entities, labels;
+  for (index_t c = 0; c < classes; ++c) {
+    for (index_t i = 0; i < per_class; ++i) {
+      const index_t e = c * per_class + i;
+      for (index_t j = 0; j < d; ++j) {
+        const float center = (j == c) ? 2.0f : 0.0f;  // one-hot-ish means
+        emb.at(e, j) = center + rng.normal();
+      }
+      entities.push_back(e);
+      labels.push_back(c);
+    }
+  }
+  eval::CentroidClassifier clf;
+  clf.fit(emb, entities, labels, classes);
+  // Chance is 0.25; separated means should classify most points.
+  EXPECT_GT(clf.accuracy(emb, entities, labels), 0.6);
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,157 @@
+// Tests for the common substrate: RNG, parallel_for, string utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/string_utils.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(8);
+  float lo = 1e9f, hi = -1e9f;
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+  EXPECT_LT(lo, -1.8f);
+  EXPECT_GT(hi, 2.8f);
+}
+
+TEST(Rng, NextBelowAlwaysInRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng rng(10);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Parallel, EveryIndexVisitedExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(0, 1000, [&](std::int64_t i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Parallel, EmptyAndReversedRangesAreNoops) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::int64_t) { ++count; });
+  parallel_for(10, 3, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Parallel, OffsetRange) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, 200, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtils, SplitSingleField) {
+  const auto parts = split("alone", '\t');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringUtils, TrimWhitespaceVariants) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\tx\r\n"), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(EnvUtils, ParsesAndFallsBack) {
+  ::setenv("SPTX_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("SPTX_TEST_ENV_D", 1.0), 2.5);
+  ::setenv("SPTX_TEST_ENV_I", "17", 1);
+  EXPECT_EQ(env_int("SPTX_TEST_ENV_I", 3), 17);
+  ::unsetenv("SPTX_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(env_double("SPTX_TEST_ENV_D", 1.0), 1.0);
+  ::setenv("SPTX_TEST_ENV_BAD", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("SPTX_TEST_ENV_BAD", 4.0), 4.0);
+  EXPECT_EQ(env_int("SPTX_TEST_ENV_BAD", 5), 5);
+}
+
+TEST(ErrorMacro, CheckThrowsWithContext) {
+  try {
+    SPTX_CHECK(1 == 2, "the answer was " << 42);
+    FAIL() << "SPTX_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the answer was 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sptx

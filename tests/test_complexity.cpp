@@ -1,0 +1,98 @@
+// Appendix B/C property tests: the sparse formulation's cost is
+// O(M·d) — linear in triplets and embedding dim, and INDEPENDENT of the
+// entity count and of graph density. FLOP counters make these properties
+// deterministic (no flaky wall-clock assertions).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/profiling/flops.hpp"
+#include "src/sparse/incidence.hpp"
+#include "src/sparse/spmm.hpp"
+
+namespace sptx {
+namespace {
+
+std::vector<Triplet> random_batch(index_t m, index_t n, index_t r,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> batch;
+  for (index_t i = 0; i < m; ++i) {
+    batch.push_back({static_cast<std::int64_t>(
+                         rng.next_below(static_cast<std::uint64_t>(n))),
+                     static_cast<std::int64_t>(
+                         rng.next_below(static_cast<std::uint64_t>(r))),
+                     static_cast<std::int64_t>(rng.next_below(
+                         static_cast<std::uint64_t>(n)))});
+  }
+  return batch;
+}
+
+std::int64_t forward_flops(index_t m, index_t n, index_t r, index_t d) {
+  const auto batch = random_batch(m, n, r, 42);
+  const Csr a = build_hrt_incidence_csr(batch, n, r);
+  Rng rng(7);
+  Matrix x(n + r, d);
+  x.fill_uniform(rng, -1, 1);
+  profiling::FlopWindow window;
+  const Matrix c = spmm_csr(a, x);
+  return window.elapsed();
+}
+
+TEST(Complexity, FlopsLinearInTripletCount) {
+  const std::int64_t f1 = forward_flops(1000, 500, 10, 32);
+  const std::int64_t f4 = forward_flops(4000, 500, 10, 32);
+  EXPECT_EQ(f4, 4 * f1);
+}
+
+TEST(Complexity, FlopsLinearInEmbeddingDim) {
+  const std::int64_t f32 = forward_flops(1000, 500, 10, 32);
+  const std::int64_t f128 = forward_flops(1000, 500, 10, 128);
+  EXPECT_EQ(f128, 4 * f32);
+}
+
+TEST(Complexity, FlopsIndependentOfEntityCount) {
+  // Appendix C: "the algorithmic complexity will not be affected by the
+  // number of entities/relations."
+  const std::int64_t small_n = forward_flops(2000, 100, 10, 64);
+  const std::int64_t large_n = forward_flops(2000, 100000, 10, 64);
+  EXPECT_EQ(small_n, large_n);
+}
+
+TEST(Complexity, SparsityIndependentOfGraphDensity) {
+  // Appendix B: even a COMPLETE graph yields 3 nnz per incidence row,
+  // because A is triplet-per-row, not adjacency.
+  const index_t n = 20;
+  std::vector<Triplet> complete;
+  for (index_t h = 0; h < n; ++h) {
+    for (index_t t = 0; t < n; ++t) {
+      if (h != t) complete.push_back({h, 0, t});
+    }
+  }
+  const Csr a = build_hrt_incidence_csr(complete, n, 1);
+  for (index_t i = 0; i < a.rows; ++i) EXPECT_EQ(a.row_nnz(i), 3);
+  const double density =
+      static_cast<double>(a.nnz()) /
+      (static_cast<double>(a.rows) * static_cast<double>(a.cols));
+  EXPECT_LT(density, 3.0 / static_cast<double>(n));
+}
+
+TEST(Complexity, BackwardFlopsMatchForward) {
+  // Appendix G: backward is another SpMM of the same shape → same FLOPs.
+  const auto batch = random_batch(1500, 300, 8, 48);
+  const Csr a = build_hrt_incidence_csr(batch, 300, 8);
+  Rng rng(7);
+  Matrix x(308, 48);
+  x.fill_uniform(rng, -1, 1);
+  profiling::FlopWindow fwd_window;
+  const Matrix c = spmm_csr(a, x);
+  const std::int64_t fwd = fwd_window.elapsed();
+  Matrix g(c.rows(), c.cols());
+  g.fill(0.5f);
+  Matrix dx(x.rows(), x.cols());
+  profiling::FlopWindow bwd_window;
+  spmm_csr_transposed_accumulate(a, g, dx);
+  EXPECT_EQ(bwd_window.elapsed(), fwd);
+}
+
+}  // namespace
+}  // namespace sptx

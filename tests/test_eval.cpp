@@ -1,0 +1,155 @@
+// Tests for the link-prediction evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/synthetic.hpp"
+
+namespace sptx {
+namespace {
+
+// A deterministic mock model whose score is a fixed function of the
+// triplet, letting us compute expected ranks by hand.
+class MockModel final : public models::KgeModel {
+ public:
+  MockModel(index_t n, index_t r, std::function<float(const Triplet&)> fn,
+            bool higher_better = false)
+      : KgeModel(n, r, {}), fn_(std::move(fn)), higher_(higher_better) {}
+  std::string name() const override { return "Mock"; }
+  autograd::Variable loss(std::span<const Triplet>,
+                          std::span<const Triplet>) override {
+    return autograd::Variable::leaf(Matrix(1, 1), false);
+  }
+  std::vector<float> score(std::span<const Triplet> batch) const override {
+    std::vector<float> out(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) out[i] = fn_(batch[i]);
+    return out;
+  }
+  bool higher_is_better() const override { return higher_; }
+  std::vector<autograd::Variable> params() override { return {}; }
+
+ private:
+  std::function<float(const Triplet&)> fn_;
+  bool higher_;
+};
+
+kg::Dataset tiny_dataset() {
+  kg::Dataset ds;
+  ds.name = "tiny";
+  ds.train = TripletStore(5, 1, {{0, 0, 1}, {1, 0, 2}});
+  ds.valid = TripletStore(5, 1, {});
+  ds.test = TripletStore(5, 1, {{2, 0, 3}});
+  return ds;
+}
+
+TEST(Eval, PerfectModelGetsHitsAtOne) {
+  // Distance 0 for the truth, 10 for everything else.
+  const kg::Dataset ds = tiny_dataset();
+  MockModel model(5, 1, [](const Triplet& t) {
+    return (t == Triplet{2, 0, 3}) ? 0.0f : 10.0f;
+  });
+  eval::EvalConfig cfg;
+  cfg.filtered = false;
+  const auto metrics = eval::evaluate(model, ds, cfg);
+  EXPECT_EQ(metrics.queries, 2);  // head side + tail side
+  EXPECT_DOUBLE_EQ(metrics.hits_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_rank, 1.0);
+}
+
+TEST(Eval, AdversarialModelRanksLast) {
+  // Truth gets the WORST distance.
+  const kg::Dataset ds = tiny_dataset();
+  MockModel model(5, 1, [](const Triplet& t) {
+    return (t == Triplet{2, 0, 3}) ? 10.0f : 0.0f;
+  });
+  eval::EvalConfig cfg;
+  cfg.filtered = false;
+  const auto metrics = eval::evaluate(model, ds, cfg);
+  EXPECT_DOUBLE_EQ(metrics.hits_at_1, 0.0);
+  // 5 entities → worst rank 5 on both sides.
+  EXPECT_DOUBLE_EQ(metrics.mean_rank, 5.0);
+}
+
+TEST(Eval, TiesRankAveraged) {
+  // All scores identical: rank = 1 + 0 + (n−1)/2 = 3 for n = 5.
+  const kg::Dataset ds = tiny_dataset();
+  MockModel model(5, 1, [](const Triplet&) { return 1.0f; });
+  eval::EvalConfig cfg;
+  cfg.filtered = false;
+  const auto metrics = eval::evaluate(model, ds, cfg);
+  EXPECT_DOUBLE_EQ(metrics.mean_rank, 3.0);
+}
+
+TEST(Eval, FilteringRemovesKnownPositives) {
+  // Truth (2,0,3) has distance 1. Candidate (2,0,1) scores better
+  // (distance 0) but filtering removes it IF it is a known positive.
+  kg::Dataset ds = tiny_dataset();
+  ds.train = TripletStore(5, 1, {{2, 0, 1}});
+  MockModel model(5, 1, [](const Triplet& t) {
+    if (t == Triplet{2, 0, 3}) return 1.0f;
+    if (t == Triplet{2, 0, 1}) return 0.0f;
+    return 10.0f;
+  });
+  eval::EvalConfig raw;
+  raw.filtered = false;
+  raw.corrupt_heads = false;
+  eval::EvalConfig filtered;
+  filtered.filtered = true;
+  filtered.corrupt_heads = false;
+  EXPECT_DOUBLE_EQ(eval::evaluate(model, ds, raw).mean_rank, 2.0);
+  EXPECT_DOUBLE_EQ(eval::evaluate(model, ds, filtered).mean_rank, 1.0);
+}
+
+TEST(Eval, HigherIsBetterModeInvertsRanking) {
+  const kg::Dataset ds = tiny_dataset();
+  // Similarity model: truth gets the HIGHEST score.
+  MockModel model(
+      5, 1,
+      [](const Triplet& t) { return (t == Triplet{2, 0, 3}) ? 5.0f : 0.0f; },
+      /*higher_better=*/true);
+  eval::EvalConfig cfg;
+  cfg.filtered = false;
+  EXPECT_DOUBLE_EQ(eval::evaluate(model, ds, cfg).hits_at_1, 1.0);
+}
+
+TEST(Eval, SideSelectionControlsQueryCount) {
+  const kg::Dataset ds = tiny_dataset();
+  MockModel model(5, 1, [](const Triplet&) { return 0.0f; });
+  eval::EvalConfig tails_only;
+  tails_only.corrupt_heads = false;
+  EXPECT_EQ(eval::evaluate(model, ds, tails_only).queries, 1);
+  eval::EvalConfig both;
+  EXPECT_EQ(eval::evaluate(model, ds, both).queries, 2);
+}
+
+TEST(Eval, MaxQueriesCapsWork) {
+  kg::Dataset ds = tiny_dataset();
+  ds.test = TripletStore(
+      5, 1, {{0, 0, 1}, {1, 0, 2}, {2, 0, 3}, {3, 0, 4}});
+  MockModel model(5, 1, [](const Triplet&) { return 0.0f; });
+  eval::EvalConfig cfg;
+  cfg.corrupt_heads = false;
+  cfg.max_queries = 2;
+  EXPECT_EQ(eval::evaluate(model, ds, cfg).queries, 2);
+}
+
+TEST(Eval, HitsAreMonotone) {
+  Rng rng(44);
+  kg::Dataset ds = kg::generate({"mono", 50, 4, 400}, rng, 0.0, 0.1);
+  MockModel model(50, 4, [](const Triplet& t) {
+    // Arbitrary but deterministic pseudo-scores.
+    return static_cast<float>((t.head * 7 + t.tail * 13 + t.relation) % 23);
+  });
+  eval::EvalConfig cfg;
+  const auto m = eval::evaluate(model, ds, cfg);
+  EXPECT_LE(m.hits_at_1, m.hits_at_3);
+  EXPECT_LE(m.hits_at_3, m.hits_at_10);
+  EXPECT_GE(m.mean_rank, 1.0);
+  EXPECT_LE(m.mrr, 1.0);
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,127 @@
+// Tests for the incidence-matrix builders (§4.2) — the core reformulation.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sparse/incidence.hpp"
+
+namespace sptx {
+namespace {
+
+std::vector<Triplet> random_batch(index_t m, index_t n, index_t r, Rng& rng) {
+  std::vector<Triplet> batch;
+  batch.reserve(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) {
+    batch.push_back(
+        {static_cast<std::int64_t>(rng.next_below(
+             static_cast<std::uint64_t>(n))),
+         static_cast<std::int64_t>(
+             rng.next_below(static_cast<std::uint64_t>(r))),
+         static_cast<std::int64_t>(
+             rng.next_below(static_cast<std::uint64_t>(n)))});
+  }
+  return batch;
+}
+
+TEST(Incidence, HtMatchesFigure3a) {
+  // Figure 3(a): h-idx = 5, t-idx = 15, entity-count = 22.
+  std::vector<Triplet> batch = {{5, 0, 15}};
+  const Coo a = build_ht_incidence(batch, 22);
+  EXPECT_EQ(a.rows, 1);
+  EXPECT_EQ(a.cols, 22);
+  const Matrix d = to_dense(a);
+  EXPECT_FLOAT_EQ(d.at(0, 5), 1.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 15), -1.0f);
+  float sum_abs = 0.0f;
+  for (index_t j = 0; j < 22; ++j) sum_abs += std::abs(d.at(0, j));
+  EXPECT_FLOAT_EQ(sum_abs, 2.0f);
+}
+
+TEST(Incidence, HrtMatchesFigure3b) {
+  // Figure 3(b): h-idx = 5, t-idx = 15, r-idx = 2, entity-count = 20,
+  // relation column offset by entity count → column 22.
+  std::vector<Triplet> batch = {{5, 2, 15}};
+  const Coo a = build_hrt_incidence(batch, 20, 10);
+  EXPECT_EQ(a.cols, 30);
+  const Matrix d = to_dense(a);
+  EXPECT_FLOAT_EQ(d.at(0, 5), 1.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 15), -1.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 22), 1.0f);
+}
+
+// Appendix B property: nnz per row is exactly 2 (ht) / 3 (hrt) regardless
+// of graph density or duplicate triplets.
+class IncidenceSparsityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncidenceSparsityTest, HtHasExactlyTwoNnzPerRow) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto batch = random_batch(50, 30, 6, rng);
+  const Csr a = build_ht_incidence_csr(batch, 30);
+  for (index_t i = 0; i < a.rows; ++i) EXPECT_EQ(a.row_nnz(i), 2);
+  EXPECT_EQ(a.nnz(), 100);
+}
+
+TEST_P(IncidenceSparsityTest, HrtHasExactlyThreeNnzPerRow) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() + 100));
+  const auto batch = random_batch(50, 30, 6, rng);
+  const Csr a = build_hrt_incidence_csr(batch, 30, 6);
+  for (index_t i = 0; i < a.rows; ++i) EXPECT_EQ(a.row_nnz(i), 3);
+}
+
+TEST_P(IncidenceSparsityTest, CsrAndCooBuildersAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() + 200));
+  const auto batch = random_batch(40, 25, 5, rng);
+  EXPECT_LT(max_abs_diff(to_dense(build_ht_incidence(batch, 25)),
+                         to_dense(build_ht_incidence_csr(batch, 25))),
+            1e-7f);
+  EXPECT_LT(max_abs_diff(to_dense(build_hrt_incidence(batch, 25, 5)),
+                         to_dense(build_hrt_incidence_csr(batch, 25, 5))),
+            1e-7f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncidenceSparsityTest,
+                         ::testing::Range(0, 8));
+
+TEST(Incidence, SelfLoopKeepsBothCoefficients) {
+  // head == tail: the +1 and −1 coexist so A·E correctly yields zero.
+  std::vector<Triplet> batch = {{3, 1, 3}};
+  const Csr a = build_ht_incidence_csr(batch, 8);
+  EXPECT_EQ(a.row_nnz(0), 2);
+  const Matrix d = to_dense(a);
+  EXPECT_FLOAT_EQ(d.at(0, 3), 0.0f);  // coefficients cancel in dense view
+}
+
+TEST(Incidence, OutOfRangeEntityThrows) {
+  std::vector<Triplet> batch = {{9, 0, 1}};
+  EXPECT_THROW(build_ht_incidence_csr(batch, 5), Error);
+  EXPECT_THROW(build_hrt_incidence_csr(batch, 5, 3), Error);
+}
+
+TEST(Incidence, OutOfRangeRelationThrows) {
+  std::vector<Triplet> batch = {{0, 7, 1}};
+  EXPECT_THROW(build_hrt_incidence_csr(batch, 5, 3), Error);
+}
+
+TEST(Incidence, EmptyBatchYieldsEmptyMatrix) {
+  std::vector<Triplet> batch;
+  const Csr a = build_ht_incidence_csr(batch, 5);
+  EXPECT_EQ(a.rows, 0);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.row_ptr.size(), 1u);
+}
+
+TEST(Incidence, RelationColumnsOffsetByEntityCount) {
+  std::vector<Triplet> batch = {{0, 0, 1}, {1, 4, 0}};
+  const Csr a = build_hrt_incidence_csr(batch, 10, 5);
+  // Row 1's relation entry must land at column 10 + 4.
+  bool found = false;
+  for (index_t k = a.row_ptr[1]; k < a.row_ptr[2]; ++k) {
+    if (a.col_idx[static_cast<std::size_t>(k)] == 14) {
+      EXPECT_FLOAT_EQ(a.values[static_cast<std::size_t>(k)], 1.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,160 @@
+// End-to-end integration tests: dataset → training → evaluation, the full
+// pipeline a library user runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/profiling/flops.hpp"
+#include "src/tensor/memory_tracker.hpp"
+#include "src/train/trainer.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Integration, TrainingImprovesLinkPrediction) {
+  Rng rng(101);
+  const kg::Dataset ds =
+      kg::generate({"e2e", 120, 6, 2500}, rng, 0.0, 0.05, /*clusters=*/12);
+
+  Rng model_rng(5);
+  models::ModelConfig cfg;
+  cfg.dim = 32;
+  auto model = models::make_sparse_model("TransE", 120, 6, cfg, model_rng);
+
+  eval::EvalConfig ec;
+  ec.max_queries = 40;
+  const auto before = eval::evaluate(*model, ds, ec);
+
+  train::TrainConfig tc;
+  tc.epochs = 80;
+  tc.batch_size = 512;
+  tc.lr = 1.0f;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+
+  const auto after = eval::evaluate(*model, ds, ec);
+  // Planted cluster structure is learnable: Hits@10 must improve clearly
+  // over the untrained baseline.
+  EXPECT_GT(after.hits_at_10, before.hits_at_10 + 0.05)
+      << "before=" << before.hits_at_10 << " after=" << after.hits_at_10;
+  EXPECT_GT(after.mrr, before.mrr);
+}
+
+TEST(Integration, SparseUsesFewerFlopsThanDense) {
+  // Table 6's property at test scale: identical training protocol, the
+  // sparse formulation spends fewer FLOPs than the gather/scatter baseline.
+  Rng rng(102);
+  const kg::Dataset ds = kg::generate({"flops", 100, 5, 1200}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 32;
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 256;
+
+  Rng r1(7), r2(7);
+  auto sparse = models::make_sparse_model("TransE", 100, 5, cfg, r1);
+  auto dense = models::make_dense_model("TransE", 100, 5, cfg, r2);
+
+  const auto rs = train::train(*sparse, ds.train, tc);
+  const auto rd = train::train(*dense, ds.train, tc);
+  EXPECT_LT(rs.flops, rd.flops);
+}
+
+TEST(Integration, SparseUsesLessPeakMemoryThanDense) {
+  // Table 5's property: fewer intermediates → lower training peak.
+  Rng rng(103);
+  const kg::Dataset ds = kg::generate({"mem", 100, 5, 2048}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 64;
+  train::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 2048;  // single large batch exposes intermediate cost
+
+  Rng r1(8);
+  auto sparse = models::make_sparse_model("TransE", 100, 5, cfg, r1);
+  const auto rs = train::train(*sparse, ds.train, tc);
+
+  Rng r2(8);
+  auto dense = models::make_dense_model("TransE", 100, 5, cfg, r2);
+  const auto rd = train::train(*dense, ds.train, tc);
+
+  EXPECT_LT(rs.peak_bytes, rd.peak_bytes);
+}
+
+TEST(Integration, AllModelsCompleteFullPipeline) {
+  Rng rng(104);
+  const kg::Dataset ds = kg::generate({"all", 60, 4, 600}, rng, 0.0, 0.1);
+  models::ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.rel_dim = 8;
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 256;
+  eval::EvalConfig ec;
+  ec.max_queries = 10;
+
+  for (const char* name :
+       {"TransE", "TransR", "TransH", "TorusE", "DistMult", "ComplEx",
+        "RotatE"}) {
+    Rng mr(9);
+    auto model = models::make_sparse_model(name, 60, 4, cfg, mr);
+    const auto result = train::train(*model, ds.train, tc);
+    EXPECT_EQ(result.epoch_loss.size(), 3u) << name;
+    const auto metrics = eval::evaluate(*model, ds, ec);
+    EXPECT_GT(metrics.queries, 0) << name;
+    EXPECT_GE(metrics.hits_at_10, 0.0) << name;
+  }
+}
+
+TEST(Integration, BinaryDatasetRoundTripThenTrain) {
+  Rng rng(105);
+  kg::Dataset ds = kg::generate({"persist", 50, 4, 400}, rng, 0.0, 0.0);
+  const std::string path = ::testing::TempDir() + "/persist.sptx";
+  ds.save(path);
+  const kg::Dataset loaded = kg::Dataset::load_binary(path);
+
+  Rng mr(10);
+  models::ModelConfig cfg;
+  cfg.dim = 16;
+  auto model = models::make_sparse_model(
+      "TransE", loaded.num_entities(), loaded.num_relations(), cfg, mr);
+  train::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  const auto result = train::train(*model, loaded.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, LargeBatchTrainsWithBoundedMemory) {
+  // §1 contribution 3: large-batch training with a small footprint. The
+  // batch-size sweep should show peak memory growing sub-linearly in batch
+  // size for the sparse model relative to embedding-table size.
+  Rng rng(106);
+  const kg::Dataset ds =
+      kg::generate({"large", 5000, 5, 8192}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 64;
+
+  auto peak_for = [&](index_t batch) {
+    Rng mr(11);
+    auto model = models::make_sparse_model("TransE", 5000, 5, cfg, mr);
+    train::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = batch;
+    return train::train(*model, ds.train, tc).peak_bytes;
+  };
+  const auto peak_small = peak_for(512);
+  const auto peak_large = peak_for(8192);
+  EXPECT_GT(peak_large, peak_small);
+  // 16× batch must cost well under 16× peak (parameters dominate).
+  EXPECT_LT(static_cast<double>(peak_large),
+            8.0 * static_cast<double>(peak_small));
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,159 @@
+// Tests for the logistic ranking loss and multi-negative training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "src/autograd/ops.hpp"
+#include "src/kg/negative_sampler.hpp"
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/train/trainer.hpp"
+
+namespace sptx {
+namespace {
+
+using autograd::Variable;
+
+TEST(LogisticLoss, ValueMatchesSoftplusByHand) {
+  Variable pos = Variable::leaf(Matrix{{1.0f}, {0.0f}}, true);
+  Variable neg = Variable::leaf(Matrix{{2.0f}, {0.0f}}, false);
+  // z = margin + pos − neg = {−0.5, 0.5}; softplus averaged.
+  Variable loss = autograd::logistic_ranking_loss(pos, neg, 0.5f);
+  const float expected =
+      0.5f * (std::log1p(std::exp(-0.5f)) + std::log1p(std::exp(-0.5f)) +
+              0.5f);
+  EXPECT_NEAR(loss.value().at(0, 0), expected, 1e-5f);
+}
+
+TEST(LogisticLoss, GradientMatchesFiniteDifferences) {
+  Matrix neg{{0.9f}, {3.0f}, {0.2f}, {2.0f}};
+  testing::expect_gradient_matches(
+      Matrix{{1.0f}, {0.5f}, {2.0f}, {-1.0f}}, [&](Variable& p) {
+        Variable n = Variable::leaf(neg, false);
+        return autograd::logistic_ranking_loss(p, n, 0.5f);
+      });
+}
+
+TEST(LogisticLoss, IsSmoothUpperBoundOfHinge) {
+  // softplus(z) ≥ max(0, z) everywhere, so the logistic loss dominates the
+  // hinge loss on the same scores.
+  Rng rng(3);
+  Matrix pv(32, 1), nv(32, 1);
+  pv.fill_uniform(rng, -2, 2);
+  nv.fill_uniform(rng, -2, 2);
+  Variable pos = Variable::leaf(pv, true);
+  Variable neg = Variable::leaf(nv, false);
+  const float hinge =
+      autograd::margin_ranking_loss(pos, neg, 0.5f).value().at(0, 0);
+  const float logistic =
+      autograd::logistic_ranking_loss(pos, neg, 0.5f).value().at(0, 0);
+  EXPECT_GE(logistic, hinge);
+}
+
+TEST(LogisticLoss, NumericallyStableAtExtremes) {
+  Variable pos = Variable::leaf(Matrix{{1000.0f}, {-1000.0f}}, true);
+  Variable neg = Variable::leaf(Matrix{{0.0f}, {0.0f}}, false);
+  Variable loss = autograd::logistic_ranking_loss(pos, neg, 0.0f);
+  EXPECT_TRUE(std::isfinite(loss.value().at(0, 0)));
+  // softplus(1000)/2 ≈ 500; softplus(−1000) ≈ 0.
+  EXPECT_NEAR(loss.value().at(0, 0), 500.0f, 1.0f);
+  loss.backward();
+  EXPECT_TRUE(std::isfinite(pos.grad().max_abs()));
+}
+
+TEST(LogisticLoss, ModelsTrainWithIt) {
+  Rng rng(4);
+  const kg::Dataset ds = kg::generate({"log", 60, 4, 500}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.loss = models::LossType::kLogistic;
+  Rng mr(5);
+  auto model = models::make_sparse_model("TransE", 60, 4, cfg, mr);
+  train::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 256;
+  tc.lr = 0.05f;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+}
+
+TEST(MultiNegative, PregenerateKLayoutIsRepetitionMajor) {
+  Rng rng(6);
+  TripletStore store(10, 2, {{0, 0, 1}, {2, 1, 3}});
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  const auto negs = sampler.pregenerate_k(store.triplets(), 3, rng);
+  ASSERT_EQ(negs.size(), 6u);
+  // Entry rep*2 + i corrupts positive i: relation must match per column.
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(negs[static_cast<std::size_t>(rep * 2)].relation, 0);
+    EXPECT_EQ(negs[static_cast<std::size_t>(rep * 2 + 1)].relation, 1);
+  }
+}
+
+TEST(MultiNegative, KEqualsOneMatchesBaselineProtocol) {
+  Rng rng1(7), rng2(7);
+  TripletStore store(20, 2, {{0, 0, 1}, {2, 1, 3}, {4, 0, 5}});
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  EXPECT_EQ(sampler.pregenerate(store.triplets(), rng1),
+            sampler.pregenerate_k(store.triplets(), 1, rng2));
+}
+
+TEST(MultiNegative, TrainerRunsAndConverges) {
+  Rng rng(8);
+  const kg::Dataset ds = kg::generate({"multi", 60, 4, 400}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 16;
+  Rng mr(9);
+  auto model = models::make_sparse_model("TransE", 60, 4, cfg, mr);
+  train::TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 128;
+  tc.lr = 0.05f;
+  tc.negatives_per_positive = 4;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+}
+
+TEST(MultiNegative, InvalidKThrows) {
+  Rng rng(10);
+  const kg::Dataset ds = kg::generate({"badk", 20, 2, 50}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng mr(11);
+  auto model = models::make_sparse_model("TransE", 20, 2, cfg, mr);
+  train::TrainConfig tc;
+  tc.negatives_per_positive = 0;
+  EXPECT_THROW(train::train(*model, ds.train, tc), Error);
+}
+
+TEST(MultiNegative, MoreNegativesSharpenRanking) {
+  // With everything else equal, k=8 negatives should not rank worse than
+  // k=1 on the learnable synthetic structure (usually better).
+  Rng rng(12);
+  const kg::Dataset ds = kg::generate({"sharp", 80, 4, 900}, rng, 0.0, 0.1);
+  auto run = [&](int k) {
+    models::ModelConfig cfg;
+    cfg.dim = 24;
+    cfg.normalize_entities = false;
+    Rng mr(13);
+    auto model = models::make_sparse_model("TransE", 80, 4, cfg, mr);
+    train::TrainConfig tc;
+    tc.epochs = 40;
+    tc.batch_size = 256;
+    tc.lr = 0.5f;
+    tc.use_adagrad = true;
+    tc.negatives_per_positive = k;
+    train::train(*model, ds.train, tc);
+    eval::EvalConfig ec;
+    ec.max_queries = 40;
+    return eval::evaluate(*model, ds, ec).hits_at_10;
+  };
+  const double h1 = run(1);
+  const double h8 = run(8);
+  EXPECT_GE(h8 + 0.05, h1) << "k=8 should be competitive with k=1";
+}
+
+}  // namespace
+}  // namespace sptx

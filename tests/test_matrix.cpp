@@ -1,0 +1,255 @@
+// Unit tests for the dense Matrix substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructorZeroInitialises) {
+  Matrix m(3, 4);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_EQ(m.at(i, j), 0.0f);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b(a);
+  b.at(0, 0) = 99.0f;
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_EQ(b.at(0, 0), 99.0f);
+}
+
+TEST(Matrix, MoveTransfersOwnership) {
+  Matrix a{{1, 2}, {3, 4}};
+  const float* ptr = a.data();
+  Matrix b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Matrix, SelfAssignmentIsSafe) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix& ref = a;
+  a = ref;
+  EXPECT_EQ(a.at(1, 1), 4.0f);
+}
+
+TEST(Matrix, AssignmentReshapes) {
+  Matrix a(2, 2);
+  Matrix b{{1, 2, 3}};
+  a = b;
+  EXPECT_EQ(a.rows(), 1);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.at(0, 2), 3.0f);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  Matrix c = add(a, b);
+  EXPECT_EQ(c.at(1, 1), 44.0f);
+  Matrix d = sub(b, a);
+  EXPECT_EQ(d.at(0, 0), 9.0f);
+  Matrix e = scaled(a, 2.0f);
+  EXPECT_EQ(e.at(1, 0), 6.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.add_(b), Error);
+  EXPECT_THROW(a.sub_(b), Error);
+  EXPECT_THROW(a.mul_(b), Error);
+}
+
+TEST(Matrix, HadamardProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 2}, {2, 2}};
+  Matrix c = hadamard(a, b);
+  EXPECT_EQ(c.at(0, 1), 4.0f);
+  EXPECT_EQ(c.at(1, 1), 8.0f);
+}
+
+TEST(Matrix, AxpyAccumulates) {
+  Matrix a{{1, 1}};
+  Matrix b{{2, 3}};
+  a.axpy_(0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 2.5f);
+}
+
+TEST(Matrix, ScaleRowsByColumn) {
+  Matrix x{{1, 2}, {3, 4}};
+  Matrix col{{2}, {10}};
+  x.scale_rows_(col);
+  EXPECT_EQ(x.at(0, 1), 4.0f);
+  EXPECT_EQ(x.at(1, 0), 30.0f);
+}
+
+TEST(Matrix, ScaleRowsRejectsWrongShape) {
+  Matrix x(2, 2);
+  Matrix bad(2, 2);
+  EXPECT_THROW(x.scale_rows_(bad), Error);
+}
+
+TEST(Matrix, NormalizeRowsL2) {
+  Matrix x{{3, 4}, {0, 0}};
+  x.normalize_rows_l2_();
+  EXPECT_NEAR(x.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(x.at(0, 1), 0.8f, 1e-6);
+  // Zero rows stay zero (no NaN).
+  EXPECT_EQ(x.at(1, 0), 0.0f);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matrix, MatmulTnMatchesExplicitTranspose) {
+  Rng rng(7);
+  Matrix a(5, 3);
+  a.fill_uniform(rng, -1, 1);
+  Matrix b(5, 4);
+  b.fill_uniform(rng, -1, 1);
+  // Aᵀ·B via matmul_tn vs building Aᵀ by hand.
+  Matrix at(3, 5);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), matmul(at, b)), 1e-5f);
+}
+
+TEST(Matrix, MatmulNtMatchesExplicitTranspose) {
+  Rng rng(8);
+  Matrix a(4, 3);
+  a.fill_uniform(rng, -1, 1);
+  Matrix b(6, 3);
+  b.fill_uniform(rng, -1, 1);
+  Matrix bt(3, 6);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  EXPECT_LT(max_abs_diff(matmul_nt(a, b), matmul(a, bt)), 1e-5f);
+}
+
+TEST(Matrix, RowNorms) {
+  Matrix x{{3, 4}, {-1, -1}};
+  Matrix l2 = row_l2_norm(x);
+  EXPECT_NEAR(l2.at(0, 0), 5.0f, 1e-6);
+  Matrix l1 = row_l1_norm(x);
+  EXPECT_NEAR(l1.at(1, 0), 2.0f, 1e-6);
+  Matrix sq = row_squared_l2(x);
+  EXPECT_NEAR(sq.at(0, 0), 25.0f, 1e-5);
+}
+
+TEST(Matrix, RowDot) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix d = row_dot(a, b);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 17.0f);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 53.0f);
+}
+
+TEST(Matrix, SumAndMaxAbs) {
+  Matrix x{{1, -5}, {2, 2}};
+  EXPECT_FLOAT_EQ(x.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(x.max_abs(), 5.0f);
+  EXPECT_FLOAT_EQ(x.squared_norm(), 1 + 25 + 4 + 4);
+}
+
+TEST(Matrix, FillUniformRespectsBounds) {
+  Rng rng(3);
+  Matrix x(100, 10);
+  x.fill_uniform(rng, -0.25f, 0.75f);
+  for (index_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(x.data()[i], -0.25f);
+    EXPECT_LT(x.data()[i], 0.75f);
+  }
+}
+
+TEST(Matrix, XavierBoundDependsOnCols) {
+  Rng rng(4);
+  Matrix x(50, 64);
+  x.fill_xavier(rng);
+  const float bound = 6.0f / std::sqrt(64.0f);
+  EXPECT_LE(x.max_abs(), bound);
+  EXPECT_GT(x.max_abs(), bound * 0.5f);  // actually spread out
+}
+
+TEST(Matrix, FillNormalHasRoughlyUnitSpread) {
+  Rng rng(5);
+  Matrix x(200, 50);
+  x.fill_normal(rng, 1.0f);
+  const double var =
+      static_cast<double>(x.squared_norm()) / static_cast<double>(x.size());
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+// Property sweep: add/sub/axpy consistency over shapes.
+class MatrixShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(MatrixShapeTest, AddThenSubRoundTrips) {
+  const auto [r, c] = GetParam();
+  Rng rng(11);
+  Matrix a(r, c), b(r, c);
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  Matrix sum = add(a, b);
+  Matrix back = sub(sum, b);
+  EXPECT_LT(max_abs_diff(back, a), 1e-5f);
+}
+
+TEST_P(MatrixShapeTest, RowSquaredMatchesL2Squared) {
+  const auto [r, c] = GetParam();
+  Rng rng(12);
+  Matrix a(r, c);
+  a.fill_uniform(rng, -2, 2);
+  Matrix l2 = row_l2_norm(a);
+  Matrix sq = row_squared_l2(a);
+  for (index_t i = 0; i < a.rows(); ++i)
+    EXPECT_NEAR(l2.at(i, 0) * l2.at(i, 0), sq.at(i, 0),
+                1e-3f * (1.0f + sq.at(i, 0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 17},
+                                           std::pair{5, 8}, std::pair{33, 3},
+                                           std::pair{64, 64},
+                                           std::pair{7, 129}));
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,70 @@
+// Tests for the instrumented allocation tracker (Table 5's measurement).
+#include <gtest/gtest.h>
+
+#include "src/tensor/matrix.hpp"
+#include "src/tensor/memory_tracker.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(MemoryTracker, MatrixAllocationIsTracked) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t before = tracker.current();
+  {
+    Matrix m(100, 100);
+    EXPECT_EQ(tracker.current() - before,
+              static_cast<std::int64_t>(100 * 100 * sizeof(float)));
+  }
+  EXPECT_EQ(tracker.current(), before);
+}
+
+TEST(MemoryTracker, PeakCapturesHighWaterMark) {
+  auto& tracker = MemoryTracker::instance();
+  tracker.reset_peak();
+  const std::int64_t base = tracker.peak();
+  {
+    Matrix a(64, 64);
+    Matrix b(64, 64);
+    EXPECT_GE(tracker.peak() - base,
+              static_cast<std::int64_t>(2 * 64 * 64 * sizeof(float)));
+  }
+  // Peak persists after deallocation.
+  EXPECT_GE(tracker.peak() - base,
+            static_cast<std::int64_t>(2 * 64 * 64 * sizeof(float)));
+}
+
+TEST(MemoryTracker, ScopedWindowMeasuresScope) {
+  ScopedPeakWindow window;
+  const std::int64_t baseline = window.peak_bytes();
+  Matrix big(1000, 100);
+  EXPECT_GE(window.peak_bytes() - baseline,
+            static_cast<std::int64_t>(big.bytes()));
+}
+
+TEST(MemoryTracker, MoveDoesNotDoubleCount) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t before = tracker.current();
+  Matrix a(32, 32);
+  Matrix b(std::move(a));
+  EXPECT_EQ(tracker.current() - before,
+            static_cast<std::int64_t>(32 * 32 * sizeof(float)));
+}
+
+TEST(MemoryTracker, EmptyMatrixAllocatesNothing) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t before = tracker.current();
+  Matrix a;
+  Matrix b(0, 10);
+  EXPECT_EQ(tracker.current(), before);
+}
+
+TEST(MemoryTracker, AllocationCountIncreases) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t before = tracker.total_allocs();
+  Matrix a(4, 4);
+  Matrix b(4, 4);
+  EXPECT_GE(tracker.total_allocs() - before, 2);
+}
+
+}  // namespace
+}  // namespace sptx

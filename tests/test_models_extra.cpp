@@ -1,0 +1,197 @@
+// Tests for the extended translational models (TransD/A/C/M).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/kg/negative_sampler.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/models/sp_extra.hpp"
+#include "src/nn/optim.hpp"
+
+namespace sptx {
+namespace {
+
+using models::ModelConfig;
+
+struct Fixture {
+  std::vector<Triplet> pos;
+  std::vector<Triplet> neg;
+  Fixture() {
+    Rng rng(31);
+    kg::Dataset ds = kg::generate({"extra", 50, 5, 300}, rng, 0.0, 0.0);
+    kg::NegativeSampler sampler(ds.train, kg::CorruptionScheme::kUniform);
+    pos.assign(ds.train.triplets().begin(), ds.train.triplets().end());
+    neg = sampler.pregenerate(pos, rng);
+  }
+};
+
+ModelConfig cfg16() {
+  ModelConfig cfg;
+  cfg.dim = 16;
+  return cfg;
+}
+
+class ExtraModelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExtraModelTest, LossFiniteAndBackwardRuns) {
+  Fixture fx;
+  Rng rng(1);
+  auto model = models::make_sparse_model(GetParam(), 50, 5, cfg16(), rng);
+  autograd::Variable loss = model->loss(fx.pos, fx.neg);
+  EXPECT_TRUE(std::isfinite(loss.value().at(0, 0)));
+  loss.backward();
+  for (auto& p : model->params()) {
+    EXPECT_TRUE(p.has_grad());
+    EXPECT_TRUE(std::isfinite(p.grad().max_abs()));
+  }
+}
+
+TEST_P(ExtraModelTest, TrainingReducesLoss) {
+  Fixture fx;
+  Rng rng(2);
+  auto model = models::make_sparse_model(GetParam(), 50, 5, cfg16(), rng);
+  nn::Sgd opt(model->params(), 0.05f);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    opt.zero_grad();
+    autograd::Variable loss = model->loss(fx.pos, fx.neg);
+    if (step == 0) first = loss.value().at(0, 0);
+    last = loss.value().at(0, 0);
+    loss.backward();
+    opt.step();
+    model->post_step();
+  }
+  EXPECT_LT(last, first) << GetParam();
+}
+
+TEST_P(ExtraModelTest, FastScoreIsDeterministic) {
+  Fixture fx;
+  Rng rng(3);
+  auto model = models::make_sparse_model(GetParam(), 50, 5, cfg16(), rng);
+  const std::span<const Triplet> batch(fx.pos.data(), 24);
+  const auto a = model->score(batch);
+  const auto b = model->score(batch);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extended, ExtraModelTest,
+                         ::testing::Values("TransD", "TransA", "TransC",
+                                           "TransM"));
+
+TEST(ExtraModels, TransDScoreMatchesUnrearrangedForm) {
+  // Sanity for the algebraic rearrangement: the fast scorer (rearranged)
+  // must equal the textbook h⊥ + r − t⊥ evaluated by hand.
+  Rng rng(4);
+  auto model = models::make_sparse_model("TransD", 20, 3, cfg16(), rng);
+  std::vector<Triplet> batch = {{1, 0, 5}, {7, 2, 7}, {0, 1, 19}};
+  const auto fast = model->score(batch);
+  // Recompute through the autograd distance (unrearranged verification is
+  // implied by the gradient checks; here we check the forward values).
+  auto* transd = dynamic_cast<models::SpTransD*>(model.get());
+  ASSERT_NE(transd, nullptr);
+  const Matrix dist = transd->distance(batch).value();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_NEAR(fast[i], dist.at(static_cast<index_t>(i), 0),
+                1e-4f * (1.0f + fast[i]));
+}
+
+TEST(ExtraModels, TransDSparseMatchesDenseBaseline) {
+  Rng rs(5), rd(5);
+  ModelConfig cfg = cfg16();
+  auto sparse = models::make_sparse_model("TransD", 30, 4, cfg, rs);
+  auto dense = models::make_dense_model("TransD", 30, 4, cfg, rd);
+  Rng rng(6);
+  kg::Dataset ds = kg::generate({"d", 30, 4, 200}, rng, 0.0, 0.0);
+  kg::NegativeSampler sampler(ds.train, kg::CorruptionScheme::kUniform);
+  std::vector<Triplet> pos(ds.train.triplets().begin(),
+                           ds.train.triplets().end());
+  std::vector<Triplet> neg = sampler.pregenerate(pos, rng);
+
+  const auto ss = sparse->score(pos);
+  const auto sd = dense->score(pos);
+  for (std::size_t i = 0; i < ss.size(); ++i)
+    EXPECT_NEAR(ss[i], sd[i], 1e-4f * (1.0f + std::fabs(sd[i])));
+
+  const float ls = sparse->loss(pos, neg).value().at(0, 0);
+  const float ld = dense->loss(pos, neg).value().at(0, 0);
+  EXPECT_NEAR(ls, ld, 1e-4f * (1.0f + std::fabs(ld)));
+}
+
+TEST(ExtraModels, TransAMetricStaysNonNegative) {
+  Fixture fx;
+  Rng rng(7);
+  auto model = models::make_sparse_model("TransA", 50, 5, cfg16(), rng);
+  nn::Sgd opt(model->params(), 0.5f);  // aggressive: would push w negative
+  for (int step = 0; step < 20; ++step) {
+    opt.zero_grad();
+    model->loss(fx.pos, fx.neg).backward();
+    opt.step();
+    model->post_step();
+  }
+  const Matrix& w = model->params()[1].value();
+  for (index_t i = 0; i < w.size(); ++i) EXPECT_GT(w.data()[i], 0.0f);
+  // Scores under a nonnegative diagonal metric are nonnegative.
+  for (float s : model->score(fx.pos)) EXPECT_GE(s, 0.0f);
+}
+
+TEST(ExtraModels, TransCIsSquaredTransE) {
+  // With the same stacked table, TransC's score is TransE's L2 score
+  // squared. Same seed → same init, so compare directly.
+  Rng r1(8), r2(8);
+  auto transe = models::make_sparse_model("TransE", 20, 3, cfg16(), r1);
+  auto transc = models::make_sparse_model("TransC", 20, 3, cfg16(), r2);
+  std::vector<Triplet> batch = {{0, 0, 1}, {5, 2, 9}, {19, 1, 3}};
+  const auto se = transe->score(batch);
+  const auto sc = transc->score(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_NEAR(sc[i], se[i] * se[i], 1e-3f * (1.0f + sc[i]));
+}
+
+TEST(ExtraModels, TransMWeightsModulateScore) {
+  Rng rng(9);
+  auto model = models::make_sparse_model("TransM", 20, 2, cfg16(), rng);
+  std::vector<Triplet> batch = {{0, 0, 1}};
+  const float base = model->score(batch)[0];
+  // Doubling the relation weight doubles the score.
+  model->params()[1].mutable_value().at(0, 0) = 2.0f;
+  EXPECT_NEAR(model->score(batch)[0], 2.0f * base, 1e-4f * (1.0f + base));
+}
+
+TEST(ExtraModels, GradCheckTransD) {
+  // End-to-end finite difference on the entity table through the TransD
+  // loss (the trickiest rearrangement).
+  Fixture fx;
+  Rng rng(10);
+  ModelConfig cfg;
+  cfg.dim = 6;
+  auto model = models::make_sparse_model("TransD", 50, 5, cfg, rng);
+  const std::span<const Triplet> pos(fx.pos.data(), 8);
+  const std::span<const Triplet> neg(fx.neg.data(), 8);
+
+  for (auto& p : model->params()) p.zero_grad();
+  autograd::Variable loss = model->loss(pos, neg);
+  loss.backward();
+  auto params = model->params();
+  Matrix analytic = params[0].grad();
+
+  const float eps = 1e-3f;
+  Matrix& w = params[0].mutable_value();
+  int checked = 0;
+  for (index_t flat = 0; flat < w.size() && checked < 24;
+       flat += w.size() / 24, ++checked) {
+    const float saved = w.data()[flat];
+    w.data()[flat] = saved + eps;
+    const float lp = model->loss(pos, neg).value().at(0, 0);
+    w.data()[flat] = saved - eps;
+    const float lm = model->loss(pos, neg).value().at(0, 0);
+    w.data()[flat] = saved;
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(analytic.data()[flat], numeric,
+                5e-2f * (1.0f + std::fabs(numeric)))
+        << "flat index " << flat;
+  }
+}
+
+}  // namespace
+}  // namespace sptx

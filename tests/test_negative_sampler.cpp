@@ -1,0 +1,134 @@
+// Tests for the negative sampler (§5.3 pre-generation protocol).
+#include <gtest/gtest.h>
+
+#include "src/kg/negative_sampler.hpp"
+#include "src/kg/synthetic.hpp"
+
+namespace sptx {
+namespace {
+
+TripletStore toy_store() {
+  return TripletStore(6, 2,
+                      {{0, 0, 1}, {1, 0, 2}, {2, 1, 3}, {3, 1, 4}, {4, 0, 5}});
+}
+
+TEST(NegativeSampler, CorruptionChangesExactlyOneSlot) {
+  const TripletStore store = toy_store();
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Triplet& pos = store[i % store.size()];
+    const Triplet neg = sampler.corrupt(pos, rng);
+    const bool head_changed = neg.head != pos.head;
+    const bool tail_changed = neg.tail != pos.tail;
+    EXPECT_EQ(neg.relation, pos.relation);
+    EXPECT_TRUE(head_changed != tail_changed)
+        << "exactly one of head/tail must change";
+  }
+}
+
+TEST(NegativeSampler, NeverReturnsThePositive) {
+  const TripletStore store = toy_store();
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Triplet& pos = store[i % store.size()];
+    EXPECT_FALSE(sampler.corrupt(pos, rng) == pos);
+  }
+}
+
+TEST(NegativeSampler, FilteredAvoidsKnownPositives) {
+  // Dense positive set: (0, 0, t) for every tail but one. A filtered
+  // sampler corrupting tails must find the single non-positive.
+  std::vector<Triplet> positives;
+  for (std::int64_t t = 1; t < 6; ++t) positives.push_back({0, 0, t});
+  TripletStore store(7, 1, std::move(positives));
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform,
+                              /*filtered=*/true);
+  Rng rng(3);
+  int false_negatives = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Triplet neg = sampler.corrupt(store[0], rng);
+    for (std::int64_t t = 1; t < 6; ++t) {
+      if (neg == Triplet{0, 0, t}) ++false_negatives;
+    }
+  }
+  // Bounded retries make this probabilistic but heavily suppressed.
+  EXPECT_LT(false_negatives, 5);
+}
+
+TEST(NegativeSampler, PregenerateAlignsWithPositives) {
+  const TripletStore store = toy_store();
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  Rng rng(4);
+  const auto negatives = sampler.pregenerate(store.triplets(), rng);
+  ASSERT_EQ(negatives.size(), static_cast<std::size_t>(store.size()));
+  for (std::size_t i = 0; i < negatives.size(); ++i) {
+    EXPECT_EQ(negatives[i].relation, store[static_cast<std::int64_t>(i)]
+                                         .relation);
+  }
+}
+
+TEST(NegativeSampler, BernoulliPrefersHeadForOneToMany) {
+  // Relation 0 is 1-to-N (head 0 points to many tails): tph >> hpt, so the
+  // Bernoulli scheme should corrupt the HEAD most of the time (reduces
+  // false negatives on the tail side).
+  std::vector<Triplet> positives;
+  for (std::int64_t t = 1; t <= 20; ++t) positives.push_back({0, 0, t});
+  TripletStore store(40, 1, std::move(positives));
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kBernoulli);
+  Rng rng(5);
+  int head_corruptions = 0;
+  const int trials = 1000;
+  for (int i = 0; i < trials; ++i) {
+    const Triplet neg = sampler.corrupt(store[0], rng);
+    if (neg.head != 0) ++head_corruptions;
+  }
+  EXPECT_GT(head_corruptions, trials * 3 / 4);
+}
+
+TEST(NegativeSampler, BernoulliPrefersTailForManyToOne) {
+  std::vector<Triplet> positives;
+  for (std::int64_t h = 1; h <= 20; ++h) positives.push_back({h, 0, 0});
+  TripletStore store(40, 1, std::move(positives));
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kBernoulli);
+  Rng rng(6);
+  int tail_corruptions = 0;
+  const int trials = 1000;
+  for (int i = 0; i < trials; ++i) {
+    const Triplet neg = sampler.corrupt(store[0], rng);
+    if (neg.tail != 0) ++tail_corruptions;
+  }
+  EXPECT_GT(tail_corruptions, trials * 3 / 4);
+}
+
+TEST(NegativeSampler, DeterministicGivenSeed) {
+  const TripletStore store = toy_store();
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  Rng rng1(7), rng2(7);
+  const auto a = sampler.pregenerate(store.triplets(), rng1);
+  const auto b = sampler.pregenerate(store.triplets(), rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NegativeSampler, TooFewEntitiesThrows) {
+  TripletStore store(1, 1, {{0, 0, 0}});
+  EXPECT_THROW(
+      kg::NegativeSampler(store, kg::CorruptionScheme::kUniform), Error);
+}
+
+TEST(NegativeSampler, UniformCorruptsBothSidesRoughlyEqually) {
+  const TripletStore store = toy_store();
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform);
+  Rng rng(8);
+  int heads = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const Triplet neg = sampler.corrupt(store[0], rng);
+    if (neg.head != store[0].head) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,166 @@
+// Tests for embeddings, optimizers, and LR schedulers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+
+#include "src/autograd/ops.hpp"
+#include "src/nn/embedding.hpp"
+#include "src/nn/optim.hpp"
+
+namespace sptx {
+namespace {
+
+using autograd::Variable;
+
+TEST(Embedding, XavierInitWithinBound) {
+  Rng rng(1);
+  nn::EmbeddingTable table(20, 16, rng);
+  const float bound = 6.0f / std::sqrt(16.0f);
+  EXPECT_LE(table.weights().max_abs(), bound);
+  EXPECT_TRUE(table.var().requires_grad());
+}
+
+TEST(Embedding, NormalizeRowsMakesUnitRows) {
+  Rng rng(2);
+  nn::EmbeddingTable table(10, 8, rng);
+  table.normalize_rows();
+  for (index_t i = 0; i < 10; ++i) {
+    float sq = 0.0f;
+    for (index_t j = 0; j < 8; ++j)
+      sq += table.weights().at(i, j) * table.weights().at(i, j);
+    EXPECT_NEAR(sq, 1.0f, 1e-4f);
+  }
+}
+
+TEST(Embedding, ExplicitInitIsUsedVerbatim) {
+  Matrix init{{1, 2}, {3, 4}};
+  nn::EmbeddingTable table(init);
+  EXPECT_FLOAT_EQ(table.weights().at(1, 0), 3.0f);
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Variable w = Variable::leaf(Matrix{{1.0f, 2.0f}}, true);
+  nn::Sgd opt({w}, 0.1f);
+  autograd::sum_all(w).backward();  // grad = 1
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value().at(0, 0), 0.9f);
+  EXPECT_FLOAT_EQ(w.value().at(0, 1), 1.9f);
+}
+
+TEST(Sgd, ZeroGradClearsBetweenSteps) {
+  Variable w = Variable::leaf(Matrix{{1.0f}}, true);
+  nn::Sgd opt({w}, 0.1f);
+  autograd::sum_all(w).backward();
+  opt.step();
+  opt.zero_grad();
+  autograd::sum_all(w).backward();
+  opt.step();
+  // Two steps of −0.1 each, not −0.1 then −0.2.
+  EXPECT_NEAR(w.value().at(0, 0), 0.8f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAcceleratesConstantGradient) {
+  Variable w1 = Variable::leaf(Matrix{{0.0f}}, true);
+  Variable w2 = Variable::leaf(Matrix{{0.0f}}, true);
+  nn::Sgd plain({w1}, 0.1f);
+  nn::Sgd momentum({w2}, 0.1f, 0.9f);
+  for (int i = 0; i < 5; ++i) {
+    plain.zero_grad();
+    momentum.zero_grad();
+    autograd::sum_all(w1).backward();
+    autograd::sum_all(w2).backward();
+    plain.step();
+    momentum.step();
+  }
+  // Momentum walks farther under a constant gradient.
+  EXPECT_LT(w2.value().at(0, 0), w1.value().at(0, 0));
+}
+
+TEST(Adagrad, PerCoordinateScaling) {
+  // Coordinate 0 gets a 10× larger gradient; Adagrad shrinks its effective
+  // step so after several iterations the updates are closer than raw SGD's.
+  Variable w = Variable::leaf(Matrix{{0.0f, 0.0f}}, true);
+  nn::Adagrad opt({w}, 0.1f);
+  for (int i = 0; i < 10; ++i) {
+    opt.zero_grad();
+    w.grad().at(0, 0) = 10.0f;
+    w.grad().at(0, 1) = 1.0f;
+    opt.step();
+  }
+  const float move0 = -w.value().at(0, 0);
+  const float move1 = -w.value().at(0, 1);
+  EXPECT_GT(move0, 0.0f);
+  EXPECT_GT(move1, 0.0f);
+  // Raw SGD ratio would be 10×; Adagrad compresses it to ~1×.
+  EXPECT_LT(move0 / move1, 1.5f);
+}
+
+TEST(Adagrad, SkipsParamsWithoutGrad) {
+  Variable w = Variable::leaf(Matrix{{5.0f}}, true);
+  nn::Adagrad opt({w}, 0.1f);
+  opt.step();  // no backward ran — must not touch or crash
+  EXPECT_FLOAT_EQ(w.value().at(0, 0), 5.0f);
+}
+
+TEST(StepLr, HalvesEveryPeriod) {
+  Variable w = Variable::leaf(Matrix{{0.0f}}, true);
+  nn::Sgd opt({w}, 1.0f);
+  nn::StepLr sched(opt, 10, 0.5f);
+  sched.on_epoch(0);
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  sched.on_epoch(10);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+  sched.on_epoch(25);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.25f);
+}
+
+TEST(CosineLr, AnnealsToMinimum) {
+  Variable w = Variable::leaf(Matrix{{0.0f}}, true);
+  nn::Sgd opt({w}, 1.0f);
+  nn::CosineLr sched(opt, 11, 0.1f);
+  sched.on_epoch(0);
+  EXPECT_NEAR(opt.lr(), 1.0f, 1e-5f);
+  sched.on_epoch(10);
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+  sched.on_epoch(5);
+  EXPECT_GT(opt.lr(), 0.1f);
+  EXPECT_LT(opt.lr(), 1.0f);
+}
+
+TEST(StreamingEmbedding, CreateLoadStoreRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sptx_stream_emb.bin";
+  Rng rng(3);
+  {
+    auto emb = nn::StreamingEmbedding::create(path, 10, 4, rng);
+    Matrix rows = emb.load_rows(2, 3);
+    EXPECT_EQ(rows.rows(), 3);
+    rows.fill(7.5f);
+    emb.store_rows(2, rows);
+    emb.sync();
+  }
+  {
+    auto emb = nn::StreamingEmbedding::open(path, 10, 4);
+    const Matrix rows = emb.load_rows(2, 3);
+    for (index_t i = 0; i < rows.size(); ++i)
+      EXPECT_FLOAT_EQ(rows.data()[i], 7.5f);
+    // Untouched rows keep their init (nonzero with overwhelming odds).
+    const Matrix other = emb.load_rows(0, 1);
+    EXPECT_GT(other.max_abs(), 0.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingEmbedding, OutOfRangeThrows) {
+  const std::string path = ::testing::TempDir() + "/sptx_stream_emb2.bin";
+  Rng rng(4);
+  auto emb = nn::StreamingEmbedding::create(path, 5, 2, rng);
+  EXPECT_THROW(emb.load_rows(4, 3), Error);
+  Matrix bad(1, 3);
+  EXPECT_THROW(emb.store_rows(0, bad), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sptx

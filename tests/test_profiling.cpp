@@ -1,0 +1,112 @@
+// Tests for the profiling substrate: FLOP counter, hotspot registry,
+// phase timers, and early stopping (trainer's loss-driven stopper).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/profiling/flops.hpp"
+#include "src/profiling/timer.hpp"
+#include "src/train/trainer.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Flops, WindowMeasuresDelta) {
+  profiling::FlopWindow outer;
+  profiling::count_flops(100);
+  profiling::FlopWindow inner;
+  profiling::count_flops(50);
+  EXPECT_EQ(inner.elapsed(), 50);
+  EXPECT_EQ(outer.elapsed(), 150);
+}
+
+TEST(Flops, MatrixOpsAreCounted) {
+  Matrix a(10, 10), b(10, 10);
+  profiling::FlopWindow window;
+  a.add_(b);
+  EXPECT_EQ(window.elapsed(), 100);
+  a.axpy_(2.0f, b);
+  EXPECT_EQ(window.elapsed(), 300);  // +2 per element
+}
+
+TEST(Hotspots, RankedOrdersByTime) {
+  auto& reg = profiling::HotspotRegistry::instance();
+  reg.reset();
+  reg.add("fast_fn", 0.010);
+  reg.add("slow_fn", 0.100);
+  reg.add("fast_fn", 0.005);  // accumulates onto the same key
+  const auto ranked = reg.ranked();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, "slow_fn");
+  EXPECT_NEAR(ranked[1].second, 0.015, 1e-9);
+  EXPECT_NEAR(reg.total(), 0.115, 1e-9);
+  reg.reset();
+  EXPECT_EQ(reg.ranked().size(), 0u);
+}
+
+TEST(Hotspots, ScopedHotspotAttributesTime) {
+  auto& reg = profiling::HotspotRegistry::instance();
+  reg.reset();
+  {
+    profiling::ScopedHotspot h("sleepy_section");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto ranked = reg.ranked();
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].first, "sleepy_section");
+  EXPECT_GT(ranked[0].second, 0.004);
+  reg.reset();
+}
+
+TEST(PhaseTimer, AccumulateAndCombine) {
+  profiling::PhaseTimer a;
+  {
+    profiling::ScopedAccum t(a.forward_s);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(a.forward_s, 0.001);
+  profiling::PhaseTimer b;
+  b.backward_s = 1.0;
+  a += b;
+  EXPECT_EQ(a.backward_s, 1.0);
+  EXPECT_GT(a.total(), 1.0);
+  a.reset();
+  EXPECT_EQ(a.total(), 0.0);
+}
+
+TEST(EarlyStopping, StopsWhenLossPlateaus) {
+  Rng rng(5);
+  const kg::Dataset ds = kg::generate({"es", 40, 3, 200}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng mr(6);
+  auto model = models::make_sparse_model("TransE", 40, 3, cfg, mr);
+  train::TrainConfig tc;
+  tc.epochs = 500;
+  tc.batch_size = 256;
+  tc.lr = 0.0f;  // frozen weights → loss can never improve
+  tc.patience = 3;
+  const auto result = train::train(*model, ds.train, tc);
+  // Stops after the first epoch set the best loss + 3 flat epochs.
+  EXPECT_LE(result.epoch_loss.size(), 5u);
+}
+
+TEST(EarlyStopping, DisabledByDefault) {
+  Rng rng(7);
+  const kg::Dataset ds = kg::generate({"es2", 40, 3, 200}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng mr(8);
+  auto model = models::make_sparse_model("TransE", 40, 3, cfg, mr);
+  train::TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 256;
+  tc.lr = 0.0f;  // flat loss, but patience defaults to off
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 12u);
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,154 @@
+// Tests for the semiring-generalised SpMM (Appendix D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/sparse/incidence.hpp"
+#include "src/sparse/semiring.hpp"
+#include "src/sparse/spmm.hpp"
+
+namespace sptx {
+namespace {
+
+Matrix random_dense(index_t rows, index_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  m.fill_uniform(rng, 0.1f, 1.0f);  // positive: safe for times-times
+  return m;
+}
+
+TEST(Semiring, PlusTimesEqualsPlainSpmm) {
+  Rng rng(31);
+  std::vector<Triplet> batch = {{0, 1, 2}, {3, 0, 1}, {2, 2, 0}};
+  const Csr a = build_hrt_incidence_csr(batch, 5, 3);
+  const Matrix x = random_dense(8, 6, rng);
+  EXPECT_LT(max_abs_diff(spmm_semiring<PlusTimesSemiring>(a, x),
+                         spmm_csr(a, x)),
+            1e-4f);
+}
+
+TEST(Semiring, TimesTimesComputesDistMultProduct) {
+  Rng rng(32);
+  const index_t n = 6, r = 2, d = 4;
+  const Matrix e = random_dense(n + r, d, rng);
+  // DistMult incidence: +1 at h, t, and offset r columns (coefficient is
+  // applied multiplicatively, so +1 everywhere).
+  std::vector<Triplet> batch = {{1, 0, 4}, {5, 1, 2}};
+  Csr a = build_hrt_incidence_csr(batch, n, r);
+  for (auto& v : a.values) v = 1.0f;
+  const Matrix z = spmm_semiring<TimesTimesSemiring>(a, e);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (index_t j = 0; j < d; ++j) {
+      const float expected = e.at(batch[i].head, j) *
+                             e.at(n + batch[i].relation, j) *
+                             e.at(batch[i].tail, j);
+      EXPECT_NEAR(z.at(static_cast<index_t>(i), j), expected, 1e-5f);
+    }
+  }
+}
+
+TEST(Semiring, TimesTimesIdentityOnEmptyRow) {
+  Csr a;
+  a.rows = 1;
+  a.cols = 2;
+  a.row_ptr = {0, 0};
+  Matrix x(2, 3);
+  const Matrix z = spmm_semiring<TimesTimesSemiring>(a, x);
+  // Empty product = multiplicative identity.
+  for (index_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(z.at(0, j), 1.0f);
+}
+
+TEST(Semiring, MaxPlusSelectsMaximum) {
+  Csr a;
+  a.rows = 1;
+  a.cols = 3;
+  a.row_ptr = {0, 3};
+  a.col_idx = {0, 1, 2};
+  a.values = {1.0f, 2.0f, 0.0f};
+  Matrix x{{5.0f}, {1.0f}, {4.0f}};
+  const Matrix z = spmm_semiring<MaxPlusSemiring>(a, x);
+  // max(1+5, 2+1, 0+4) = 6.
+  EXPECT_FLOAT_EQ(z.at(0, 0), 6.0f);
+}
+
+TEST(Semiring, ComplExModeMatchesScalarComplexMath) {
+  Rng rng(33);
+  const index_t n = 4, r = 2, dc = 3;  // 3 complex components
+  Matrix e(n + r, 2 * dc);
+  e.fill_uniform(rng, -1, 1);
+  std::vector<Triplet> batch = {{0, 1, 3}};
+  const Csr a = build_hrt_incidence_csr(batch, n, r);
+  const Matrix z =
+      spmm_complex_hrt(a, e, ComplexSpmmMode::kComplExConjTail);
+  const float* h = e.row(0);
+  const float* rv = e.row(n + 1);
+  const float* t = e.row(3);
+  for (index_t j = 0; j < dc; ++j) {
+    // (h * r) * conj(t) per component.
+    const float hr_re = h[2 * j] * rv[2 * j] - h[2 * j + 1] * rv[2 * j + 1];
+    const float hr_im = h[2 * j] * rv[2 * j + 1] + h[2 * j + 1] * rv[2 * j];
+    const float exp_re = hr_re * t[2 * j] + hr_im * t[2 * j + 1];
+    const float exp_im = -hr_re * t[2 * j + 1] + hr_im * t[2 * j];
+    EXPECT_NEAR(z.at(0, 2 * j), exp_re, 1e-5f);
+    EXPECT_NEAR(z.at(0, 2 * j + 1), exp_im, 1e-5f);
+  }
+}
+
+TEST(Semiring, RotateModeSubtractsTail) {
+  Rng rng(34);
+  const index_t n = 4, r = 2, dc = 2;
+  Matrix e(n + r, 2 * dc);
+  e.fill_uniform(rng, -1, 1);
+  std::vector<Triplet> batch = {{1, 0, 2}};
+  const Csr a = build_hrt_incidence_csr(batch, n, r);
+  const Matrix z = spmm_complex_hrt(a, e, ComplexSpmmMode::kRotateSubTail);
+  const float* h = e.row(1);
+  const float* rv = e.row(n + 0);
+  const float* t = e.row(2);
+  for (index_t j = 0; j < dc; ++j) {
+    const float hr_re = h[2 * j] * rv[2 * j] - h[2 * j + 1] * rv[2 * j + 1];
+    const float hr_im = h[2 * j] * rv[2 * j + 1] + h[2 * j + 1] * rv[2 * j];
+    EXPECT_NEAR(z.at(0, 2 * j), hr_re - t[2 * j], 1e-5f);
+    EXPECT_NEAR(z.at(0, 2 * j + 1), hr_im - t[2 * j + 1], 1e-5f);
+  }
+}
+
+TEST(Semiring, OddComplexDimThrows) {
+  Csr a;
+  a.rows = 1;
+  a.cols = 1;
+  a.row_ptr = {0, 1};
+  a.col_idx = {0};
+  a.values = {1.0f};
+  Matrix x(1, 3);  // odd
+  EXPECT_THROW(spmm_complex_hrt(a, x, ComplexSpmmMode::kRotateSubTail),
+               Error);
+}
+
+// Order independence: the tail term may appear anywhere in the row.
+TEST(Semiring, ComplexResultIndependentOfTailPosition) {
+  Rng rng(35);
+  Matrix e(5, 4);
+  e.fill_uniform(rng, -1, 1);
+  // Hand-build two CSR rows selecting the same operands in different order.
+  auto make = [&](std::vector<index_t> cols, std::vector<float> vals) {
+    Csr a;
+    a.rows = 1;
+    a.cols = 5;
+    a.row_ptr = {0, 3};
+    a.col_idx = std::move(cols);
+    a.values = std::move(vals);
+    return a;
+  };
+  const Csr first = make({0, 4, 2}, {1.0f, 1.0f, -1.0f});
+  const Csr second = make({2, 0, 4}, {-1.0f, 1.0f, 1.0f});
+  for (auto mode : {ComplexSpmmMode::kComplExConjTail,
+                    ComplexSpmmMode::kRotateSubTail}) {
+    EXPECT_LT(max_abs_diff(spmm_complex_hrt(first, e, mode),
+                           spmm_complex_hrt(second, e, mode)),
+              1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,122 @@
+// Tests for sparse matrix storage and conversions.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sparse/sparse_matrix.hpp"
+
+namespace sptx {
+namespace {
+
+Coo random_coo(index_t rows, index_t cols, index_t nnz, Rng& rng) {
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (index_t k = 0; k < nnz; ++k) {
+    coo.push(static_cast<index_t>(rng.next_below(
+                 static_cast<std::uint64_t>(rows))),
+             static_cast<index_t>(
+                 rng.next_below(static_cast<std::uint64_t>(cols))),
+             rng.uniform(-2, 2));
+  }
+  return coo;
+}
+
+TEST(Sparse, CooPushTracksNnz) {
+  Coo coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.push(0, 1, 1.0f);
+  coo.push(1, 2, -1.0f);
+  EXPECT_EQ(coo.nnz(), 2);
+}
+
+TEST(Sparse, CooToCsrPreservesEntries) {
+  Coo coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  coo.push(2, 0, 5.0f);
+  coo.push(0, 3, 1.0f);
+  coo.push(2, 2, -2.0f);
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_EQ(csr.row_nnz(0), 1);
+  EXPECT_EQ(csr.row_nnz(1), 0);
+  EXPECT_EQ(csr.row_nnz(2), 2);
+  EXPECT_LT(max_abs_diff(to_dense(coo), to_dense(csr)), 1e-7f);
+}
+
+TEST(Sparse, CsrToCooRoundTrips) {
+  Rng rng(21);
+  const Coo coo = random_coo(10, 8, 25, rng);
+  const Csr csr = coo_to_csr(coo);
+  const Coo back = csr_to_coo(csr);
+  EXPECT_LT(max_abs_diff(to_dense(coo), to_dense(back)), 1e-7f);
+}
+
+TEST(Sparse, TransposeMatchesDenseTranspose) {
+  Rng rng(22);
+  const Coo coo = random_coo(6, 9, 20, rng);
+  const Csr csr = coo_to_csr(coo);
+  const Csr t = transpose(csr);
+  EXPECT_EQ(t.rows, 9);
+  EXPECT_EQ(t.cols, 6);
+  const Matrix d = to_dense(csr);
+  const Matrix dt = to_dense(t);
+  for (index_t i = 0; i < d.rows(); ++i)
+    for (index_t j = 0; j < d.cols(); ++j)
+      EXPECT_FLOAT_EQ(dt.at(j, i), d.at(i, j));
+}
+
+TEST(Sparse, DoubleTransposeIsIdentity) {
+  Rng rng(23);
+  const Csr csr = coo_to_csr(random_coo(12, 7, 30, rng));
+  const Csr tt = transpose(transpose(csr));
+  EXPECT_LT(max_abs_diff(to_dense(csr), to_dense(tt)), 1e-7f);
+}
+
+TEST(Sparse, EmptyMatrixConversions) {
+  Coo coo;
+  coo.rows = 4;
+  coo.cols = 4;
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_EQ(csr.row_ptr.size(), 5u);
+  const Csr t = transpose(csr);
+  EXPECT_EQ(t.nnz(), 0);
+}
+
+TEST(Sparse, DuplicateEntriesSumInDense) {
+  // COO may carry duplicates (self-loop incidence rows do); dense rendering
+  // must sum them, matching SpMM's accumulate semantics.
+  Coo coo;
+  coo.rows = 1;
+  coo.cols = 2;
+  coo.push(0, 0, 1.0f);
+  coo.push(0, 0, -1.0f);
+  coo.push(0, 1, 2.0f);
+  const Matrix d = to_dense(coo);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 2.0f);
+}
+
+class SparseRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseRandomTest, ConversionChainPreservesStructure) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const index_t rows = 1 + static_cast<index_t>(rng.next_below(40));
+  const index_t cols = 1 + static_cast<index_t>(rng.next_below(40));
+  const index_t nnz = static_cast<index_t>(rng.next_below(100));
+  const Coo coo = random_coo(rows, cols, nnz, rng);
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), coo.nnz());
+  // row_ptr is monotone and bounded.
+  for (std::size_t r = 0; r + 1 < csr.row_ptr.size(); ++r)
+    EXPECT_LE(csr.row_ptr[r], csr.row_ptr[r + 1]);
+  EXPECT_EQ(csr.row_ptr.back(), csr.nnz());
+  EXPECT_LT(max_abs_diff(to_dense(coo), to_dense(csr)), 1e-7f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace sptx

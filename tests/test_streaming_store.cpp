@@ -1,0 +1,95 @@
+// Tests for the disk-backed streaming triplet store (§4.7.2).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/kg/streaming_store.hpp"
+#include "src/kg/synthetic.hpp"
+
+namespace sptx {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StreamingStore, WriteOpenRoundTrip) {
+  Rng rng(1);
+  const kg::Dataset ds = kg::generate({"stream", 40, 3, 200}, rng, 0.0, 0.0);
+  const std::string path = temp_path("stream_rt.sptxs");
+  kg::StreamingTripletStore::write_file(path, ds.train.triplets(),
+                                        ds.num_entities(),
+                                        ds.num_relations());
+  auto store = kg::StreamingTripletStore::open(path);
+  EXPECT_EQ(store.size(), ds.train.size());
+  EXPECT_EQ(store.num_entities(), 40);
+  EXPECT_EQ(store.num_relations(), 3);
+  for (std::int64_t i = 0; i < store.size(); ++i)
+    EXPECT_EQ(store.slice(i, 1)[0], ds.train[i]);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStore, SlicesAreZeroCopyViews) {
+  Rng rng(2);
+  const kg::Dataset ds = kg::generate({"zc", 30, 2, 100}, rng, 0.0, 0.0);
+  const std::string path = temp_path("stream_zc.sptxs");
+  kg::StreamingTripletStore::write_file(path, ds.train.triplets(), 30, 2);
+  auto store = kg::StreamingTripletStore::open(path);
+  const auto a = store.slice(0, 50);
+  const auto b = store.slice(25, 50);
+  // Overlapping views share the same underlying mapping.
+  EXPECT_EQ(a.data() + 25, b.data());
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStore, ToMemoryMatches) {
+  Rng rng(3);
+  const kg::Dataset ds = kg::generate({"mem", 25, 2, 80}, rng, 0.0, 0.0);
+  const std::string path = temp_path("stream_mem.sptxs");
+  kg::StreamingTripletStore::write_file(path, ds.train.triplets(), 25, 2);
+  auto store = kg::StreamingTripletStore::open(path);
+  const TripletStore memory = store.to_memory();
+  ASSERT_EQ(memory.size(), ds.train.size());
+  for (std::int64_t i = 0; i < memory.size(); ++i)
+    EXPECT_EQ(memory[i], ds.train[i]);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStore, SliceOutOfRangeThrows) {
+  const std::string path = temp_path("stream_oob.sptxs");
+  std::vector<Triplet> t = {{0, 0, 1}};
+  kg::StreamingTripletStore::write_file(path, t, 2, 1);
+  auto store = kg::StreamingTripletStore::open(path);
+  EXPECT_THROW(store.slice(0, 2), Error);
+  EXPECT_THROW(store.slice(-1, 1), Error);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStore, GarbageFileRejected) {
+  const std::string path = temp_path("stream_bad.sptxs");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char junk[64] = "this is not a streaming triplet store at all!!";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(kg::StreamingTripletStore::open(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStore, MissingFileThrows) {
+  EXPECT_THROW(kg::StreamingTripletStore::open(temp_path("nope.sptxs")),
+               Error);
+}
+
+TEST(StreamingStore, EmptyStoreIsValid) {
+  const std::string path = temp_path("stream_empty.sptxs");
+  kg::StreamingTripletStore::write_file(path, {}, 5, 2);
+  auto store = kg::StreamingTripletStore::open(path);
+  EXPECT_EQ(store.size(), 0);
+  EXPECT_EQ(store.slice(0, 0).size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sptx

@@ -1,0 +1,176 @@
+// Tests for the training loop (§5.3 protocol).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/train/trainer.hpp"
+
+namespace sptx {
+namespace {
+
+kg::Dataset small_dataset(std::uint64_t seed = 31) {
+  Rng rng(seed);
+  return kg::generate({"train-toy", 80, 6, 600}, rng, 0.0, 0.0);
+}
+
+models::ModelConfig cfg16() {
+  models::ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.rel_dim = 8;
+  return cfg;
+}
+
+TEST(Trainer, RecordsLossPerEpoch) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(1);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 128;
+  tc.lr = 0.05f;
+  const train::TrainResult result = train::train(*model, ds.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 5u);
+  for (float l : result.epoch_loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(2);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 128;
+  tc.lr = 0.05f;
+  const train::TrainResult result = train::train(*model, ds.train, tc);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+}
+
+TEST(Trainer, PhaseTimesAreAllPopulated) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(3);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 128;
+  const train::TrainResult result = train::train(*model, ds.train, tc);
+  EXPECT_GT(result.phases.forward_s, 0.0);
+  EXPECT_GT(result.phases.backward_s, 0.0);
+  EXPECT_GT(result.phases.step_s, 0.0);
+  EXPECT_GE(result.total_seconds, result.phases.total() * 0.5);
+  EXPECT_GT(result.flops, 0);
+  EXPECT_GT(result.peak_bytes, 0);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(4);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 256;
+  int calls = 0;
+  train::train(*model, ds.train, tc, [&](int epoch, float loss) {
+    EXPECT_EQ(epoch, calls);
+    EXPECT_TRUE(std::isfinite(loss));
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const kg::Dataset ds = small_dataset();
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 128;
+  tc.seed = 99;
+  Rng rng1(5), rng2(5);
+  auto m1 = models::make_sparse_model("TransE", 80, 6, cfg16(), rng1);
+  auto m2 = models::make_sparse_model("TransE", 80, 6, cfg16(), rng2);
+  const auto r1 = train::train(*m1, ds.train, tc);
+  const auto r2 = train::train(*m2, ds.train, tc);
+  ASSERT_EQ(r1.epoch_loss.size(), r2.epoch_loss.size());
+  for (std::size_t i = 0; i < r1.epoch_loss.size(); ++i)
+    EXPECT_FLOAT_EQ(r1.epoch_loss[i], r2.epoch_loss[i]);
+}
+
+TEST(Trainer, BatchSizeLargerThanDatasetIsOneBatch) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(6);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 1 << 20;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 2u);
+}
+
+TEST(Trainer, AdagradPathWorks) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(7);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 128;
+  tc.use_adagrad = true;
+  tc.lr = 0.1f;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+}
+
+TEST(Trainer, StepScheduleReducesLr) {
+  // With an aggressive decay the later epochs barely move: compare loss
+  // drop in the first vs second half.
+  const kg::Dataset ds = small_dataset();
+  Rng rng(8);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 128;
+  tc.schedule = train::LrSchedule::kStep;
+  tc.step_lr_every = 2;
+  tc.step_lr_gamma = 0.1f;
+  tc.lr = 0.05f;
+  const auto result = train::train(*model, ds.train, tc);
+  const float early_drop = result.epoch_loss[0] - result.epoch_loss[4];
+  const float late_drop = result.epoch_loss[5] - result.epoch_loss[9];
+  EXPECT_GT(early_drop, late_drop);
+}
+
+TEST(Trainer, CosineScheduleRuns) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(9);
+  auto model = models::make_sparse_model("TorusE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 256;
+  tc.schedule = train::LrSchedule::kCosine;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 5u);
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  TripletStore empty(5, 2, {});
+  Rng rng(10);
+  auto model = models::make_sparse_model("TransE", 5, 2, cfg16(), rng);
+  train::TrainConfig tc;
+  EXPECT_THROW(train::train(*model, empty, tc), Error);
+}
+
+TEST(Trainer, FilteredNegativesConfigWorks) {
+  const kg::Dataset ds = small_dataset();
+  Rng rng(11);
+  auto model = models::make_sparse_model("TransE", 80, 6, cfg16(), rng);
+  train::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.filtered_negatives = true;
+  tc.corruption = kg::CorruptionScheme::kBernoulli;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sptx

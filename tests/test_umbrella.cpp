@@ -1,0 +1,38 @@
+// Compile-and-smoke test for the umbrella header: a complete miniature
+// workflow using only #include "src/sptransx.hpp".
+#include <gtest/gtest.h>
+
+#include "src/sptransx.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Umbrella, FullWorkflowCompilesAndRuns) {
+  Rng rng(1);
+  kg::Dataset ds = kg::generate({"umbrella", 40, 3, 250}, rng, 0.0, 0.1);
+
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng mr(2);
+  auto model = models::make_sparse_model("TransE", ds.num_entities(),
+                                         ds.num_relations(), cfg, mr);
+
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 64;
+  const auto result = train::train(*model, ds.train, tc);
+  EXPECT_EQ(result.epoch_loss.size(), 3u);
+
+  eval::EvalConfig ec;
+  ec.max_queries = 5;
+  const auto metrics = eval::evaluate(*model, ds, ec);
+  EXPECT_GT(metrics.queries, 0);
+
+  const std::string path = ::testing::TempDir() + "/umbrella.sptxc";
+  models::save_checkpoint(*model, path);
+  models::load_checkpoint(*model, path);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sptx

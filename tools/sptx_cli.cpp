@@ -1,0 +1,247 @@
+// sptx — command-line interface to the SparseTransX library.
+//
+//   sptx train --data triples.tsv --model TransE --epochs 200
+//              --dim 128 --lr 0.0004 --save model.sptxc
+//   sptx train --profile FB15K --scale 0.01 --model TransR ...
+//   sptx eval  --data triples.tsv --model TransE --load model.sptxc
+//   sptx info  --data triples.tsv          (dataset statistics)
+//   sptx profiles                          (the paper's Table 3)
+//
+// Data sources: --data <file.tsv|file.csv|file.sptx> loads a real dataset
+// (format by extension); --profile <NAME> [--scale s] generates the
+// synthetic equivalent of a Table 3 dataset.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/models/checkpoint.hpp"
+#include "src/models/model.hpp"
+#include "src/train/trainer.hpp"
+
+namespace {
+
+using namespace sptx;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    SPTX_CHECK(std::strncmp(key, "--", 2) == 0, "expected --option, got "
+                                                    << key);
+    args.options[key + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+kg::Dataset load_dataset(const Args& args) {
+  if (args.has("profile")) {
+    Rng rng(static_cast<std::uint64_t>(args.num("seed", 42)));
+    const auto profile = kg::scaled(kg::profile_by_name(args.get("profile", "")),
+                                    args.num("scale", 0.01));
+    return kg::generate(profile, rng);
+  }
+  const std::string path = args.get("data", "");
+  SPTX_CHECK(!path.empty(), "need --data <file> or --profile <NAME>");
+  kg::Dataset ds;
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".sptx") {
+    ds = kg::Dataset::load_binary(path);
+  } else if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
+    ds = kg::load_csv(path, path);
+  } else {
+    ds = kg::load_tsv(path, path);
+  }
+  if (ds.test.empty()) {
+    Rng rng(static_cast<std::uint64_t>(args.num("seed", 42)));
+    ds = kg::split(std::move(ds), args.num("valid-frac", 0.05),
+                   args.num("test-frac", 0.1), rng);
+  }
+  return ds;
+}
+
+std::unique_ptr<models::KgeModel> build_model(const Args& args,
+                                              const kg::Dataset& ds) {
+  models::ModelConfig cfg;
+  cfg.dim = static_cast<index_t>(args.num("dim", 128));
+  cfg.rel_dim = static_cast<index_t>(args.num("rel-dim", cfg.dim));
+  cfg.margin = static_cast<float>(args.num("margin", 0.5));
+  cfg.dissimilarity = args.get("dissimilarity", "l2") == "l1"
+                          ? models::Dissimilarity::kL1
+                          : models::Dissimilarity::kL2;
+  cfg.loss = args.get("loss", "margin") == "logistic"
+                 ? models::LossType::kLogistic
+                 : models::LossType::kMarginRanking;
+  cfg.normalize_entities = args.num("normalize", 1) != 0;
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 42)) + 1);
+  const std::string model_name = args.get("model", "TransE");
+  const std::string framework = args.get("framework", "sparse");
+  return framework == "dense"
+             ? models::make_dense_model(model_name, ds.num_entities(),
+                                        ds.num_relations(), cfg, rng)
+             : models::make_sparse_model(model_name, ds.num_entities(),
+                                         ds.num_relations(), cfg, rng);
+}
+
+void print_metrics(const eval::RankingMetrics& m) {
+  std::printf("  queries %lld  Hits@1 %.4f  Hits@3 %.4f  Hits@10 %.4f  "
+              "MRR %.4f  MR %.1f\n",
+              static_cast<long long>(m.queries), m.hits_at_1, m.hits_at_3,
+              m.hits_at_10, m.mrr, m.mean_rank);
+}
+
+int cmd_train(const Args& args) {
+  const kg::Dataset ds = load_dataset(args);
+  std::printf("dataset %s: %lld entities, %lld relations, %lld/%lld/%lld "
+              "train/valid/test\n",
+              ds.name.c_str(), static_cast<long long>(ds.num_entities()),
+              static_cast<long long>(ds.num_relations()),
+              static_cast<long long>(ds.train.size()),
+              static_cast<long long>(ds.valid.size()),
+              static_cast<long long>(ds.test.size()));
+  auto model = build_model(args, ds);
+  if (args.has("load")) models::load_checkpoint(*model, args.get("load", ""));
+
+  train::TrainConfig tc;
+  tc.epochs = static_cast<int>(args.num("epochs", 200));
+  tc.batch_size = static_cast<index_t>(args.num("batch", 32768));
+  tc.lr = static_cast<float>(args.num("lr", 0.0004));
+  tc.use_adagrad = args.get("optimizer", "sgd") == "adagrad";
+  tc.negatives_per_positive = static_cast<int>(args.num("negatives", 1));
+  tc.resample_negatives = args.num("resample-negatives", 0) != 0;
+  tc.corruption = args.get("corruption", "uniform") == "bernoulli"
+                      ? kg::CorruptionScheme::kBernoulli
+                      : kg::CorruptionScheme::kUniform;
+  tc.shuffle = args.num("shuffle", 0) != 0;
+  tc.weight_decay = static_cast<float>(args.num("weight-decay", 0.0));
+  tc.grad_clip_norm = static_cast<float>(args.num("clip-norm", 0.0));
+  tc.patience = static_cast<int>(args.num("patience", 0));
+  tc.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  const int log_every = std::max(tc.epochs / 10, 1);
+
+  const auto result = train::train(
+      *model, ds.train, tc, [&](int epoch, float loss) {
+        if (epoch % log_every == 0)
+          std::printf("  epoch %4d  loss %.6f\n", epoch, loss);
+      });
+  std::printf("trained %s in %.2fs (fwd %.2fs, bwd %.2fs, step %.2fs); "
+              "peak %.1f MB, %.2f GFLOP\n",
+              model->name().c_str(), result.total_seconds,
+              result.phases.forward_s, result.phases.backward_s,
+              result.phases.step_s,
+              static_cast<double>(result.peak_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(result.flops) / 1e9);
+
+  if (args.has("save")) {
+    models::save_checkpoint(*model, args.get("save", ""));
+    std::printf("checkpoint written to %s\n", args.get("save", "").c_str());
+  }
+  if (!ds.test.empty() && args.num("eval", 1) != 0) {
+    eval::EvalConfig ec;
+    ec.max_queries =
+        static_cast<std::int64_t>(args.num("max-queries", 200));
+    std::printf("filtered link prediction on test split:\n");
+    print_metrics(eval::evaluate(*model, ds, ec));
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const kg::Dataset ds = load_dataset(args);
+  auto model = build_model(args, ds);
+  SPTX_CHECK(args.has("load"), "eval needs --load <checkpoint>");
+  models::load_checkpoint(*model, args.get("load", ""));
+  eval::EvalConfig ec;
+  ec.max_queries = static_cast<std::int64_t>(args.num("max-queries", 0));
+  ec.filtered = args.num("filtered", 1) != 0;
+  std::printf("%s on %s:\n", model->name().c_str(), ds.name.c_str());
+  print_metrics(eval::evaluate(*model, ds, ec));
+  if (args.num("by-category", 0) != 0) {
+    const auto by_cat = eval::evaluate_by_category(*model, ds, ec);
+    for (int c = 0; c < 4; ++c) {
+      std::printf("  [%s]", eval::to_string(
+                                static_cast<eval::RelationCategory>(c)));
+      print_metrics(by_cat.by_category[c]);
+    }
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const kg::Dataset ds = load_dataset(args);
+  std::printf("%s\n", ds.name.c_str());
+  std::printf("  entities  %lld\n", static_cast<long long>(ds.num_entities()));
+  std::printf("  relations %lld\n",
+              static_cast<long long>(ds.num_relations()));
+  std::printf("  train     %lld\n", static_cast<long long>(ds.train.size()));
+  std::printf("  valid     %lld\n", static_cast<long long>(ds.valid.size()));
+  std::printf("  test      %lld\n", static_cast<long long>(ds.test.size()));
+  const auto cats = eval::classify_relations(ds.train);
+  int counts[4] = {0, 0, 0, 0};
+  for (auto c : cats) counts[static_cast<int>(c)]++;
+  std::printf("  relation categories: 1-1 %d, 1-N %d, N-1 %d, N-N %d\n",
+              counts[0], counts[1], counts[2], counts[3]);
+  return 0;
+}
+
+int cmd_profiles() {
+  std::printf("%-10s %-10s %-10s %-12s\n", "dataset", "entities",
+              "relations", "triplets");
+  for (const auto& p : kg::paper_profiles()) {
+    std::printf("%-10s %-10lld %-10lld %-12lld\n", p.name.c_str(),
+                static_cast<long long>(p.entities),
+                static_cast<long long>(p.relations),
+                static_cast<long long>(p.triplets));
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: sptx <train|eval|info|profiles> [--option value ...]\n"
+      "  data:   --data file.{tsv,csv,sptx} | --profile NAME --scale S\n"
+      "  model:  --model TransE|TransR|TransH|TorusE|TransD|TransA|TransC|\n"
+      "          TransM|DistMult|ComplEx|RotatE  --framework sparse|dense\n"
+      "          --dim D --rel-dim D --margin M --dissimilarity l1|l2\n"
+      "          --loss margin|logistic --normalize 0|1\n"
+      "  train:  --epochs E --batch B --lr LR --optimizer sgd|adagrad\n"
+      "          --negatives K --resample-negatives 0|1\n"
+      "          --corruption uniform|bernoulli --save ckpt --load ckpt\n"
+      "          --shuffle 0|1 --weight-decay L --clip-norm C --patience P\n"
+      "  eval:   --load ckpt --max-queries Q --filtered 0|1 --by-category 1\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "eval") return cmd_eval(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "profiles") return cmd_profiles();
+    usage();
+    return args.command.empty() ? 1 : (args.command == "help" ? 0 : 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
