@@ -41,7 +41,7 @@ Variable scale(const Variable& a, float s);
 /// outlive the caller's batch scope. Backward: dx += Aᵀ·g — a second SpMM
 /// (Appendix G), not M row-scatters.
 Variable spmm(std::shared_ptr<const Csr> a, const Variable& x,
-              SpmmKernel kernel = SpmmKernel::kParallel);
+              SpmmKernel kernel = SpmmKernel::kAuto);
 
 // ---- Dense baseline path (TorchKGE-style) --------------------------------
 /// c_i = x[idx_i, :]: per-row embedding lookup. Backward scatter-adds g's

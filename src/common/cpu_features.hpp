@@ -1,0 +1,47 @@
+// Runtime CPU feature detection for the SIMD kernel dispatch.
+//
+// The SpMM engine compiles AVX2/FMA kernels unconditionally (via per-function
+// target attributes) and selects them at runtime from cpuid, so a portable
+// -DSPTX_NATIVE=OFF binary still runs the vector kernels on capable hardware
+// and falls back to scalar code everywhere else. SPTX_NO_SIMD=1 forces the
+// scalar path (used by the kernel-equivalence tests to cover both sides of
+// the dispatch on one machine).
+#pragma once
+
+#include <cstdlib>
+
+namespace sptx {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// cpuid-derived feature set, probed once per process.
+inline const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.fma = __builtin_cpu_supports("fma") != 0;
+    f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+/// True when the AVX2+FMA kernels may run: hardware support present and the
+/// SPTX_NO_SIMD kill-switch is unset (or "0").
+inline bool simd_enabled() {
+  static const bool enabled = [] {
+    const char* kill = std::getenv("SPTX_NO_SIMD");
+    if (kill != nullptr && kill[0] != '\0' && kill[0] != '0') return false;
+    return cpu_features().avx2 && cpu_features().fma;
+  }();
+  return enabled;
+}
+
+}  // namespace sptx

@@ -26,15 +26,20 @@ inline int num_threads() {
 }
 
 /// Parallel loop over [begin, end) with dynamic scheduling.
-/// `body` is invoked as body(i) for every index exactly once.
+/// `body` is invoked as body(i) for every index exactly once. `grain` is
+/// both the serial cutoff (n <= grain stays on the calling thread) and the
+/// dynamic-scheduling chunk size, so callers tune task granularity with one
+/// knob instead of fighting a hard-coded chunk.
 template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
                   std::int64_t grain = 64) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
+  if (grain < 1) grain = 1;
 #ifdef _OPENMP
   if (n > grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
-#pragma omp parallel for schedule(dynamic, 16)
+    const int chunk = static_cast<int>(grain > 1 << 20 ? 1 << 20 : grain);
+#pragma omp parallel for schedule(dynamic, chunk)
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
   }

@@ -9,6 +9,8 @@
 #include <cstring>
 
 #include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/simd.hpp"
 
 namespace sptx::nn {
 
@@ -26,15 +28,20 @@ EmbeddingTable::EmbeddingTable(Matrix init) {
 
 void EmbeddingTable::normalize_rows_prefix(index_t count) {
   SPTX_CHECK(count >= 0 && count <= rows(), "normalize prefix out of range");
+  // Runs after every optimizer step over the whole entity block, so it is a
+  // per-batch O(N·d) pass: vectorized per row, rows split across threads
+  // (each row is touched by exactly one task — no synchronization needed).
   Matrix& w = var_.mutable_value();
-  for (index_t i = 0; i < count; ++i) {
-    float* row = w.row(i);
-    float sq = 0.0f;
-    for (index_t j = 0; j < w.cols(); ++j) sq += row[j] * row[j];
-    if (sq <= 0.0f) continue;
-    const float inv = 1.0f / std::sqrt(sq);
-    for (index_t j = 0; j < w.cols(); ++j) row[j] *= inv;
-  }
+  const index_t d = w.cols();
+  parallel_for(
+      0, count,
+      [&](index_t i) {
+        float* row = w.row(i);
+        const float sq = simd::squared_norm(row, d);
+        if (sq <= 0.0f) return;
+        simd::scale(row, d, 1.0f / std::sqrt(sq));
+      },
+      /*grain=*/1024);
 }
 
 // ---- StreamingEmbedding ---------------------------------------------------

@@ -2,6 +2,37 @@
 
 namespace sptx {
 
+namespace {
+bool all_unit(const std::vector<float>& values) {
+  for (float v : values) {
+    if (v != 1.0f && v != -1.0f) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Coo::unit_values() const {
+  if (unit_values_cache < 0) unit_values_cache = all_unit(values) ? 1 : 0;
+  return unit_values_cache == 1;
+}
+
+bool Csr::unit_values() const {
+  if (unit_values_cache < 0) unit_values_cache = all_unit(values) ? 1 : 0;
+  return unit_values_cache == 1;
+}
+
+const Csr& Csr::transposed() const {
+  if (!transpose_cache) {
+    auto t = std::make_shared<Csr>(transpose(*this));
+    // Force the ±1 scan now (transpose preserves values, so the flag
+    // transfers): consumers query unit_values() on the transpose from
+    // inside parallel regions, and the lazy scan must not race there.
+    t->unit_values_cache = unit_values() ? 1 : 0;
+    transpose_cache = std::move(t);
+  }
+  return *transpose_cache;
+}
+
 Csr coo_to_csr(const Coo& coo) {
   Csr csr;
   csr.rows = coo.rows;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -36,6 +37,14 @@ struct Coo {
     col_idx.push_back(c);
     values.push_back(v);
   }
+
+  /// True when every stored coefficient is ±1 (the incidence-matrix
+  /// property the SpMM kernels exploit). Scanned once, then cached —
+  /// callers must treat the matrix as immutable after the first query.
+  bool unit_values() const;
+
+  /// Internal cache for unit_values(): -1 unknown, else 0/1.
+  mutable std::int8_t unit_values_cache = -1;
 };
 
 /// Compressed-sparse-row matrix.
@@ -48,6 +57,20 @@ struct Csr {
 
   index_t nnz() const { return static_cast<index_t>(values.size()); }
   index_t row_nnz(index_t r) const { return row_ptr[r + 1] - row_ptr[r]; }
+
+  /// True when every stored coefficient is ±1 (see Coo::unit_values).
+  bool unit_values() const;
+
+  /// Aᵀ in CSR form, built lazily on first use and cached, so a matrix that
+  /// serves both a forward SpMM and its backward pays the O(nnz + cols)
+  /// transpose once. Requires the matrix to be immutable after construction
+  /// (true for the incidence builders); the first call is not thread-safe —
+  /// the trainer takes it on the driving thread before any parallel region.
+  const Csr& transposed() const;
+
+  /// Internal caches (treat as private; copying a Csr shares them).
+  mutable std::int8_t unit_values_cache = -1;
+  mutable std::shared_ptr<const Csr> transpose_cache;
 };
 
 /// O(nnz) counting conversion; preserves within-row order of `coo`.

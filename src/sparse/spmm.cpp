@@ -1,8 +1,19 @@
 #include "src/sparse/spmm.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/cpu_features.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/simd.hpp"
 #include "src/profiling/flops.hpp"
 #include "src/profiling/timer.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define SPTX_SPMM_X86 1
+#include <immintrin.h>
+#endif
 
 namespace sptx {
 
@@ -12,19 +23,13 @@ namespace {
 // kernel's FMA folds into an add/sub on any optimized implementation (and
 // in hardware a multiply by ±1 costs nothing extra). FLOP accounting
 // reflects that: 1 FLOP per (nonzero × column) for unit-valued matrices,
-// 2 otherwise.
+// 2 otherwise. The ±1 scan itself is cached on the matrix.
 std::int64_t spmm_flops(const Csr& a, index_t dim) {
-  for (float v : a.values) {
-    if (v != 1.0f && v != -1.0f) return 2 * a.nnz() * dim;
-  }
-  return a.nnz() * dim;
+  return (a.unit_values() ? 1 : 2) * a.nnz() * dim;
 }
 
 std::int64_t spmm_flops(const Coo& a, index_t dim) {
-  for (float v : a.values) {
-    if (v != 1.0f && v != -1.0f) return 2 * a.nnz() * dim;
-  }
-  return a.nnz() * dim;
+  return (a.unit_values() ? 1 : 2) * a.nnz() * dim;
 }
 
 // Plain CSR row loop: for each output row, accumulate val * X[col, :].
@@ -106,7 +111,380 @@ void kernel_parallel(const Csr& a, const Matrix& x, Matrix& c) {
                [&](index_t i) { kernel_row_unrolled(a, x, c, i); });
 }
 
+// ---- SIMD engine ---------------------------------------------------------
+//
+// The register-blocked formulation: for each output row, column panels of
+// 16 (then 8) floats are held in ymm accumulators while the row's nonzeros
+// stream past, so C is written exactly once per element with no zero-fill
+// pass and no intermediate load/store round-trips — the scalar kernels pay
+// one C-row round-trip per nonzero. With ±1 coefficients the FMA becomes a
+// pure add/sub and the values array is only consulted for its sign.
+
+// Scalar mirror of the AVX2 kernel (same loop structure, compiler-vectorized
+// where possible). Also serves as the accumulate-mode scalar path for the
+// backward gather.
+void rows_panel_scalar(const Csr& a, const Matrix& x, Matrix& c, index_t i0,
+                       index_t i1, bool accumulate) {
+  const index_t d = x.cols();
+  const index_t stride = x.cols();
+  const float* xbase = x.data();
+  const index_t* cols = a.col_idx.data();
+  const float* vals = a.values.data();
+  for (index_t i = i0; i < i1; ++i) {
+    const index_t k0 = a.row_ptr[static_cast<std::size_t>(i)];
+    const index_t k1 = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    float* crow = c.row(i);
+    if (!accumulate) {
+      std::memset(crow, 0, static_cast<std::size_t>(d) * sizeof(float));
+    }
+    for (index_t k = k0; k < k1; ++k) {
+      axpy_unrolled(vals[k], xbase + cols[k] * stride, crow, d);
+    }
+  }
+}
+
+#ifdef SPTX_SPMM_X86
+
+// Row-range × column-panel AVX2/FMA kernel. `accumulate` seeds the
+// accumulators from C instead of zero (backward gather mode). Compiled with
+// a target attribute so it exists in portable builds; callers must gate on
+// simd_enabled().
+//
+// Incidence rows have 1–3 nonzeros (selection / ht / hrt builders), so the
+// kernel fuses those shapes: the row's X pointers and broadcast values are
+// hoisted into registers once and the column loop runs branch-free with the
+// output row held entirely in accumulators — C is written exactly once per
+// element, with no zero-fill pass and no per-nonzero C round-trips. A ±1
+// coefficient costs nothing extra: it rides the same FMA slot a general
+// value uses (the multiply folds into the add in hardware), which is why the
+// fused paths do not branch on sign; the variable-nnz fallback does take
+// the explicit add/sub path for unit-valued matrices.
+//
+// When the dense operand outgrows the fast cache levels every nonzero is a
+// memory-latency event, so the kernel software-prefetches the X rows a few
+// output rows ahead (`prefetch`, gated by the caller on x's footprint —
+// prefetching L1-resident tables just burns issue slots).
+constexpr index_t kPrefetchRowAhead = 4;
+constexpr std::size_t kPrefetchMinBytes = 4u << 20;  // ~fast-cache footprint
+
+// Outputs bigger than the fast cache stream straight back to memory anyway;
+// non-temporal stores skip the read-for-ownership of every C line, cutting
+// the output traffic of the (bandwidth-bound) kernel by a third. Below the
+// threshold regular stores keep C cache-hot for the consumer (training
+// immediately reduces the SpMM result to row norms).
+constexpr std::size_t kStreamMinBytes = 8u << 20;
+
+__attribute__((target("avx2,fma"))) void rows_panel_avx2(
+    const Csr& a, const Matrix& x, Matrix& c, index_t i0, index_t i1,
+    index_t j0, index_t j1, bool unit, bool accumulate, bool prefetch,
+    bool stream) {
+  // Non-temporal stores need 32-byte-aligned addresses: buffers are 64-byte
+  // aligned, so every row start (and every +8 step from an 8-aligned j0) is
+  // aligned iff the row stride is a multiple of 8 floats. Accumulate mode
+  // reads C anyway, so streaming would buy nothing there.
+  const bool nt = stream && !accumulate && c.cols() % 8 == 0 && j0 % 8 == 0;
+#define SPTX_STORE(p, v)                   \
+  do {                                     \
+    if (nt) {                              \
+      _mm256_stream_ps((p), (v));          \
+    } else {                               \
+      _mm256_storeu_ps((p), (v));          \
+    }                                      \
+  } while (0)
+  const index_t stride = x.cols();
+  const float* xbase = x.data();
+  const index_t* cols = a.col_idx.data();
+  const float* vals = a.values.data();
+  for (index_t i = i0; i < i1; ++i) {
+    if (prefetch) {
+      const index_t ipf = i + kPrefetchRowAhead;
+      if (ipf < i1) {
+        for (index_t k = a.row_ptr[static_cast<std::size_t>(ipf)];
+             k < a.row_ptr[static_cast<std::size_t>(ipf) + 1]; ++k) {
+          const char* p =
+              reinterpret_cast<const char*>(xbase + cols[k] * stride + j0);
+          const std::size_t len =
+              static_cast<std::size_t>(j1 - j0) * sizeof(float);
+          for (std::size_t off = 0; off < len; off += 64) {
+            _mm_prefetch(p + off, _MM_HINT_T0);
+          }
+        }
+      }
+    }
+    const index_t k0 = a.row_ptr[static_cast<std::size_t>(i)];
+    const index_t k1 = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    const index_t row_nnz = k1 - k0;
+    float* crow = c.row(i);
+    index_t j = j0;
+    if (row_nnz == 3) {
+      // hrt incidence shape: c = v0·x0 + v1·x1 + v2·x2 in registers.
+      const float* x0 = xbase + cols[k0] * stride;
+      const float* x1 = xbase + cols[k0 + 1] * stride;
+      const float* x2 = xbase + cols[k0 + 2] * stride;
+      const __m256 v0 = _mm256_set1_ps(vals[k0]);
+      const __m256 v1 = _mm256_set1_ps(vals[k0 + 1]);
+      const __m256 v2 = _mm256_set1_ps(vals[k0 + 2]);
+      for (; j + 16 <= j1; j += 16) {
+        __m256 acc0 = accumulate
+                          ? _mm256_fmadd_ps(_mm256_loadu_ps(x0 + j), v0,
+                                            _mm256_loadu_ps(crow + j))
+                          : _mm256_mul_ps(_mm256_loadu_ps(x0 + j), v0);
+        __m256 acc1 = accumulate
+                          ? _mm256_fmadd_ps(_mm256_loadu_ps(x0 + j + 8), v0,
+                                            _mm256_loadu_ps(crow + j + 8))
+                          : _mm256_mul_ps(_mm256_loadu_ps(x0 + j + 8), v0);
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x1 + j), v1, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x1 + j + 8), v1, acc1);
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x2 + j), v2, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x2 + j + 8), v2, acc1);
+        SPTX_STORE(crow + j, acc0);
+        SPTX_STORE(crow + j + 8, acc1);
+      }
+      for (; j + 8 <= j1; j += 8) {
+        __m256 acc = accumulate
+                         ? _mm256_fmadd_ps(_mm256_loadu_ps(x0 + j), v0,
+                                           _mm256_loadu_ps(crow + j))
+                         : _mm256_mul_ps(_mm256_loadu_ps(x0 + j), v0);
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x1 + j), v1, acc);
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x2 + j), v2, acc);
+        SPTX_STORE(crow + j, acc);
+      }
+      for (; j < j1; ++j) {
+        const float base = accumulate ? crow[j] : 0.0f;
+        crow[j] = base + vals[k0] * x0[j] + vals[k0 + 1] * x1[j] +
+                  vals[k0 + 2] * x2[j];
+      }
+      continue;
+    }
+    if (row_nnz == 2) {
+      // ht incidence shape: c = v0·x0 + v1·x1.
+      const float* x0 = xbase + cols[k0] * stride;
+      const float* x1 = xbase + cols[k0 + 1] * stride;
+      const __m256 v0 = _mm256_set1_ps(vals[k0]);
+      const __m256 v1 = _mm256_set1_ps(vals[k0 + 1]);
+      for (; j + 8 <= j1; j += 8) {
+        __m256 acc = accumulate
+                         ? _mm256_fmadd_ps(_mm256_loadu_ps(x0 + j), v0,
+                                           _mm256_loadu_ps(crow + j))
+                         : _mm256_mul_ps(_mm256_loadu_ps(x0 + j), v0);
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x1 + j), v1, acc);
+        SPTX_STORE(crow + j, acc);
+      }
+      for (; j < j1; ++j) {
+        const float base = accumulate ? crow[j] : 0.0f;
+        crow[j] = base + vals[k0] * x0[j] + vals[k0 + 1] * x1[j];
+      }
+      continue;
+    }
+    if (row_nnz == 1) {
+      // selection shape: c = v0·x0 (a gather row).
+      const float* x0 = xbase + cols[k0] * stride;
+      const __m256 v0 = _mm256_set1_ps(vals[k0]);
+      for (; j + 8 <= j1; j += 8) {
+        const __m256 acc =
+            accumulate ? _mm256_fmadd_ps(_mm256_loadu_ps(x0 + j), v0,
+                                         _mm256_loadu_ps(crow + j))
+                       : _mm256_mul_ps(_mm256_loadu_ps(x0 + j), v0);
+        SPTX_STORE(crow + j, acc);
+      }
+      for (; j < j1; ++j) {
+        crow[j] = (accumulate ? crow[j] : 0.0f) + vals[k0] * x0[j];
+      }
+      continue;
+    }
+    if (row_nnz == 0) {
+      if (!accumulate) {
+        for (; j + 8 <= j1; j += 8) {
+          SPTX_STORE(crow + j, _mm256_setzero_ps());
+        }
+        for (; j < j1; ++j) crow[j] = 0.0f;
+      }
+      continue;
+    }
+    // Variable-nnz fallback (general sparse matrices): accumulators stay in
+    // registers per 16-column panel while the row's nonzeros stream past.
+    for (; j + 16 <= j1; j += 16) {
+      __m256 acc0, acc1;
+      if (accumulate) {
+        acc0 = _mm256_loadu_ps(crow + j);
+        acc1 = _mm256_loadu_ps(crow + j + 8);
+      } else {
+        acc0 = _mm256_setzero_ps();
+        acc1 = _mm256_setzero_ps();
+      }
+      if (unit) {
+        for (index_t k = k0; k < k1; ++k) {
+          const float* xrow = xbase + cols[k] * stride + j;
+          if (vals[k] > 0.0f) {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(xrow));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(xrow + 8));
+          } else {
+            acc0 = _mm256_sub_ps(acc0, _mm256_loadu_ps(xrow));
+            acc1 = _mm256_sub_ps(acc1, _mm256_loadu_ps(xrow + 8));
+          }
+        }
+      } else {
+        for (index_t k = k0; k < k1; ++k) {
+          const float* xrow = xbase + cols[k] * stride + j;
+          const __m256 v = _mm256_set1_ps(vals[k]);
+          acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xrow), v, acc0);
+          acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(xrow + 8), v, acc1);
+        }
+      }
+      SPTX_STORE(crow + j, acc0);
+      SPTX_STORE(crow + j + 8, acc1);
+    }
+    for (; j + 8 <= j1; j += 8) {
+      __m256 acc =
+          accumulate ? _mm256_loadu_ps(crow + j) : _mm256_setzero_ps();
+      if (unit) {
+        for (index_t k = k0; k < k1; ++k) {
+          const __m256 xv = _mm256_loadu_ps(xbase + cols[k] * stride + j);
+          acc = vals[k] > 0.0f ? _mm256_add_ps(acc, xv)
+                               : _mm256_sub_ps(acc, xv);
+        }
+      } else {
+        for (index_t k = k0; k < k1; ++k) {
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(xbase + cols[k] * stride + j),
+                                _mm256_set1_ps(vals[k]), acc);
+        }
+      }
+      SPTX_STORE(crow + j, acc);
+    }
+    for (; j < j1; ++j) {
+      float acc = accumulate ? crow[j] : 0.0f;
+      for (index_t k = k0; k < k1; ++k) {
+        acc += vals[k] * xbase[cols[k] * stride + j];
+      }
+      crow[j] = acc;
+    }
+  }
+  if (nt) _mm_sfence();
+#undef SPTX_STORE
+}
+
+// COO scatter with a vectorized axpy per nonzero (±1 entries skip the
+// multiply). Entries may target any row, so this stays serial.
+__attribute__((target("avx2,fma"))) void coo_scatter_avx2(const Coo& a,
+                                                          const Matrix& x,
+                                                          Matrix& c,
+                                                          bool unit) {
+  const index_t d = x.cols();
+  for (index_t k = 0; k < a.nnz(); ++k) {
+    const float v = a.values[static_cast<std::size_t>(k)];
+    const float* xrow = x.row(a.col_idx[static_cast<std::size_t>(k)]);
+    float* crow = c.row(a.row_idx[static_cast<std::size_t>(k)]);
+    index_t j = 0;
+    if (unit) {
+      if (v > 0.0f) {
+        for (; j + 8 <= d; j += 8) {
+          _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j),
+                                                   _mm256_loadu_ps(xrow + j)));
+        }
+      } else {
+        for (; j + 8 <= d; j += 8) {
+          _mm256_storeu_ps(crow + j, _mm256_sub_ps(_mm256_loadu_ps(crow + j),
+                                                   _mm256_loadu_ps(xrow + j)));
+        }
+      }
+      for (; j < d; ++j) crow[j] += v > 0.0f ? xrow[j] : -xrow[j];
+    } else {
+      const __m256 vv = _mm256_set1_ps(v);
+      for (; j + 8 <= d; j += 8) {
+        _mm256_storeu_ps(crow + j,
+                         _mm256_fmadd_ps(_mm256_loadu_ps(xrow + j), vv,
+                                         _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < d; ++j) crow[j] += v * xrow[j];
+    }
+  }
+}
+
+#endif  // SPTX_SPMM_X86
+
+// Dispatch for a row range: AVX2 when the cpu allows it, scalar mirror
+// otherwise. Whole-d panel (the register-blocked loop already streams X and
+// C optimally; column tiling is a separate kernel).
+void rows_simd(const Csr& a, const Matrix& x, Matrix& c, index_t i0,
+               index_t i1, bool accumulate) {
+#ifdef SPTX_SPMM_X86
+  if (simd_enabled()) {
+    rows_panel_avx2(a, x, c, i0, i1, 0, x.cols(), a.unit_values(), accumulate,
+                    /*prefetch=*/x.bytes() >= kPrefetchMinBytes,
+                    /*stream=*/c.bytes() >= kStreamMinBytes);
+    return;
+  }
+#endif
+  rows_panel_scalar(a, x, c, i0, i1, accumulate);
+}
+
+void kernel_simd(const Csr& a, const Matrix& x, Matrix& c) {
+  rows_simd(a, x, c, 0, a.rows, /*accumulate=*/false);
+}
+
+// Combined kernel: dynamic parallel over row blocks, column panels inside a
+// block (keeps a block's CSR metadata and the touched X panels cache-hot),
+// SIMD inner loop.
+void kernel_tiled_parallel(const Csr& a, const Matrix& x, Matrix& c) {
+  constexpr index_t kRowBlock = 128;
+  constexpr index_t kPanel = 512;  // floats per panel (2 KiB)
+  const index_t d = x.cols();
+  const index_t blocks = (a.rows + kRowBlock - 1) / kRowBlock;
+  parallel_for(
+      0, blocks,
+      [&](index_t b) {
+        const index_t i0 = b * kRowBlock;
+        const index_t i1 = std::min<index_t>(i0 + kRowBlock, a.rows);
+#ifdef SPTX_SPMM_X86
+        if (simd_enabled()) {
+          const bool unit = a.unit_values();
+          const bool prefetch = x.bytes() >= kPrefetchMinBytes;
+          const bool stream = c.bytes() >= kStreamMinBytes;
+          for (index_t j0 = 0; j0 < d; j0 += kPanel) {
+            const index_t j1 = std::min<index_t>(j0 + kPanel, d);
+            rows_panel_avx2(a, x, c, i0, i1, j0, j1, unit,
+                            /*accumulate=*/false, prefetch, stream);
+          }
+          return;
+        }
+#endif
+        rows_panel_scalar(a, x, c, i0, i1, /*accumulate=*/false);
+      },
+      /*grain=*/1);
+}
+
+// ---- kAuto ---------------------------------------------------------------
+
+// Work (nnz·d) below which spawning a parallel region costs more than it
+// saves; measured on the ablation bench's small end.
+constexpr std::int64_t kParallelMinWork = 1 << 18;
+
+SpmmKernel parse_kernel_name(const char* s) {
+  if (std::strcmp(s, "naive") == 0) return SpmmKernel::kNaive;
+  if (std::strcmp(s, "unrolled") == 0) return SpmmKernel::kUnrolled;
+  if (std::strcmp(s, "tiled") == 0) return SpmmKernel::kTiled;
+  if (std::strcmp(s, "parallel") == 0) return SpmmKernel::kParallel;
+  if (std::strcmp(s, "simd") == 0) return SpmmKernel::kSimd;
+  if (std::strcmp(s, "tiled_parallel") == 0)
+    return SpmmKernel::kTiledParallel;
+  return SpmmKernel::kAuto;  // unknown names fall through to the heuristic
+}
+
 }  // namespace
+
+SpmmKernel spmm_auto_kernel(const Csr& a, index_t dim) {
+  if (const char* env = std::getenv("SPTX_SPMM_KERNEL")) {
+    const SpmmKernel forced = parse_kernel_name(env);
+    if (forced != SpmmKernel::kAuto) return forced;
+  }
+  const std::int64_t work = a.nnz() * dim;
+  const bool parallel_pays = num_threads() > 1 && work >= kParallelMinWork;
+  if (!simd_enabled()) {
+    if (parallel_pays) return SpmmKernel::kParallel;
+    return dim >= 512 ? SpmmKernel::kTiled : SpmmKernel::kUnrolled;
+  }
+  return parallel_pays ? SpmmKernel::kTiledParallel : SpmmKernel::kSimd;
+}
 
 void spmm_csr_into(const Csr& a, const Matrix& x, Matrix& c,
                    SpmmKernel kernel) {
@@ -117,6 +495,7 @@ void spmm_csr_into(const Csr& a, const Matrix& x, Matrix& c,
              "spmm: output shape " << c.shape_str());
   profiling::ScopedHotspot hotspot("sptx::spmm_csr");
   profiling::count_flops(spmm_flops(a, x.cols()));
+  if (kernel == SpmmKernel::kAuto) kernel = spmm_auto_kernel(a, x.cols());
   switch (kernel) {
     case SpmmKernel::kNaive:
       kernel_naive(a, x, c);
@@ -130,6 +509,15 @@ void spmm_csr_into(const Csr& a, const Matrix& x, Matrix& c,
     case SpmmKernel::kParallel:
       kernel_parallel(a, x, c);
       break;
+    case SpmmKernel::kSimd:
+      kernel_simd(a, x, c);
+      break;
+    case SpmmKernel::kTiledParallel:
+      kernel_tiled_parallel(a, x, c);
+      break;
+    case SpmmKernel::kAuto:  // resolved above
+      kernel_simd(a, x, c);
+      break;
   }
 }
 
@@ -139,20 +527,33 @@ Matrix spmm_csr(const Csr& a, const Matrix& x, SpmmKernel kernel) {
   return c;
 }
 
-Matrix spmm_coo(const Coo& a, const Matrix& x) {
+void spmm_coo_into(const Coo& a, const Matrix& x, Matrix& c) {
   SPTX_CHECK(x.rows() == a.cols,
              "spmm_coo: A is " << a.rows << "x" << a.cols << ", X is "
                                << x.shape_str());
+  SPTX_CHECK(c.rows() == a.rows && c.cols() == x.cols(),
+             "spmm_coo: output shape " << c.shape_str());
   profiling::ScopedHotspot hotspot("sptx::spmm_coo");
   profiling::count_flops(spmm_flops(a, x.cols()));
-  Matrix c(a.rows, x.cols());
+  c.zero();
   const index_t d = x.cols();
+#ifdef SPTX_SPMM_X86
+  if (simd_enabled()) {
+    coo_scatter_avx2(a, x, c, a.unit_values());
+    return;
+  }
+#endif
   for (index_t k = 0; k < a.nnz(); ++k) {
     const index_t r = a.row_idx[static_cast<std::size_t>(k)];
     const float v = a.values[static_cast<std::size_t>(k)];
     axpy_unrolled(v, x.row(a.col_idx[static_cast<std::size_t>(k)]), c.row(r),
                   d);
   }
+}
+
+Matrix spmm_coo(const Coo& a, const Matrix& x) {
+  Matrix c(a.rows, x.cols());
+  spmm_coo_into(a, x, c);
   return c;
 }
 
@@ -166,15 +567,47 @@ void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g,
   profiling::ScopedHotspot hotspot("sptx::spmm_csr_backward");
   profiling::count_flops(spmm_flops(a, g.cols()));
   const index_t d = g.cols();
-  // Serial scatter over rows. Parallelising this safely needs either
-  // atomics or a column partition; on the single-socket targets we profile,
-  // the scatter is memory-bound and the serial loop already saturates.
+
+  // The gather reformulation exists for its conflict-free parallelism: it
+  // sweeps every dX row (mostly empty for incidence columns) while the
+  // scatter streams g sequentially, so single-threaded the scatter wins —
+  // the gather only pays off when several threads can split the dX rows AND
+  // the per-call work clears the O(nnz + cols) transpose build. Training
+  // makes a fresh incidence matrix per batch (the cached transpose is used
+  // once), so the cols term matters: a small batch over a huge entity table
+  // must not pay a full-table transpose to replace a few thousand axpys.
+  const std::int64_t work = a.nnz() * d;
+  bool use_transpose = num_threads() > 1 && work >= kParallelMinWork / 8 &&
+                       work >= 8 * (a.nnz() + a.cols);
+  if (const char* env = std::getenv("SPTX_SPMM_BACKWARD")) {
+    if (std::strcmp(env, "scatter") == 0) use_transpose = false;
+    if (std::strcmp(env, "transpose") == 0) use_transpose = true;
+  }
+  if (use_transpose) {
+    // dX += Aᵀ·g as a forward SpMM over the cached transpose, run in
+    // accumulate mode: every dX row is written by exactly one task, so the
+    // row loop parallelizes with no atomics and no per-thread buffers.
+    const Csr& at = a.transposed();
+    constexpr index_t kRowBlock = 256;
+    const index_t blocks = (at.rows + kRowBlock - 1) / kRowBlock;
+    parallel_for(
+        0, blocks,
+        [&](index_t b) {
+          const index_t i0 = b * kRowBlock;
+          const index_t i1 = std::min<index_t>(i0 + kRowBlock, at.rows);
+          rows_simd(at, g, dx, i0, i1, /*accumulate=*/true);
+        },
+        /*grain=*/1);
+    return;
+  }
+  // Direct serial scatter (Appendix G without forming Aᵀ); g rows stream
+  // sequentially, each nonzero does one vectorized axpy into its dX row.
   for (index_t i = 0; i < a.rows; ++i) {
     const float* grow = g.row(i);
     for (index_t k = a.row_ptr[static_cast<std::size_t>(i)];
          k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-      axpy_unrolled(a.values[static_cast<std::size_t>(k)], grow,
-                    dx.row(a.col_idx[static_cast<std::size_t>(k)]), d);
+      simd::axpy(dx.row(a.col_idx[static_cast<std::size_t>(k)]), grow,
+                 a.values[static_cast<std::size_t>(k)], d);
     }
   }
 }

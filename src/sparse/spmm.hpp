@@ -3,13 +3,24 @@
 // Forward:  C = A · X        (spmm_csr / spmm_coo)
 // Backward: dX = Aᵀ · dC     (spmm_csr_transposed — Appendix G shows the
 //                             gradient of SpMM w.r.t. the dense operand is
-//                             another SpMM with the transposed sparse matrix;
-//                             we compute it by scattering per CSR row, which
-//                             avoids materialising Aᵀ.)
+//                             another SpMM with the transposed sparse matrix.)
 //
-// Kernel variants implement the optimizations §2 lists for the library
-// (loop unrolling, register blocking, OpenMP dynamic scheduling); the
-// ablation bench compares them. All kernels count FLOPs (2·nnz·d).
+// Kernel zoo (the ablation bench compares them):
+//   kNaive          plain row loop, the reference implementation
+//   kUnrolled       inner dim unrolled by 4 (§2's loop unrolling)
+//   kTiled          cache-blocked column panels × row blocks (§2's tiling)
+//   kParallel       OpenMP dynamic over rows, unrolled scalar inner loop
+//   kSimd           AVX2/FMA register-blocked rows; ±1 coefficients take a
+//                   multiply-free add/sub path (incidence matrices only ever
+//                   hold ±1). Falls back to kUnrolled without AVX2+FMA.
+//   kTiledParallel  row-block parallel × column panels with the SIMD inner
+//                   kernel — the combined §2 optimisations in one kernel
+//   kAuto           runtime choice, see spmm_auto_kernel below
+//
+// All SIMD paths are selected at runtime from cpuid (cpu_features.hpp), so
+// portable builds still vectorize on capable hardware; SPTX_NO_SIMD=1
+// forces scalar. All kernels count FLOPs (2·nnz·d, or nnz·d for ±1-valued
+// matrices where the multiply folds away).
 #pragma once
 
 #include "src/sparse/sparse_matrix.hpp"
@@ -18,31 +29,55 @@
 namespace sptx {
 
 enum class SpmmKernel {
-  kNaive,      // plain row loop
-  kUnrolled,   // inner dim unrolled by 4
-  kTiled,      // cache-blocked: column panels × row blocks (§2's tiling)
-  kParallel,   // OpenMP dynamic over rows, unrolled inner loop
+  kNaive,          // plain row loop
+  kUnrolled,       // inner dim unrolled by 4
+  kTiled,          // cache-blocked: column panels × row blocks (§2's tiling)
+  kParallel,       // OpenMP dynamic over rows, unrolled inner loop
+  kSimd,           // AVX2/FMA register-blocked, ±1-specialised, serial
+  kTiledParallel,  // parallel row blocks × column panels, SIMD inner loop
+  kAuto,           // pick from (nnz, rows, dim, threads) at call time
 };
+
+/// The kAuto dispatch heuristic, exposed so tests/benches can interrogate
+/// the choice. Decision order:
+///   1. SPTX_SPMM_KERNEL=naive|unrolled|tiled|parallel|simd|tiled_parallel
+///      overrides everything (operator escape hatch).
+///   2. Without AVX2+FMA (or with SPTX_NO_SIMD): kParallel when the work
+///      nnz·d clears the parallel threshold (2^18) on a multi-core host;
+///      otherwise kTiled for wide rows (d ≥ 512, where panels keep the
+///      active set in L1/L2) and kUnrolled for everything smaller.
+///   3. With SIMD: kSimd when single-threaded or below the parallel
+///      threshold (thread start-up would dominate); kTiledParallel above it.
+SpmmKernel spmm_auto_kernel(const Csr& a, index_t dim);
 
 /// C = A · X with A in CSR. X must have A.cols rows. Returns (A.rows × d).
 Matrix spmm_csr(const Csr& a, const Matrix& x,
-                SpmmKernel kernel = SpmmKernel::kParallel);
+                SpmmKernel kernel = SpmmKernel::kAuto);
 
 /// In-place variant writing into a caller-owned output (avoids allocation
 /// in the training loop's hot path).
 void spmm_csr_into(const Csr& a, const Matrix& x, Matrix& c,
-                   SpmmKernel kernel = SpmmKernel::kParallel);
+                   SpmmKernel kernel = SpmmKernel::kAuto);
 
 /// C = A · X with A in COO (the GPU-library format in the paper, §5.5).
 Matrix spmm_coo(const Coo& a, const Matrix& x);
 
-/// dX += Aᵀ · g where g is (A.rows × d): the SpMM backward pass. Scatters
-/// row m of g into dX at A's column indices, scaled by A's values — exactly
-/// the Aᵀ·(∂L/∂C) product of Appendix G without forming Aᵀ.
+/// In-place COO variant (see spmm_csr_into).
+void spmm_coo_into(const Coo& a, const Matrix& x, Matrix& c);
+
+/// dX += Aᵀ · g where g is (A.rows × d): the SpMM backward pass. Two
+/// implementations behind one entry point:
+///   * small batches scatter row m of g into dX at A's column indices
+///     (Appendix G without forming Aᵀ);
+///   * large batches reuse A.transposed() — cached on the matrix, built
+///     once — and run the forward SIMD kernel in accumulate mode, which
+///     turns the serial scatter into a conflict-free parallel gather
+///     (each dX row is owned by exactly one task).
+/// SPTX_SPMM_BACKWARD=scatter|transpose overrides the size heuristic.
 void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g, Matrix& dx);
 
-/// Same, but materialises Aᵀ first and runs a forward SpMM (ablation /
-/// verification path).
+/// Same, but always materialises Aᵀ (uncached) and runs a forward SpMM
+/// (ablation / verification path).
 Matrix spmm_csr_transposed_explicit(const Csr& a, const Matrix& g);
 
 }  // namespace sptx

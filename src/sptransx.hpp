@@ -22,4 +22,5 @@
 #include "src/profiling/timer.hpp"
 #include "src/tensor/memory_tracker.hpp"
 #include "src/tensor/serialize.hpp"
+#include "src/tensor/workspace.hpp"
 #include "src/train/trainer.hpp"

@@ -5,14 +5,20 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/common/simd.hpp"
 #include "src/profiling/flops.hpp"
 #include "src/tensor/memory_tracker.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace sptx {
 
 namespace {
 constexpr std::size_t kAlignment = 64;  // cache line / AVX-512 vector width
+
+std::size_t padded_capacity(std::size_t raw) {
+  return (raw + kAlignment - 1) / kAlignment * kAlignment;
 }
+}  // namespace
 
 void Matrix::allocate(index_t rows, index_t cols) {
   SPTX_CHECK(rows >= 0 && cols >= 0, "negative shape");
@@ -20,20 +26,33 @@ void Matrix::allocate(index_t rows, index_t cols) {
   cols_ = cols;
   if (size() == 0) {
     data_ = nullptr;
+    tracked_bytes_ = 0;
     return;
   }
   const std::size_t raw = bytes();
-  const std::size_t padded = (raw + kAlignment - 1) / kAlignment * kAlignment;
+  const std::size_t padded = padded_capacity(raw);
+  // Inside a ScopedWorkspace, same-capacity buffers recycle without touching
+  // the allocator or the tracker — the training loop's zero-allocation path.
+  if (auto pooled = Workspace::instance().acquire(padded)) {
+    data_ = pooled->data;
+    tracked_bytes_ = pooled->tracked_bytes;
+    return;
+  }
   data_ = static_cast<float*>(std::aligned_alloc(kAlignment, padded));
   SPTX_CHECK(data_ != nullptr, "allocation of " << padded << " bytes failed");
+  tracked_bytes_ = raw;
   MemoryTracker::instance().on_alloc(raw);
 }
 
 void Matrix::release() {
   if (data_ != nullptr) {
-    MemoryTracker::instance().on_free(bytes());
-    std::free(data_);
+    const std::size_t padded = padded_capacity(bytes());
+    if (!Workspace::instance().release({data_, tracked_bytes_}, padded)) {
+      MemoryTracker::instance().on_free(tracked_bytes_);
+      std::free(data_);
+    }
     data_ = nullptr;
+    tracked_bytes_ = 0;
   }
   rows_ = cols_ = 0;
 }
@@ -74,9 +93,13 @@ Matrix& Matrix::operator=(const Matrix& other) {
 }
 
 Matrix::Matrix(Matrix&& other) noexcept
-    : data_(other.data_), rows_(other.rows_), cols_(other.cols_) {
+    : data_(other.data_),
+      rows_(other.rows_),
+      cols_(other.cols_),
+      tracked_bytes_(other.tracked_bytes_) {
   other.data_ = nullptr;
   other.rows_ = other.cols_ = 0;
+  other.tracked_bytes_ = 0;
 }
 
 Matrix& Matrix::operator=(Matrix&& other) noexcept {
@@ -85,8 +108,10 @@ Matrix& Matrix::operator=(Matrix&& other) noexcept {
   data_ = other.data_;
   rows_ = other.rows_;
   cols_ = other.cols_;
+  tracked_bytes_ = other.tracked_bytes_;
   other.data_ = nullptr;
   other.rows_ = other.cols_ = 0;
+  other.tracked_bytes_ = 0;
   return *this;
 }
 
@@ -113,31 +138,31 @@ void Matrix::fill_xavier(Rng& rng) {
 void Matrix::add_(const Matrix& o) {
   SPTX_CHECK(same_shape(o), "add_: " << shape_str() << " vs " << o.shape_str());
   profiling::count_flops(size());
-  for (index_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  simd::add(data_, o.data_, size());
 }
 
 void Matrix::sub_(const Matrix& o) {
   SPTX_CHECK(same_shape(o), "sub_: " << shape_str() << " vs " << o.shape_str());
   profiling::count_flops(size());
-  for (index_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  simd::sub(data_, o.data_, size());
 }
 
 void Matrix::mul_(const Matrix& o) {
   SPTX_CHECK(same_shape(o), "mul_: " << shape_str() << " vs " << o.shape_str());
   profiling::count_flops(size());
-  for (index_t i = 0; i < size(); ++i) data_[i] *= o.data_[i];
+  simd::mul(data_, o.data_, size());
 }
 
 void Matrix::scale_(float s) {
   profiling::count_flops(size());
-  for (index_t i = 0; i < size(); ++i) data_[i] *= s;
+  simd::scale(data_, size(), s);
 }
 
 void Matrix::axpy_(float alpha, const Matrix& o) {
   SPTX_CHECK(same_shape(o),
              "axpy_: " << shape_str() << " vs " << o.shape_str());
   profiling::count_flops(2 * size());
-  for (index_t i = 0; i < size(); ++i) data_[i] += alpha * o.data_[i];
+  simd::axpy(data_, o.data_, alpha, size());
 }
 
 void Matrix::scale_rows_(const Matrix& col) {
@@ -155,11 +180,9 @@ void Matrix::normalize_rows_l2_() {
   profiling::count_flops(3 * size());
   for (index_t i = 0; i < rows_; ++i) {
     float* r = row(i);
-    float sq = 0.0f;
-    for (index_t j = 0; j < cols_; ++j) sq += r[j] * r[j];
+    const float sq = simd::squared_norm(r, cols_);
     if (sq <= 0.0f) continue;
-    const float inv = 1.0f / std::sqrt(sq);
-    for (index_t j = 0; j < cols_; ++j) r[j] *= inv;
+    simd::scale(r, cols_, 1.0f / std::sqrt(sq));
   }
 }
 

@@ -108,6 +108,11 @@ class Matrix {
   float* data_ = nullptr;
   index_t rows_ = 0;
   index_t cols_ = 0;
+  // Bytes this buffer reported to the MemoryTracker at acquisition. Usually
+  // bytes(), but a buffer recycled through the Workspace pool keeps the
+  // count of its original allocation (its padded capacity covers both), so
+  // alloc/free accounting stays exactly paired.
+  std::size_t tracked_bytes_ = 0;
 };
 
 // ---- Out-of-place helpers (allocate the result) --------------------------

@@ -1,0 +1,76 @@
+#include "src/tensor/workspace.hpp"
+
+#include <cstdlib>
+
+#include "src/tensor/memory_tracker.hpp"
+
+namespace sptx {
+
+Workspace& Workspace::instance() {
+  static Workspace ws;
+  return ws;
+}
+
+void Workspace::enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++depth_;
+}
+
+void Workspace::disable() {
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (depth_ > 0 && --depth_ == 0) drain = true;
+  }
+  if (drain) trim();
+}
+
+std::optional<Workspace::Buffer> Workspace::acquire(std::size_t padded_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ == 0) return std::nullopt;
+  auto it = pool_.find(padded_bytes);
+  if (it == pool_.end() || it->second.empty()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  Buffer b = it->second.back();
+  it->second.pop_back();
+  ++hits_;
+  --cached_count_;
+  cached_bytes_ -= static_cast<std::int64_t>(b.tracked_bytes);
+  return b;
+}
+
+bool Workspace::release(Buffer buffer, std::size_t padded_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ == 0) return false;
+  pool_[padded_bytes].push_back(buffer);
+  ++cached_count_;
+  cached_bytes_ += static_cast<std::int64_t>(buffer.tracked_bytes);
+  return true;
+}
+
+void Workspace::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [size, buffers] : pool_) {
+    for (Buffer& b : buffers) {
+      MemoryTracker::instance().on_free(b.tracked_bytes);
+      std::free(b.data);
+    }
+  }
+  pool_.clear();
+  cached_bytes_ = 0;
+  cached_count_ = 0;
+}
+
+Workspace::Stats Workspace::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.cached_buffers = cached_count_;
+  s.cached_bytes = cached_bytes_;
+  return s;
+}
+
+}  // namespace sptx

@@ -6,6 +6,7 @@
 
 #include "src/profiling/flops.hpp"
 #include "src/tensor/memory_tracker.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace sptx::train {
 
@@ -46,6 +47,10 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
   TrainResult result;
   ScopedPeakWindow memory_window;
   profiling::FlopWindow flop_window;
+  // Recycle every per-batch tensor (SpMM outputs, autograd scratch, score
+  // columns) through the Workspace pool: after the first batch warms the
+  // free lists, the steady-state loop performs zero heap allocations.
+  ScopedWorkspace workspace;
   const auto t_start = profiling::clock::now();
 
   const index_t m = data.size();

@@ -63,8 +63,10 @@ TEST_P(SpmmKernelTest, CooAgreesWithCsr) {
 std::vector<SpmmCase> spmm_cases() {
   std::vector<SpmmCase> cases;
   int seed = 0;
-  for (SpmmKernel k : {SpmmKernel::kNaive, SpmmKernel::kUnrolled,
-                       SpmmKernel::kTiled, SpmmKernel::kParallel}) {
+  for (SpmmKernel k :
+       {SpmmKernel::kNaive, SpmmKernel::kUnrolled, SpmmKernel::kTiled,
+        SpmmKernel::kParallel, SpmmKernel::kSimd, SpmmKernel::kTiledParallel,
+        SpmmKernel::kAuto}) {
     cases.push_back({seed++, 1, 1, 1, 1, k});        // degenerate
     cases.push_back({seed++, 16, 8, 40, 5, k});      // odd dim (tail loop)
     cases.push_back({seed++, 16, 8, 40, 8, k});      // multiple of unroll

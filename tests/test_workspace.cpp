@@ -1,0 +1,137 @@
+// Workspace buffer-pool tests, including the PR's acceptance property: in
+// steady-state training the hot loop performs zero heap allocations —
+// MemoryTracker::total_allocs() stays flat across epochs once the first
+// batch has warmed the pool.
+#include <gtest/gtest.h>
+
+#include "src/kg/synthetic.hpp"
+#include "src/models/model.hpp"
+#include "src/tensor/matrix.hpp"
+#include "src/tensor/memory_tracker.hpp"
+#include "src/tensor/workspace.hpp"
+#include "src/train/trainer.hpp"
+
+namespace sptx {
+namespace {
+
+TEST(Workspace, DisabledByDefaultEveryAllocationHitsTheAllocator) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t before = tracker.total_allocs();
+  const std::int64_t live = tracker.current();
+  {
+    Matrix a(8, 8);
+  }
+  {
+    Matrix b(8, 8);
+  }
+  EXPECT_EQ(tracker.total_allocs() - before, 2);
+  EXPECT_EQ(tracker.current(), live);  // frees really freed
+}
+
+TEST(Workspace, ScopeRecyclesSameCapacityBuffers) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t live_before = tracker.current();
+  {
+    ScopedWorkspace ws;
+    const std::int64_t before = tracker.total_allocs();
+    { Matrix a(16, 16); }
+    { Matrix b(16, 16); }  // same capacity: served from the pool
+    { Matrix c(16, 16); }
+    EXPECT_EQ(tracker.total_allocs() - before, 1);
+  }
+  // Drain returned the pooled buffer to the OS and the tracker.
+  EXPECT_EQ(tracker.current(), live_before);
+}
+
+TEST(Workspace, DifferentShapesWithSamePaddedCapacityShareBuffers) {
+  ScopedWorkspace ws;
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t before = tracker.total_allocs();
+  { Matrix a(3, 5); }  // 60 B → padded 64
+  { Matrix b(4, 4); }  // 64 B → padded 64: reuses a's buffer
+  EXPECT_EQ(tracker.total_allocs() - before, 1);
+}
+
+TEST(Workspace, PooledBuffersCountAsLiveUntilDrain) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t live_before = tracker.current();
+  {
+    ScopedWorkspace ws;
+    { Matrix a(32, 32); }
+    // Released into the pool, not to the OS: still tracked as live.
+    EXPECT_EQ(tracker.current() - live_before,
+              static_cast<std::int64_t>(32 * 32 * sizeof(float)));
+    const auto stats = Workspace::instance().stats();
+    EXPECT_GE(stats.cached_buffers, 1);
+  }
+  EXPECT_EQ(tracker.current(), live_before);
+}
+
+TEST(Workspace, NestedScopesDrainOnlyAtOutermostExit) {
+  auto& tracker = MemoryTracker::instance();
+  const std::int64_t live_before = tracker.current();
+  {
+    ScopedWorkspace outer;
+    {
+      ScopedWorkspace inner;
+      { Matrix a(8, 8); }
+    }
+    // Inner exit must not drain: the buffer is still pooled.
+    EXPECT_GT(tracker.current(), live_before);
+    const std::int64_t before = tracker.total_allocs();
+    { Matrix b(8, 8); }
+    EXPECT_EQ(tracker.total_allocs(), before);  // pool hit
+  }
+  EXPECT_EQ(tracker.current(), live_before);
+}
+
+// The acceptance property: zero per-batch heap-allocation growth in
+// steady-state training, for both the plain-SGD sparse path and a model
+// with projections (TransR exercises relation_project's scratch tensors).
+TEST(Workspace, SteadyStateTrainingPerformsZeroAllocations) {
+  Rng rng(5);
+  kg::Dataset ds = kg::generate({"ws", 120, 6, 1200}, rng, 0.0, 0.0);
+  for (const char* name : {"TransE", "TransR"}) {
+    models::ModelConfig cfg;
+    cfg.dim = 16;
+    cfg.rel_dim = 8;
+    Rng mr(6);
+    auto model = models::make_sparse_model(name, ds.num_entities(),
+                                           ds.num_relations(), cfg, mr);
+    train::TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 256;
+    std::vector<std::int64_t> allocs_per_epoch;
+    train::train(*model, ds.train, tc, [&](int, float) {
+      allocs_per_epoch.push_back(MemoryTracker::instance().total_allocs());
+    });
+    ASSERT_EQ(allocs_per_epoch.size(), 4u);
+    // Epoch 0 warms the pool (first batch); from then on: dead flat.
+    EXPECT_EQ(allocs_per_epoch[1], allocs_per_epoch[0]) << name;
+    EXPECT_EQ(allocs_per_epoch[2], allocs_per_epoch[1]) << name;
+    EXPECT_EQ(allocs_per_epoch[3], allocs_per_epoch[2]) << name;
+  }
+}
+
+TEST(Workspace, AdagradTrainingIsAlsoAllocationFree) {
+  Rng rng(9);
+  kg::Dataset ds = kg::generate({"wsa", 80, 4, 800}, rng, 0.0, 0.0);
+  models::ModelConfig cfg;
+  cfg.dim = 12;
+  Rng mr(10);
+  auto model = models::make_sparse_model("TransE", ds.num_entities(),
+                                         ds.num_relations(), cfg, mr);
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 128;
+  tc.use_adagrad = true;
+  std::vector<std::int64_t> allocs;
+  train::train(*model, ds.train, tc, [&](int, float) {
+    allocs.push_back(MemoryTracker::instance().total_allocs());
+  });
+  ASSERT_EQ(allocs.size(), 3u);
+  EXPECT_EQ(allocs[2], allocs[1]);
+}
+
+}  // namespace
+}  // namespace sptx

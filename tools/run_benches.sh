@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the SpMM perf benches and emit machine-readable results, so the
+# kernel-performance trajectory is tracked from PR to PR.
+#
+#   tools/run_benches.sh [build_dir] [out_dir]
+#
+# Outputs (in out_dir, default repo root):
+#   BENCH_spmm.json      google-benchmark JSON for bench_ablation_kernels
+#                        (all forward kernels + both backward paths)
+#   BENCH_hotspots.txt   bench_fig2_hotspots text artefact (dense-baseline
+#                        profile that motivates the sparse formulation)
+#
+# Knobs: SPTX_BENCH_MIN_TIME (per-benchmark min time, default 0.2s),
+# SPTX_EPOCHS / SPTX_SCALE forwarded to the hotspot bench as usual.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
+min_time="${SPTX_BENCH_MIN_TIME:-0.2}"
+
+if [[ ! -x "$build_dir/bench_ablation_kernels" ]]; then
+  echo "bench_ablation_kernels not found in $build_dir — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== SpMM kernel ablation -> $out_dir/BENCH_spmm.json"
+"$build_dir/bench_ablation_kernels" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out_dir/BENCH_spmm.json" \
+  --benchmark_out_format=json
+
+if [[ -x "$build_dir/bench_fig2_hotspots" ]]; then
+  echo "== Training hotspots -> $out_dir/BENCH_hotspots.txt"
+  SPTX_EPOCHS="${SPTX_EPOCHS:-2}" "$build_dir/bench_fig2_hotspots" \
+    | tee "$out_dir/BENCH_hotspots.txt"
+fi
+
+echo "done."
