@@ -71,16 +71,41 @@ void rank_all(const models::KgeModel& model, const kg::Dataset& dataset,
 
   std::int64_t query_budget =
       config.max_queries > 0 ? config.max_queries : dataset.test.size();
-  std::vector<Triplet> candidates(static_cast<std::size_t>(n));
+  std::vector<Triplet> local_candidates(static_cast<std::size_t>(n));
 
   for (std::int64_t qi = 0; qi < dataset.test.size() && query_budget > 0;
        ++qi) {
     const Triplet& truth = dataset.test[qi];
     auto rank_side = [&](bool corrupt_tail) {
-      for (index_t e = 0; e < n; ++e) {
-        Triplet c = truth;
-        (corrupt_tail ? c.tail : c.head) = e;
-        candidates[static_cast<std::size_t>(e)] = c;
+      // The candidate batch for a (query, side) pair is identical across
+      // evaluations; a caller-supplied plan cache compiles it once and
+      // serves every later pass from the plan.
+      std::span<const Triplet> candidates;
+      std::shared_ptr<const sparse::CompiledBatch> plan;
+      auto fill = [&](std::vector<Triplet>& out) {
+        for (index_t e = 0; e < n; ++e) {
+          Triplet c = truth;
+          (corrupt_tail ? c.tail : c.head) = e;
+          out[static_cast<std::size_t>(e)] = c;
+        }
+      };
+      if (config.plan_cache) {
+        const sparse::PlanCache::Key key =
+            (static_cast<sparse::PlanCache::Key>(qi) << 1) |
+            (corrupt_tail ? 1u : 0u);
+        plan = config.plan_cache->find(key);
+        if (!plan) {
+          std::vector<Triplet> staged(static_cast<std::size_t>(n));
+          fill(staged);
+          plan = sparse::CompiledBatch::compile_owned(
+              std::move(staged), sparse::ScoringRecipe{},
+              dataset.num_entities(), dataset.train.num_relations());
+          config.plan_cache->put(key, plan);
+        }
+        candidates = plan->triplets();
+      } else {
+        fill(local_candidates);
+        candidates = local_candidates;
       }
       const std::vector<float> scores = model.score(candidates);
       const float truth_score = scores[static_cast<std::size_t>(

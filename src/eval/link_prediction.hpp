@@ -13,6 +13,7 @@
 
 #include "src/kg/dataset.hpp"
 #include "src/models/model.hpp"
+#include "src/sparse/plan_cache.hpp"
 
 namespace sptx::eval {
 
@@ -31,6 +32,18 @@ struct EvalConfig {
   bool corrupt_tails = true;
   /// Cap on evaluated test triplets (0 = all); keeps scaled runs fast.
   std::int64_t max_queries = 0;
+  /// Optional candidate-plan cache, keyed by (query index, corruption
+  /// side). Each (test triplet, side) pair scores the same N-candidate
+  /// batch on every evaluation, so callers that evaluate repeatedly
+  /// (convergence tracking, per-category passes over one test set) share a
+  /// sparse::PlanCache here and reuse the staged candidate batches after
+  /// the first pass. What is reused is the candidate *staging* (the plans
+  /// carry no incidence — score() is the dense fast path), so the win is
+  /// bounded by the O(N) fill per query, not the O(N·d) scoring. Memory:
+  /// 2·|test|·N staged triplets stay resident. Opt in only for small test
+  /// splits that are evaluated many times; the cache is bound to one
+  /// dataset — invalidate() (or a fresh cache) when the split changes.
+  sparse::PlanCache* plan_cache = nullptr;
 };
 
 /// Evaluate `model` on `dataset.test` against all entities.

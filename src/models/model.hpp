@@ -22,6 +22,7 @@
 #include "src/autograd/variable.hpp"
 #include "src/common/rng.hpp"
 #include "src/kg/triplet.hpp"
+#include "src/sparse/plan_cache.hpp"
 
 namespace sptx::models {
 
@@ -87,6 +88,42 @@ class KgeModel {
   index_t num_entities_;
   index_t num_relations_;
   ModelConfig config_;
+};
+
+/// Base for the sparse model families: the forward pass is a ScoringRecipe
+/// (which incidence builders the batch needs — pure data, compiled by
+/// sparse::CompiledBatch possibly on a prefetch thread) plus a scoring core
+/// (the model-specific SpMMs and reduction over the pre-built structures).
+/// distance() and loss() dedupe here: subclasses keep only recipe(),
+/// forward(), the non-autograd score() and post_step().
+///
+/// forward() returns a ranking-ready (M×1) column — distance-like, lower =
+/// more plausible; similarity models negate inside their core so one
+/// margin-ranking loss drives every family. score() keeps each model's
+/// natural sign for evaluation (see higher_is_better).
+class ScoringCoreModel : public KgeModel {
+ public:
+  /// Which incidence structures forward() consumes. Drives plan
+  /// compilation; needs no model state beyond the config.
+  virtual sparse::ScoringRecipe recipe() const = 0;
+
+  /// The scoring core over a compiled batch.
+  virtual autograd::Variable forward(const sparse::CompiledBatch& batch) = 0;
+
+  /// Span path: compiles an ephemeral plan, then runs the core — the
+  /// legacy per-batch rebuild behaviour, kept for external callers and as
+  /// the reference path the plan cache is tested against.
+  autograd::Variable distance(std::span<const Triplet> batch);
+
+  /// Ranking loss over two compiled batches — the staged trainer's path.
+  autograd::Variable loss(const sparse::CompiledBatch& pos,
+                          const sparse::CompiledBatch& neg);
+
+  autograd::Variable loss(std::span<const Triplet> pos,
+                          std::span<const Triplet> neg) final;
+
+ protected:
+  using KgeModel::KgeModel;
 };
 
 /// Factory over {"TransE","TransR","TransH","TorusE"} sparse variants plus

@@ -1,0 +1,30 @@
+// Shared scoring-core execution: the plan/execute split at the model layer.
+//
+// Every sparse family used to interleave incidence building with its SpMM
+// algebra inside distance(); now the building lives in
+// sparse::CompiledBatch::compile (driven by the model's recipe) and the
+// algebra lives in forward(). These two shims connect the worlds: the span
+// path compiles an ephemeral plan per call (exactly the old per-batch
+// behaviour), and the compiled path is what the staged trainer feeds with
+// cached / prefetched plans.
+#include "src/models/model.hpp"
+
+namespace sptx::models {
+
+autograd::Variable ScoringCoreModel::distance(std::span<const Triplet> batch) {
+  const auto plan = sparse::CompiledBatch::compile(
+      batch, recipe(), num_entities_, num_relations_, /*copy_triplets=*/false);
+  return forward(*plan);
+}
+
+autograd::Variable ScoringCoreModel::loss(const sparse::CompiledBatch& pos,
+                                          const sparse::CompiledBatch& neg) {
+  return ranking_loss(forward(pos), forward(neg), config_);
+}
+
+autograd::Variable ScoringCoreModel::loss(std::span<const Triplet> pos,
+                                          std::span<const Triplet> neg) {
+  return ranking_loss(distance(pos), distance(neg), config_);
+}
+
+}  // namespace sptx::models

@@ -8,9 +8,13 @@ namespace {
 /// Even embedding size for the complex-pair models.
 index_t even_dim(index_t d) { return d % 2 == 0 ? d : d + 1; }
 
-std::shared_ptr<std::vector<Triplet>> to_shared(
-    std::span<const Triplet> batch) {
-  return std::make_shared<std::vector<Triplet>>(batch.begin(), batch.end());
+/// The semiring kernels consume the batch itself (by shared_ptr, so the
+/// autograd graph can outlive the caller) rather than an incidence matrix;
+/// the recipe just asks the plan for owned triplets.
+sparse::ScoringRecipe triplets_recipe() {
+  sparse::ScoringRecipe r;
+  r.shared_triplets = true;
+  return r;
 }
 }  // namespace
 
@@ -18,19 +22,17 @@ std::shared_ptr<std::vector<Triplet>> to_shared(
 
 SpDistMult::SpDistMult(index_t num_entities, index_t num_relations,
                        const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, config.dim, rng) {}
 
-autograd::Variable SpDistMult::loss(std::span<const Triplet> pos,
-                                    std::span<const Triplet> neg) {
-  // Similarity scores: margin loss wants distances, so negate.
-  autograd::Variable pos_s = autograd::scale(
-      autograd::distmult_score(ent_rel_.var(), to_shared(pos), num_entities_),
+sparse::ScoringRecipe SpDistMult::recipe() const { return triplets_recipe(); }
+
+autograd::Variable SpDistMult::forward(const sparse::CompiledBatch& batch) {
+  // Similarity score: the margin loss wants distances, so negate.
+  return autograd::scale(
+      autograd::distmult_score(ent_rel_.var(), batch.shared_triplets(),
+                               num_entities_),
       -1.0f);
-  autograd::Variable neg_s = autograd::scale(
-      autograd::distmult_score(ent_rel_.var(), to_shared(neg), num_entities_),
-      -1.0f);
-  return ranking_loss(pos_s, neg_s, config_);
 }
 
 std::vector<float> SpDistMult::score(std::span<const Triplet> batch) const {
@@ -57,18 +59,16 @@ std::vector<autograd::Variable> SpDistMult::params() {
 
 SpComplEx::SpComplEx(index_t num_entities, index_t num_relations,
                      const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, even_dim(config.dim), rng) {}
 
-autograd::Variable SpComplEx::loss(std::span<const Triplet> pos,
-                                   std::span<const Triplet> neg) {
-  autograd::Variable pos_s = autograd::scale(
-      autograd::complex_score(ent_rel_.var(), to_shared(pos), num_entities_),
+sparse::ScoringRecipe SpComplEx::recipe() const { return triplets_recipe(); }
+
+autograd::Variable SpComplEx::forward(const sparse::CompiledBatch& batch) {
+  return autograd::scale(
+      autograd::complex_score(ent_rel_.var(), batch.shared_triplets(),
+                              num_entities_),
       -1.0f);
-  autograd::Variable neg_s = autograd::scale(
-      autograd::complex_score(ent_rel_.var(), to_shared(neg), num_entities_),
-      -1.0f);
-  return ranking_loss(pos_s, neg_s, config_);
 }
 
 std::vector<float> SpComplEx::score(std::span<const Triplet> batch) const {
@@ -99,16 +99,15 @@ std::vector<autograd::Variable> SpComplEx::params() {
 
 SpRotatE::SpRotatE(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, even_dim(config.dim), rng) {}
 
-autograd::Variable SpRotatE::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  autograd::Variable pos_s =
-      autograd::rotate_score(ent_rel_.var(), to_shared(pos), num_entities_);
-  autograd::Variable neg_s =
-      autograd::rotate_score(ent_rel_.var(), to_shared(neg), num_entities_);
-  return ranking_loss(pos_s, neg_s, config_);
+sparse::ScoringRecipe SpRotatE::recipe() const { return triplets_recipe(); }
+
+autograd::Variable SpRotatE::forward(const sparse::CompiledBatch& batch) {
+  // Already a distance (lower = better); no negation needed.
+  return autograd::rotate_score(ent_rel_.var(), batch.shared_triplets(),
+                                num_entities_);
 }
 
 std::vector<float> SpRotatE::score(std::span<const Triplet> batch) const {

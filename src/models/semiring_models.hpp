@@ -16,13 +16,13 @@
 
 namespace sptx::models {
 
-class SpDistMult final : public KgeModel {
+class SpDistMult final : public ScoringCoreModel {
  public:
   SpDistMult(index_t num_entities, index_t num_relations,
              const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpDistMult"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   bool higher_is_better() const override { return true; }
   std::vector<autograd::Variable> params() override;
@@ -31,13 +31,13 @@ class SpDistMult final : public KgeModel {
   nn::EmbeddingTable ent_rel_;
 };
 
-class SpComplEx final : public KgeModel {
+class SpComplEx final : public ScoringCoreModel {
  public:
   SpComplEx(index_t num_entities, index_t num_relations,
             const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpComplEx"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   bool higher_is_better() const override { return true; }
   std::vector<autograd::Variable> params() override;
@@ -46,13 +46,13 @@ class SpComplEx final : public KgeModel {
   nn::EmbeddingTable ent_rel_;  // interleaved (re, im): cols = 2·(dim/2)
 };
 
-class SpRotatE final : public KgeModel {
+class SpRotatE final : public ScoringCoreModel {
  public:
   SpRotatE(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpRotatE"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
 

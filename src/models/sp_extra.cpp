@@ -25,7 +25,7 @@ void clamp_nonnegative(Matrix& m, float floor_at = 1e-4f) {
 
 SpTransD::SpTransD(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       entities_(num_entities, config.dim, rng),
       entity_proj_(num_entities, config.dim, rng),
       relations_(num_relations, config.dim, rng),
@@ -35,45 +35,38 @@ SpTransD::SpTransD(index_t num_entities, index_t num_relations,
   relation_proj_.mutable_weights().scale_(0.1f);
 }
 
-autograd::Variable SpTransD::distance(std::span<const Triplet> batch) {
-  auto ht_inc =
-      std::make_shared<Csr>(build_ht_incidence_csr(batch, num_entities_));
-  auto head_sel = std::make_shared<Csr>(build_entity_selection_csr(
-      batch, num_entities_, TripletSlot::kHead));
-  auto tail_sel = std::make_shared<Csr>(build_entity_selection_csr(
-      batch, num_entities_, TripletSlot::kTail));
-  auto rel_sel = std::make_shared<Csr>(
-      build_relation_selection_csr(batch, num_relations_));
+sparse::ScoringRecipe SpTransD::recipe() const {
+  sparse::ScoringRecipe r;
+  r.ht = true;
+  r.head_selection = true;
+  r.tail_selection = true;
+  r.relation_selection = true;
+  r.dim = config_.dim;
+  return r;
+}
 
+autograd::Variable SpTransD::forward(const sparse::CompiledBatch& batch) {
   // Rearranged TransD: (h − t) + r + ((h_pᵀh) − (t_pᵀt)) r_p.
   autograd::Variable ht =
-      autograd::spmm(std::move(ht_inc), entities_.var(), config_.kernel);
+      autograd::spmm(batch.ht(), entities_.var(), config_.kernel);
   autograd::Variable h =
-      autograd::spmm(head_sel, entities_.var(), config_.kernel);
-  autograd::Variable hp =
-      autograd::spmm(std::move(head_sel), entity_proj_.var(),
-                     config_.kernel);
+      autograd::spmm(batch.head_selection(), entities_.var(), config_.kernel);
+  autograd::Variable hp = autograd::spmm(batch.head_selection(),
+                                         entity_proj_.var(), config_.kernel);
   autograd::Variable t =
-      autograd::spmm(tail_sel, entities_.var(), config_.kernel);
-  autograd::Variable tp =
-      autograd::spmm(std::move(tail_sel), entity_proj_.var(),
-                     config_.kernel);
-  autograd::Variable r =
-      autograd::spmm(rel_sel, relations_.var(), config_.kernel);
-  autograd::Variable rp =
-      autograd::spmm(std::move(rel_sel), relation_proj_.var(),
-                     config_.kernel);
+      autograd::spmm(batch.tail_selection(), entities_.var(), config_.kernel);
+  autograd::Variable tp = autograd::spmm(batch.tail_selection(),
+                                         entity_proj_.var(), config_.kernel);
+  autograd::Variable r = autograd::spmm(batch.relation_selection(),
+                                        relations_.var(), config_.kernel);
+  autograd::Variable rp = autograd::spmm(batch.relation_selection(),
+                                         relation_proj_.var(), config_.kernel);
 
   autograd::Variable proj_scale =
       autograd::sub(autograd::row_dot(hp, h), autograd::row_dot(tp, t));
   autograd::Variable expr = autograd::add(
       autograd::add(ht, r), autograd::scale_rows(proj_scale, rp));
   return norm_for(expr, config_.dissimilarity);
-}
-
-autograd::Variable SpTransD::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
 }
 
 std::vector<float> SpTransD::score(std::span<const Triplet> batch) const {
@@ -122,28 +115,27 @@ void SpTransD::post_step() {
 
 SpTransA::SpTransA(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, config.dim, rng),
       metric_(num_relations, config.dim, rng) {
   metric_.mutable_weights().fill(1.0f);  // start at the Euclidean metric
 }
 
-autograd::Variable SpTransA::distance(std::span<const Triplet> batch) {
-  auto a = std::make_shared<Csr>(
-      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
-  auto rel_sel = std::make_shared<Csr>(
-      build_relation_selection_csr(batch, num_relations_));
-  autograd::Variable hrt =
-      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
-  autograd::Variable w =
-      autograd::spmm(std::move(rel_sel), metric_.var(), config_.kernel);
-  // Diagonal adaptive metric: Σ_j w_rj · hrt_j².
-  return autograd::row_dot(w, autograd::mul(hrt, hrt));
+sparse::ScoringRecipe SpTransA::recipe() const {
+  sparse::ScoringRecipe r;
+  r.hrt = true;
+  r.relation_selection = true;
+  r.dim = config_.dim;
+  return r;
 }
 
-autograd::Variable SpTransA::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
+autograd::Variable SpTransA::forward(const sparse::CompiledBatch& batch) {
+  autograd::Variable hrt =
+      autograd::spmm(batch.hrt(), ent_rel_.var(), config_.kernel);
+  autograd::Variable w = autograd::spmm(batch.relation_selection(),
+                                        metric_.var(), config_.kernel);
+  // Diagonal adaptive metric: Σ_j w_rj · hrt_j².
+  return autograd::row_dot(w, autograd::mul(hrt, hrt));
 }
 
 std::vector<float> SpTransA::score(std::span<const Triplet> batch) const {
@@ -183,20 +175,20 @@ void SpTransA::post_step() {
 
 SpTransC::SpTransC(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, config.dim, rng) {}
 
-autograd::Variable SpTransC::distance(std::span<const Triplet> batch) {
-  auto a = std::make_shared<Csr>(
-      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
-  autograd::Variable hrt =
-      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
-  return autograd::row_squared_l2(hrt);  // Table 2: ||h + r − t||₂²
+sparse::ScoringRecipe SpTransC::recipe() const {
+  sparse::ScoringRecipe r;
+  r.hrt = true;
+  r.dim = config_.dim;
+  return r;
 }
 
-autograd::Variable SpTransC::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
+autograd::Variable SpTransC::forward(const sparse::CompiledBatch& batch) {
+  autograd::Variable hrt =
+      autograd::spmm(batch.hrt(), ent_rel_.var(), config_.kernel);
+  return autograd::row_squared_l2(hrt);  // Table 2: ||h + r − t||₂²
 }
 
 std::vector<float> SpTransC::score(std::span<const Triplet> batch) const {
@@ -231,27 +223,27 @@ void SpTransC::post_step() {
 
 SpTransM::SpTransM(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, config.dim, rng),
       rel_weight_(num_relations, 1, rng) {
   rel_weight_.mutable_weights().fill(1.0f);
 }
 
-autograd::Variable SpTransM::distance(std::span<const Triplet> batch) {
-  auto a = std::make_shared<Csr>(
-      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
-  auto rel_sel = std::make_shared<Csr>(
-      build_relation_selection_csr(batch, num_relations_));
-  autograd::Variable hrt =
-      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
-  autograd::Variable w =
-      autograd::spmm(std::move(rel_sel), rel_weight_.var(), config_.kernel);
-  return autograd::mul(w, norm_for(hrt, config_.dissimilarity));
+sparse::ScoringRecipe SpTransM::recipe() const {
+  sparse::ScoringRecipe r;
+  r.hrt = true;
+  r.relation_selection = true;
+  r.dim = config_.dim;
+  r.relation_dim = 1;  // w_r is one scalar per relation
+  return r;
 }
 
-autograd::Variable SpTransM::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
+autograd::Variable SpTransM::forward(const sparse::CompiledBatch& batch) {
+  autograd::Variable hrt =
+      autograd::spmm(batch.hrt(), ent_rel_.var(), config_.kernel);
+  autograd::Variable w = autograd::spmm(batch.relation_selection(),
+                                        rel_weight_.var(), config_.kernel);
+  return autograd::mul(w, norm_for(hrt, config_.dissimilarity));
 }
 
 std::vector<float> SpTransM::score(std::span<const Triplet> batch) const {

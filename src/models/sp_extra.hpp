@@ -29,18 +29,16 @@
 
 namespace sptx::models {
 
-class SpTransD final : public KgeModel {
+class SpTransD final : public ScoringCoreModel {
  public:
   SpTransD(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpTransD"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable entities_;       // N × d
@@ -49,53 +47,47 @@ class SpTransD final : public KgeModel {
   nn::EmbeddingTable relation_proj_;  // R × d  (r_p)
 };
 
-class SpTransA final : public KgeModel {
+class SpTransA final : public ScoringCoreModel {
  public:
   SpTransA(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpTransA"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]
   nn::EmbeddingTable metric_;   // R × d diagonal metric weights (≥ 0)
 };
 
-class SpTransC final : public KgeModel {
+class SpTransC final : public ScoringCoreModel {
  public:
   SpTransC(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpTransC"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable ent_rel_;
 };
 
-class SpTransM final : public KgeModel {
+class SpTransM final : public ScoringCoreModel {
  public:
   SpTransM(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
   std::string name() const override { return "SpTransM"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable ent_rel_;

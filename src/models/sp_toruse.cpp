@@ -8,7 +8,7 @@ namespace sptx::models {
 
 SpTorusE::SpTorusE(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, config.dim, rng) {
   // TorusE lives on [0,1)^d: map the Xavier init onto the torus.
   Matrix& w = ent_rel_.mutable_weights();
@@ -16,19 +16,19 @@ SpTorusE::SpTorusE(index_t num_entities, index_t num_relations,
     w.data()[i] = w.data()[i] - std::floor(w.data()[i]);
 }
 
-autograd::Variable SpTorusE::distance(std::span<const Triplet> batch) {
-  auto a = std::make_shared<Csr>(
-      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
+sparse::ScoringRecipe SpTorusE::recipe() const {
+  sparse::ScoringRecipe r;
+  r.hrt = true;
+  r.dim = config_.dim;
+  return r;
+}
+
+autograd::Variable SpTorusE::forward(const sparse::CompiledBatch& batch) {
   autograd::Variable hrt =
-      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
+      autograd::spmm(batch.hrt(), ent_rel_.var(), config_.kernel);
   return config_.dissimilarity == Dissimilarity::kL2
              ? autograd::row_squared_l2_torus(hrt)
              : autograd::row_l1_torus(hrt);
-}
-
-autograd::Variable SpTorusE::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
 }
 
 std::vector<float> SpTorusE::score(std::span<const Triplet> batch) const {

@@ -13,18 +13,16 @@
 
 namespace sptx::models {
 
-class SpTorusE final : public KgeModel {
+class SpTorusE final : public ScoringCoreModel {
  public:
   SpTorusE(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
 
   std::string name() const override { return "SpTorusE"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]

@@ -8,21 +8,21 @@ namespace sptx::models {
 
 SpTransE::SpTransE(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       ent_rel_(num_entities + num_relations, config.dim, rng) {}
 
-autograd::Variable SpTransE::distance(std::span<const Triplet> batch) {
-  auto a = std::make_shared<Csr>(
-      build_hrt_incidence_csr(batch, num_entities_, num_relations_));
-  autograd::Variable hrt =
-      autograd::spmm(std::move(a), ent_rel_.var(), config_.kernel);
-  return config_.dissimilarity == Dissimilarity::kL2 ? autograd::row_l2(hrt)
-                                                     : autograd::row_l1(hrt);
+sparse::ScoringRecipe SpTransE::recipe() const {
+  sparse::ScoringRecipe r;
+  r.hrt = true;
+  r.dim = config_.dim;
+  return r;
 }
 
-autograd::Variable SpTransE::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
+autograd::Variable SpTransE::forward(const sparse::CompiledBatch& batch) {
+  autograd::Variable hrt =
+      autograd::spmm(batch.hrt(), ent_rel_.var(), config_.kernel);
+  return config_.dissimilarity == Dissimilarity::kL2 ? autograd::row_l2(hrt)
+                                                     : autograd::row_l1(hrt);
 }
 
 std::vector<float> SpTransE::score(std::span<const Triplet> batch) const {

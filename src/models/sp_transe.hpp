@@ -13,21 +13,17 @@
 
 namespace sptx::models {
 
-class SpTransE final : public KgeModel {
+class SpTransE final : public ScoringCoreModel {
  public:
   SpTransE(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
 
   std::string name() const override { return "SpTransE"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  /// Distance column for one batch (shared with SpTorusE's structure;
-  /// exposed for tests).
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]

@@ -9,26 +9,29 @@ namespace sptx::models {
 
 SpTransH::SpTransH(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       entities_(num_entities, config.dim, rng),
       normals_(num_relations, config.dim, rng),
       transfers_(num_relations, config.dim, rng) {
   normals_.normalize_rows();  // hyperplane normals start unit-length
 }
 
-autograd::Variable SpTransH::distance(std::span<const Triplet> batch) {
-  auto ht_inc =
-      std::make_shared<Csr>(build_ht_incidence_csr(batch, num_entities_));
-  auto rel_inc = std::make_shared<Csr>(
-      build_relation_selection_csr(batch, num_relations_));
+sparse::ScoringRecipe SpTransH::recipe() const {
+  sparse::ScoringRecipe r;
+  r.ht = true;
+  r.relation_selection = true;
+  r.dim = config_.dim;
+  return r;
+}
 
+autograd::Variable SpTransH::forward(const sparse::CompiledBatch& batch) {
   // One shared (h − t); w and d gathered through the same selection matrix.
   autograd::Variable ht =
-      autograd::spmm(std::move(ht_inc), entities_.var(), config_.kernel);
-  autograd::Variable w =
-      autograd::spmm(rel_inc, normals_.var(), config_.kernel);
-  autograd::Variable d =
-      autograd::spmm(rel_inc, transfers_.var(), config_.kernel);
+      autograd::spmm(batch.ht(), entities_.var(), config_.kernel);
+  autograd::Variable w = autograd::spmm(batch.relation_selection(),
+                                        normals_.var(), config_.kernel);
+  autograd::Variable d = autograd::spmm(batch.relation_selection(),
+                                        transfers_.var(), config_.kernel);
 
   // (h − t) + d_r − (w_rᵀ(h − t)) w_r
   autograd::Variable wdot = autograd::row_dot(w, ht);
@@ -37,11 +40,6 @@ autograd::Variable SpTransH::distance(std::span<const Triplet> batch) {
       autograd::sub(autograd::add(ht, d), proj);
   return config_.dissimilarity == Dissimilarity::kL2 ? autograd::row_l2(expr)
                                                      : autograd::row_l1(expr);
-}
-
-autograd::Variable SpTransH::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
 }
 
 std::vector<float> SpTransH::score(std::span<const Triplet> batch) const {

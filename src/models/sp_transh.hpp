@@ -17,19 +17,17 @@
 
 namespace sptx::models {
 
-class SpTransH final : public KgeModel {
+class SpTransH final : public ScoringCoreModel {
  public:
   SpTransH(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
 
   std::string name() const override { return "SpTransH"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable entities_;   // N × d

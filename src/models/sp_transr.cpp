@@ -6,27 +6,9 @@
 
 namespace sptx::models {
 
-Csr build_relation_selection_csr(std::span<const Triplet> batch,
-                                 index_t num_relations) {
-  Csr a;
-  a.rows = static_cast<index_t>(batch.size());
-  a.cols = num_relations;
-  a.row_ptr.resize(batch.size() + 1);
-  a.col_idx.resize(batch.size());
-  a.values.assign(batch.size(), 1.0f);
-  for (std::size_t m = 0; m < batch.size(); ++m) {
-    SPTX_CHECK(batch[m].relation >= 0 && batch[m].relation < num_relations,
-               "relation out of range");
-    a.row_ptr[m] = static_cast<index_t>(m);
-    a.col_idx[m] = batch[m].relation;
-  }
-  a.row_ptr[batch.size()] = static_cast<index_t>(batch.size());
-  return a;
-}
-
 SpTransR::SpTransR(index_t num_entities, index_t num_relations,
                    const ModelConfig& config, Rng& rng)
-    : KgeModel(num_entities, num_relations, config),
+    : ScoringCoreModel(num_entities, num_relations, config),
       entities_(num_entities, config.dim, rng),
       relations_(num_relations, config.rel_dim, rng),
       projections_(num_relations * config.rel_dim, config.dim, rng) {
@@ -35,31 +17,28 @@ SpTransR::SpTransR(index_t num_entities, index_t num_relations,
   // relation vectors unit-ish via post_step().
 }
 
-autograd::Variable SpTransR::distance(std::span<const Triplet> batch) {
-  auto ht_inc =
-      std::make_shared<Csr>(build_ht_incidence_csr(batch, num_entities_));
-  auto rel_inc = std::make_shared<Csr>(
-      build_relation_selection_csr(batch, num_relations_));
-  auto rel_idx = std::make_shared<std::vector<index_t>>();
-  rel_idx->reserve(batch.size());
-  for (const Triplet& t : batch) rel_idx->push_back(t.relation);
+sparse::ScoringRecipe SpTransR::recipe() const {
+  sparse::ScoringRecipe r;
+  r.ht = true;
+  r.relation_selection = true;
+  r.relation_indices = true;
+  r.dim = config_.dim;
+  r.relation_dim = config_.rel_dim;  // relations live in the d_r space
+  return r;
+}
 
+autograd::Variable SpTransR::forward(const sparse::CompiledBatch& batch) {
   // ht = h − t via one SpMM; project once; add the gathered relations.
   autograd::Variable ht =
-      autograd::spmm(std::move(ht_inc), entities_.var(), config_.kernel);
+      autograd::spmm(batch.ht(), entities_.var(), config_.kernel);
   autograd::Variable projected = autograd::relation_project(
-      projections_.var(), ht, std::move(rel_idx), config_.rel_dim);
-  autograd::Variable r =
-      autograd::spmm(std::move(rel_inc), relations_.var(), config_.kernel);
+      projections_.var(), ht, batch.relation_indices(), config_.rel_dim);
+  autograd::Variable r = autograd::spmm(batch.relation_selection(),
+                                        relations_.var(), config_.kernel);
   autograd::Variable translated = autograd::add(projected, r);
   return config_.dissimilarity == Dissimilarity::kL2
              ? autograd::row_l2(translated)
              : autograd::row_l1(translated);
-}
-
-autograd::Variable SpTransR::loss(std::span<const Triplet> pos,
-                                  std::span<const Triplet> neg) {
-  return ranking_loss(distance(pos), distance(neg), config_);
 }
 
 std::vector<float> SpTransR::score(std::span<const Triplet> batch) const {

@@ -11,28 +11,26 @@
 
 #include "src/models/model.hpp"
 #include "src/nn/embedding.hpp"
+#include "src/sparse/incidence.hpp"
 
 namespace sptx::models {
 
-/// Build the (M×R) relation-selection incidence matrix: row m has +1 at
-/// rel(m). SpMM with the relation table gathers per-triplet relation rows;
-/// the transposed SpMM scatters their gradients (shared with SpTransH).
-Csr build_relation_selection_csr(std::span<const Triplet> batch,
-                                 index_t num_relations);
+/// The relation-selection incidence builder moved to sparse/incidence.hpp
+/// (where the other builders live); this alias keeps existing callers of
+/// models::build_relation_selection_csr compiling.
+using sptx::build_relation_selection_csr;
 
-class SpTransR final : public KgeModel {
+class SpTransR final : public ScoringCoreModel {
  public:
   SpTransR(index_t num_entities, index_t num_relations,
            const ModelConfig& config, Rng& rng);
 
   std::string name() const override { return "SpTransR"; }
-  autograd::Variable loss(std::span<const Triplet> pos,
-                          std::span<const Triplet> neg) override;
+  sparse::ScoringRecipe recipe() const override;
+  autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
-
-  autograd::Variable distance(std::span<const Triplet> batch);
 
  private:
   nn::EmbeddingTable entities_;     // N × d

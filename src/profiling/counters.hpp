@@ -1,0 +1,60 @@
+// Structural-event counters for the plan-compilation pipeline.
+//
+// flops.hpp counts arithmetic; this header counts *events*: incidence-matrix
+// builds, batch-plan compilations, plan-cache hits and invalidations. The
+// counters let tests and benches assert cache behaviour directly — e.g. that
+// a shuffle-free training run performs zero incidence rebuilds after the
+// first epoch — instead of inferring it from timings. Same design as the
+// FLOP counter: one relaxed atomic add per event, negligible next to the
+// work being counted.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace sptx::profiling {
+
+enum class Counter : int {
+  kIncidenceBuilds = 0,   // incidence/selection CSR builder invocations
+  kPlanCompiles,          // CompiledBatch compilations
+  kPlanCacheHits,         // plans served from a PlanCache
+  kPlanInvalidations,     // PlanCache::invalidate calls that dropped entries
+  kNumCounters,
+};
+
+namespace detail {
+inline std::atomic<std::int64_t>& counter_cell(Counter c) {
+  static std::array<std::atomic<std::int64_t>,
+                    static_cast<std::size_t>(Counter::kNumCounters)>
+      cells{};
+  return cells[static_cast<std::size_t>(c)];
+}
+}  // namespace detail
+
+/// Record `n` occurrences of event `c`.
+inline void count_event(Counter c, std::int64_t n = 1) {
+  detail::counter_cell(c).fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Total events recorded since process start / last reset.
+inline std::int64_t counter_value(Counter c) {
+  return detail::counter_cell(c).load(std::memory_order_relaxed);
+}
+
+inline void reset_counter(Counter c) {
+  detail::counter_cell(c).store(0, std::memory_order_relaxed);
+}
+
+/// RAII window: counter_value(c) relative to construction (like FlopWindow).
+class CounterWindow {
+ public:
+  explicit CounterWindow(Counter c) : counter_(c), start_(counter_value(c)) {}
+  std::int64_t elapsed() const { return counter_value(counter_) - start_; }
+
+ private:
+  Counter counter_;
+  std::int64_t start_;
+};
+
+}  // namespace sptx::profiling

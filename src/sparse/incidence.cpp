@@ -1,8 +1,11 @@
 #include "src/sparse/incidence.hpp"
 
+#include "src/profiling/counters.hpp"
+
 namespace sptx {
 
 Coo build_ht_incidence(std::span<const Triplet> batch, index_t num_entities) {
+  profiling::count_event(profiling::Counter::kIncidenceBuilds);
   Coo a;
   a.rows = static_cast<index_t>(batch.size());
   a.cols = num_entities;
@@ -20,6 +23,7 @@ Coo build_ht_incidence(std::span<const Triplet> batch, index_t num_entities) {
 
 Coo build_hrt_incidence(std::span<const Triplet> batch, index_t num_entities,
                         index_t num_relations) {
+  profiling::count_event(profiling::Counter::kIncidenceBuilds);
   Coo a;
   a.rows = static_cast<index_t>(batch.size());
   a.cols = num_entities + num_relations;
@@ -39,6 +43,7 @@ Coo build_hrt_incidence(std::span<const Triplet> batch, index_t num_entities,
 
 Csr build_ht_incidence_csr(std::span<const Triplet> batch,
                            index_t num_entities) {
+  profiling::count_event(profiling::Counter::kIncidenceBuilds);
   // Direct CSR construction: every row has exactly 2 entries, so row_ptr is
   // arithmetic and no counting pass is needed.
   Csr a;
@@ -63,6 +68,7 @@ Csr build_ht_incidence_csr(std::span<const Triplet> batch,
 
 Csr build_hrt_incidence_csr(std::span<const Triplet> batch,
                             index_t num_entities, index_t num_relations) {
+  profiling::count_event(profiling::Counter::kIncidenceBuilds);
   Csr a;
   a.rows = static_cast<index_t>(batch.size());
   a.cols = num_entities + num_relations;
@@ -88,6 +94,7 @@ Csr build_hrt_incidence_csr(std::span<const Triplet> batch,
 
 Csr build_entity_selection_csr(std::span<const Triplet> batch,
                                index_t num_entities, TripletSlot slot) {
+  profiling::count_event(profiling::Counter::kIncidenceBuilds);
   Csr a;
   a.rows = static_cast<index_t>(batch.size());
   a.cols = num_entities;
@@ -100,6 +107,25 @@ Csr build_entity_selection_csr(std::span<const Triplet> batch,
     SPTX_CHECK(e >= 0 && e < num_entities, "entity out of range");
     a.row_ptr[m] = static_cast<index_t>(m);
     a.col_idx[m] = e;
+  }
+  a.row_ptr[batch.size()] = static_cast<index_t>(batch.size());
+  return a;
+}
+
+Csr build_relation_selection_csr(std::span<const Triplet> batch,
+                                 index_t num_relations) {
+  profiling::count_event(profiling::Counter::kIncidenceBuilds);
+  Csr a;
+  a.rows = static_cast<index_t>(batch.size());
+  a.cols = num_relations;
+  a.row_ptr.resize(batch.size() + 1);
+  a.col_idx.resize(batch.size());
+  a.values.assign(batch.size(), 1.0f);
+  for (std::size_t m = 0; m < batch.size(); ++m) {
+    SPTX_CHECK(batch[m].relation >= 0 && batch[m].relation < num_relations,
+               "relation out of range");
+    a.row_ptr[m] = static_cast<index_t>(m);
+    a.col_idx[m] = batch[m].relation;
   }
   a.row_ptr[batch.size()] = static_cast<index_t>(batch.size());
   return a;

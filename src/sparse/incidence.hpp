@@ -50,4 +50,10 @@ enum class TripletSlot { kHead, kTail };
 Csr build_entity_selection_csr(std::span<const Triplet> batch,
                                index_t num_entities, TripletSlot slot);
 
+/// (M×R) one-hot relation-selection matrix: row m has +1 at rel(m). SpMM
+/// with the relation table gathers per-triplet relation rows; the
+/// transposed SpMM scatters their gradients (TransH / TransR / TransA / …).
+Csr build_relation_selection_csr(std::span<const Triplet> batch,
+                                 index_t num_relations);
+
 }  // namespace sptx

@@ -1,0 +1,147 @@
+// Compiled-batch plans and their cache — the plan/execute split.
+//
+// The paper reduces KGE training to SpMMs over per-batch incidence matrices,
+// but the seed implementation rebuilt every incidence matrix from raw
+// triplets on every batch of every epoch. This header separates the two
+// stages:
+//
+//  * ScoringRecipe — a model's declaration of which incidence structures its
+//    forward pass consumes (which builders + auxiliary index vectors). Pure
+//    data: compiling a recipe needs the triplets and the vocabulary sizes,
+//    never the model's weights, so compilation can run on a background
+//    thread while training executes.
+//  * CompiledBatch — one batch compiled against a recipe: the (optionally
+//    owned) triplets plus every pre-built CSR the recipe names, with the
+//    backward-pass transpose pre-warmed when the SpMM engine would use it.
+//    Immutable after compile; shared_ptr so autograd graphs, caches and
+//    epoch schedules can share one compilation.
+//  * PlanCache — keyed store of CompiledBatches with explicit invalidation.
+//    The trainer keys by batch ordinal and invalidates on shuffle /
+//    negative-resampling; link-prediction keys by (query, side) to reuse
+//    candidate batches across repeated evaluations.
+//
+// All cache traffic is counted through profiling/counters.hpp so tests can
+// assert hit rates and zero-rebuild epochs directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kg/triplet.hpp"
+#include "src/sparse/sparse_matrix.hpp"
+
+namespace sptx::sparse {
+
+/// Which incidence structures a model's forward pass consumes. Declared by
+/// the model (ScoringCoreModel::recipe), executed by CompiledBatch::compile.
+struct ScoringRecipe {
+  bool hrt = false;                 // build_hrt_incidence_csr (h + r − t)
+  bool ht = false;                  // build_ht_incidence_csr (h − t)
+  bool relation_selection = false;  // build_relation_selection_csr
+  bool head_selection = false;      // build_entity_selection_csr(kHead)
+  bool tail_selection = false;      // build_entity_selection_csr(kTail)
+  bool shared_triplets = false;     // semiring kernels take the batch itself
+  bool relation_indices = false;    // relation_project's per-row index vector
+  /// Embedding width the incidence will multiply — used only to decide
+  /// whether the backward pass would take the cached-transpose path, in
+  /// which case compile() pre-builds the transpose off the hot path.
+  /// 0 skips the warm-up.
+  index_t dim = 0;
+  /// Width of the table the relation-selection matrix multiplies, when it
+  /// differs from `dim` (TransR's d_r relation space, TransM's scalar
+  /// weights) — keeps the warm-up decision honest per structure. 0 = dim.
+  index_t relation_dim = 0;
+
+  bool any_incidence() const {
+    return hrt || ht || relation_selection || head_selection || tail_selection;
+  }
+};
+
+/// One batch compiled against a recipe. Immutable after compile().
+class CompiledBatch {
+ public:
+  /// Compile `batch` per `recipe`. When `copy_triplets` is false the span
+  /// must outlive the plan (the trainer's contiguous fast path); ownership
+  /// is forced whenever the recipe itself needs the triplets by shared_ptr.
+  static std::shared_ptr<const CompiledBatch> compile(
+      std::span<const Triplet> batch, const ScoringRecipe& recipe,
+      index_t num_entities, index_t num_relations, bool copy_triplets);
+
+  /// Compile a batch the caller already staged (shuffled / k-tiled / eval
+  /// candidates); the plan takes ownership.
+  static std::shared_ptr<const CompiledBatch> compile_owned(
+      std::vector<Triplet>&& batch, const ScoringRecipe& recipe,
+      index_t num_entities, index_t num_relations);
+
+  std::span<const Triplet> triplets() const { return view_; }
+  index_t size() const { return static_cast<index_t>(view_.size()); }
+
+  /// Accessors SPTX_CHECK that the recipe requested the structure — a miss
+  /// means the model's recipe() and forward() disagree.
+  const std::shared_ptr<const Csr>& hrt() const;
+  const std::shared_ptr<const Csr>& ht() const;
+  const std::shared_ptr<const Csr>& relation_selection() const;
+  const std::shared_ptr<const Csr>& head_selection() const;
+  const std::shared_ptr<const Csr>& tail_selection() const;
+  const std::shared_ptr<const std::vector<Triplet>>& shared_triplets() const;
+  const std::shared_ptr<const std::vector<index_t>>& relation_indices() const;
+
+ private:
+  CompiledBatch() = default;
+  void build(const ScoringRecipe& recipe, index_t num_entities,
+             index_t num_relations);
+
+  std::shared_ptr<const std::vector<Triplet>> owned_;  // null when viewing
+  std::span<const Triplet> view_;
+  std::shared_ptr<const Csr> hrt_;
+  std::shared_ptr<const Csr> ht_;
+  std::shared_ptr<const Csr> relation_selection_;
+  std::shared_ptr<const Csr> head_selection_;
+  std::shared_ptr<const Csr> tail_selection_;
+  std::shared_ptr<const std::vector<index_t>> relation_indices_;
+};
+
+/// Keyed store of compiled plans with explicit invalidation. Thread-safe:
+/// the prefetch thread inserts next-epoch plans while the training thread
+/// may still be reading — entries are shared_ptr so a concurrently evicted
+/// plan stays alive for whoever holds it.
+class PlanCache {
+ public:
+  using Key = std::uint64_t;
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t invalidations = 0;  // invalidate() calls that dropped entries
+    std::int64_t entries = 0;        // plans resident right now
+  };
+
+  /// The cached plan for `key`, or null (counts a hit or a miss).
+  std::shared_ptr<const CompiledBatch> find(Key key) const;
+
+  void put(Key key, std::shared_ptr<const CompiledBatch> plan);
+
+  /// find() or compile-and-put in one step.
+  std::shared_ptr<const CompiledBatch> get_or_compile(
+      Key key, std::span<const Triplet> batch, const ScoringRecipe& recipe,
+      index_t num_entities, index_t num_relations, bool copy_triplets);
+
+  /// Drop every entry — the shuffle / resample_negatives hook. Plans still
+  /// referenced elsewhere (the executing epoch) stay alive.
+  void invalidate();
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const CompiledBatch>> entries_;
+  mutable std::int64_t hits_ = 0;
+  mutable std::int64_t misses_ = 0;
+  std::int64_t invalidations_ = 0;
+};
+
+}  // namespace sptx::sparse

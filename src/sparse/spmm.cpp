@@ -557,6 +557,25 @@ Matrix spmm_coo(const Coo& a, const Matrix& x) {
   return c;
 }
 
+bool spmm_backward_uses_transpose(const Csr& a, index_t dim) {
+  // The gather reformulation exists for its conflict-free parallelism: it
+  // sweeps every dX row (mostly empty for incidence columns) while the
+  // scatter streams g sequentially, so single-threaded the scatter wins —
+  // the gather only pays off when several threads can split the dX rows AND
+  // the per-call work clears the O(nnz + cols) transpose build. With cached
+  // batch plans the transpose is built once and reused every epoch, but the
+  // heuristic stays conservative so uncached callers never pay a full-table
+  // transpose to replace a few thousand axpys.
+  const std::int64_t work = a.nnz() * dim;
+  bool use_transpose = num_threads() > 1 && work >= kParallelMinWork / 8 &&
+                       work >= 8 * (a.nnz() + a.cols);
+  if (const char* env = std::getenv("SPTX_SPMM_BACKWARD")) {
+    if (std::strcmp(env, "scatter") == 0) use_transpose = false;
+    if (std::strcmp(env, "transpose") == 0) use_transpose = true;
+  }
+  return use_transpose;
+}
+
 void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g,
                                     Matrix& dx) {
   SPTX_CHECK(g.rows() == a.rows,
@@ -568,22 +587,7 @@ void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g,
   profiling::count_flops(spmm_flops(a, g.cols()));
   const index_t d = g.cols();
 
-  // The gather reformulation exists for its conflict-free parallelism: it
-  // sweeps every dX row (mostly empty for incidence columns) while the
-  // scatter streams g sequentially, so single-threaded the scatter wins —
-  // the gather only pays off when several threads can split the dX rows AND
-  // the per-call work clears the O(nnz + cols) transpose build. Training
-  // makes a fresh incidence matrix per batch (the cached transpose is used
-  // once), so the cols term matters: a small batch over a huge entity table
-  // must not pay a full-table transpose to replace a few thousand axpys.
-  const std::int64_t work = a.nnz() * d;
-  bool use_transpose = num_threads() > 1 && work >= kParallelMinWork / 8 &&
-                       work >= 8 * (a.nnz() + a.cols);
-  if (const char* env = std::getenv("SPTX_SPMM_BACKWARD")) {
-    if (std::strcmp(env, "scatter") == 0) use_transpose = false;
-    if (std::strcmp(env, "transpose") == 0) use_transpose = true;
-  }
-  if (use_transpose) {
+  if (spmm_backward_uses_transpose(a, d)) {
     // dX += Aᵀ·g as a forward SpMM over the cached transpose, run in
     // accumulate mode: every dX row is written by exactly one task, so the
     // row loop parallelizes with no atomics and no per-thread buffers.

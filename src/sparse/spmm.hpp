@@ -65,6 +65,13 @@ Matrix spmm_coo(const Coo& a, const Matrix& x);
 /// In-place COO variant (see spmm_csr_into).
 void spmm_coo_into(const Coo& a, const Matrix& x, Matrix& c);
 
+/// Would spmm_csr_transposed_accumulate take the cached-transpose path for
+/// (a, dim) under the current thread count and SPTX_SPMM_BACKWARD setting?
+/// Exposed so batch-plan compilation can pre-build A.transposed() off the
+/// training hot path (possibly on the prefetch thread) instead of inside
+/// the first backward pass of the epoch.
+bool spmm_backward_uses_transpose(const Csr& a, index_t dim);
+
 /// dX += Aᵀ · g where g is (A.rows × d): the SpMM backward pass. Two
 /// implementations behind one entry point:
 ///   * small batches scatter row m of g into dX at A's column indices

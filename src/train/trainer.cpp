@@ -1,62 +1,90 @@
 #include "src/train/trainer.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <limits>
 #include <memory>
+#include <thread>
+#include <utility>
 
+#include "src/profiling/counters.hpp"
 #include "src/profiling/flops.hpp"
 #include "src/tensor/memory_tracker.hpp"
 #include "src/tensor/workspace.hpp"
+#include "src/train/batch_plan.hpp"
 
 namespace sptx::train {
 
-TrainResult train(models::KgeModel& model, const TripletStore& data,
-                  const TrainConfig& config,
-                  const std::function<void(int, float)>& on_epoch) {
-  SPTX_CHECK(!data.empty(), "empty training set");
-  SPTX_CHECK(config.batch_size > 0 && config.epochs >= 0, "bad train config");
+namespace {
 
-  Rng rng(config.seed);
+/// SPTX_PLAN_CACHE / SPTX_PREFETCH: "0", "off", "false" disable; anything
+/// else enables; unset keeps the config value.
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
 
-  // §5.3: negatives are generated once per positive, outside the loop
-  // (refreshed per epoch only when resample_negatives opts in).
-  SPTX_CHECK(config.negatives_per_positive >= 1, "need k >= 1 negatives");
-  const int k = config.negatives_per_positive;
-  kg::NegativeSampler sampler(data, config.corruption,
-                              config.filtered_negatives);
-  std::vector<Triplet> negatives =
-      sampler.pregenerate_k(data.triplets(), k, rng);
-
-  std::unique_ptr<nn::Optimizer> opt;
-  if (config.use_adagrad) {
-    opt = std::make_unique<nn::Adagrad>(model.params(), config.lr);
-  } else {
-    opt = std::make_unique<nn::Sgd>(model.params(), config.lr);
+/// Joins on destruction so an exception unwinding past a live prefetch
+/// thread never reaches std::thread's terminating destructor.
+struct JoiningThread {
+  std::thread t;
+  ~JoiningThread() {
+    if (t.joinable()) t.join();
   }
-  opt->set_weight_decay(config.weight_decay);
-  opt->set_grad_clip_norm(config.grad_clip_norm);
-  nn::StepLr step_lr(*opt, config.step_lr_every, config.step_lr_gamma);
-  nn::CosineLr cosine_lr(*opt, std::max(config.epochs, 1));
+};
 
-  // Shuffled epochs permute pair indices; positives and their aligned
-  // corruptions move together so the §5.3 pairing survives the shuffle.
-  std::vector<index_t> positions(static_cast<std::size_t>(data.size()));
-  for (std::size_t i = 0; i < positions.size(); ++i)
-    positions[i] = static_cast<index_t>(i);
+/// Fisher–Yates with the run's RNG (reproducible given the seed).
+void shuffle_positions(std::vector<index_t>& positions, Rng& rng) {
+  for (std::size_t i = positions.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(positions[i - 1], positions[j]);
+  }
+}
 
+/// Shared per-run state the two pipeline variants both drive.
+struct TrainLoop {
+  models::KgeModel& model;
+  const TripletStore& data;
+  const TrainConfig& config;
+  const std::function<void(int, float)>& on_epoch;
+
+  Rng rng;
+  kg::NegativeSampler sampler;
+  std::vector<Triplet> negatives;
+  std::unique_ptr<nn::Optimizer> opt;
+  nn::StepLr step_lr;
+  nn::CosineLr cosine_lr;
   TrainResult result;
-  ScopedPeakWindow memory_window;
-  profiling::FlopWindow flop_window;
-  // Recycle every per-batch tensor (SpMM outputs, autograd scratch, score
-  // columns) through the Workspace pool: after the first batch warms the
-  // free lists, the steady-state loop performs zero heap allocations.
-  ScopedWorkspace workspace;
-  const auto t_start = profiling::clock::now();
 
-  const index_t m = data.size();
   float best_loss = std::numeric_limits<float>::infinity();
   int epochs_without_improvement = 0;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+
+  TrainLoop(models::KgeModel& m, const TripletStore& d, const TrainConfig& c,
+            const std::function<void(int, float)>& cb)
+      : model(m),
+        data(d),
+        config(c),
+        on_epoch(cb),
+        rng(c.seed),
+        sampler(d, c.corruption, c.filtered_negatives),
+        negatives(sampler.pregenerate_k(d.triplets(), c.negatives_per_positive,
+                                        rng)),
+        opt(c.use_adagrad
+                ? std::unique_ptr<nn::Optimizer>(
+                      std::make_unique<nn::Adagrad>(m.params(), c.lr))
+                : std::unique_ptr<nn::Optimizer>(
+                      std::make_unique<nn::Sgd>(m.params(), c.lr))),
+        step_lr(*opt, c.step_lr_every, c.step_lr_gamma),
+        cosine_lr(*opt, std::max(c.epochs, 1)) {
+    opt->set_weight_decay(c.weight_decay);
+    opt->set_grad_clip_norm(c.grad_clip_norm);
+  }
+
+  void apply_schedule(int epoch) {
     switch (config.schedule) {
       case LrSchedule::kStep:
         step_lr.on_epoch(epoch);
@@ -67,17 +95,222 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
       case LrSchedule::kConstant:
         break;
     }
+  }
 
-    if (config.resample_negatives && epoch > 0) {
-      negatives = sampler.pregenerate_k(data.triplets(), k, rng);
+  /// One forward/backward/step over a batch-loss closure.
+  template <typename LossFn>
+  float run_batch(const LossFn& batch_loss) {
+    opt->zero_grad();
+    autograd::Variable loss;
+    {
+      profiling::ScopedAccum fwd(result.phases.forward_s);
+      loss = batch_loss();
     }
-    if (config.shuffle) {
-      // Fisher–Yates with the run's RNG (reproducible given the seed).
-      for (std::size_t i = positions.size(); i > 1; --i) {
-        const std::size_t j = rng.next_below(i);
-        std::swap(positions[i - 1], positions[j]);
+    {
+      profiling::ScopedAccum bwd(result.phases.backward_s);
+      loss.backward();
+    }
+    {
+      profiling::ScopedAccum stp(result.phases.step_s);
+      opt->step();
+      model.post_step();
+    }
+    return loss.value().at(0, 0);
+  }
+
+  /// Epoch-end bookkeeping; returns true when early stopping fires.
+  bool finish_epoch(int epoch, double loss_sum, index_t batches,
+                    profiling::clock::time_point epoch_start,
+                    double extra_seconds) {
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+    if (config.record_loss_curve) result.epoch_loss.push_back(mean_loss);
+    result.epoch_seconds.push_back(profiling::seconds_since(epoch_start) +
+                                   extra_seconds);
+    if (on_epoch) on_epoch(epoch, mean_loss);
+
+    if (config.patience > 0) {
+      if (mean_loss < best_loss - config.min_delta) {
+        best_loss = mean_loss;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >= config.patience) {
+        return true;  // early stop: no progress for `patience` epochs
       }
     }
+    return false;
+  }
+};
+
+/// Staged pipeline: plan-compile → forward/backward → step, with plans
+/// cached across epochs and optionally prefetched one epoch ahead.
+void run_planned(TrainLoop& loop) {
+  const TrainConfig& config = loop.config;
+  const TripletStore& data = loop.data;
+  const int k = config.negatives_per_positive;
+  const index_t m = data.size();
+
+  auto* scoring = dynamic_cast<models::ScoringCoreModel*>(&loop.model);
+  // Span-only models (dense baselines, external KgeModels) still get the
+  // staged schedule — their plans carry triplets but no incidence.
+  const sparse::ScoringRecipe recipe =
+      scoring ? scoring->recipe() : sparse::ScoringRecipe{};
+
+  const bool variant = config.shuffle || config.resample_negatives;
+  const bool prefetch =
+      variant && env_flag("SPTX_PREFETCH", config.prefetch);
+
+  sparse::PlanCache cache;
+  std::vector<index_t> positions;  // pair permutation; empty = identity
+  if (config.shuffle) {
+    positions.resize(static_cast<std::size_t>(m));
+    for (std::size_t i = 0; i < positions.size(); ++i)
+      positions[i] = static_cast<index_t>(i);
+  }
+
+  auto make_source = [&](const std::vector<Triplet>& negs,
+                         const std::vector<index_t>& perm) {
+    EpochBatchSource src;
+    src.data = &data;
+    src.negatives = negs;
+    src.positions = perm;
+    src.k = k;
+    src.batch_size = config.batch_size;
+    return src;
+  };
+
+  // Stage 1 for epoch 0: the schedule's first compilation.
+  std::vector<BatchPlan> plans;
+  double initial_compile_s = 0.0;
+  if (config.epochs > 0) {
+    if (config.shuffle) shuffle_positions(positions, loop.rng);
+    profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
+    const auto t0 = profiling::clock::now();
+    plans = compile_epoch_plans(make_source(loop.negatives, positions), recipe,
+                                &cache);
+    initial_compile_s = profiling::seconds_since(t0);
+  }
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto epoch_start = profiling::clock::now();
+    loop.apply_schedule(epoch);
+
+    // Stage 1 for epoch e+1: the driving thread derives all RNG-dependent
+    // inputs (so the stream matches the legacy loop exactly), then the
+    // compile runs in the background while this epoch executes — or
+    // synchronously when prefetch is off.
+    std::vector<BatchPlan> next_plans;
+    std::vector<Triplet> next_negatives;
+    std::vector<index_t> next_positions;
+    std::exception_ptr prefetch_error;
+    // Declared after everything the worker writes: unwinding destroys in
+    // reverse order, so the joining destructor runs while those locals are
+    // still alive.
+    JoiningThread worker;
+    bool have_next = false;
+    // Next-epoch compilation done inside this epoch's wall (sync mode);
+    // excluded from epoch_seconds so per-epoch numbers stay comparable
+    // between prefetch on and off.
+    double overlap_compile_s = 0.0;
+    if (variant && epoch + 1 < config.epochs) {
+      if (config.resample_negatives) {
+        next_negatives =
+            loop.sampler.pregenerate_k(data.triplets(), k, loop.rng);
+      }
+      if (config.shuffle) {
+        next_positions = positions;
+        shuffle_positions(next_positions, loop.rng);
+      }
+      have_next = true;
+      auto compile_next = [&]() {
+        cache.invalidate();
+        next_plans = compile_epoch_plans(
+            make_source(config.resample_negatives ? next_negatives
+                                                  : loop.negatives,
+                        config.shuffle ? next_positions : positions),
+            recipe, &cache);
+      };
+      if (prefetch) {
+        // Exceptions on the worker (bad_alloc compiling a large epoch, a
+        // failed SPTX_CHECK) are captured and rethrown at the join point —
+        // same surface the legacy path gives the caller. compile_next is
+        // copied into the thread: it outlives this block.
+        worker.t = std::thread([compile_next, &prefetch_error]() {
+          try {
+            compile_next();
+          } catch (...) {
+            prefetch_error = std::current_exception();
+          }
+        });
+      } else {
+        profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
+        const auto t0 = profiling::clock::now();
+        compile_next();
+        overlap_compile_s = profiling::seconds_since(t0);
+      }
+    } else if (!variant && epoch > 0) {
+      // Epoch-invariant schedule: re-resolve through the cache (all hits —
+      // the zero-rebuild property the tests assert).
+      profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
+      plans = compile_epoch_plans(make_source(loop.negatives, positions),
+                                  recipe, &cache);
+    }
+
+    // Stage 2: execute the compiled schedule.
+    double loss_sum = 0.0;
+    index_t batches = 0;
+    for (const BatchPlan& bp : plans) {
+      loss_sum += loop.run_batch([&]() {
+        return scoring ? scoring->loss(*bp.pos, *bp.neg)
+                       : loop.model.loss(bp.pos->triplets(),
+                                         bp.neg->triplets());
+      });
+      ++batches;
+    }
+
+    const bool stop = loop.finish_epoch(
+        epoch, loss_sum, batches, epoch_start,
+        (epoch == 0 ? initial_compile_s : 0.0) - overlap_compile_s);
+
+    // Stage 3: adopt the prefetched schedule (join waits count as plan
+    // time — they are the pipeline bubble prefetch exists to hide).
+    if (worker.t.joinable()) {
+      profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
+      worker.t.join();
+    }
+    if (prefetch_error) std::rethrow_exception(prefetch_error);
+    if (stop) break;
+    if (have_next) {
+      if (config.resample_negatives)
+        loop.negatives = std::move(next_negatives);
+      if (config.shuffle) positions = std::move(next_positions);
+      plans = std::move(next_plans);
+    }
+  }
+
+  loop.result.plan_stats = cache.stats();
+}
+
+/// The seed's per-batch rebuild loop, kept verbatim as the reference path
+/// (SPTX_PLAN_CACHE=0): every batch re-stages its pairs and every
+/// distance() call rebuilds its incidence from raw triplets.
+void run_legacy(TrainLoop& loop) {
+  const TrainConfig& config = loop.config;
+  const TripletStore& data = loop.data;
+  const int k = config.negatives_per_positive;
+  const index_t m = data.size();
+
+  std::vector<index_t> positions(static_cast<std::size_t>(m));
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    positions[i] = static_cast<index_t>(i);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto epoch_start = profiling::clock::now();
+    loop.apply_schedule(epoch);
+
+    if (config.resample_negatives && epoch > 0) {
+      loop.negatives = loop.sampler.pregenerate_k(data.triplets(), k, loop.rng);
+    }
+    if (config.shuffle) shuffle_positions(positions, loop.rng);
 
     double loss_sum = 0.0;
     index_t batches = 0;
@@ -89,7 +322,7 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
       if (!config.shuffle && k == 1) {
         // Fast path: contiguous views, no copies.
         pos_batch = data.slice(begin, count);
-        neg_batch = {negatives.data() + begin,
+        neg_batch = {loop.negatives.data() + begin,
                      static_cast<std::size_t>(count)};
       } else {
         // Stage the (possibly permuted) pairs; with k > 1 the positives
@@ -101,54 +334,56 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
             const index_t p = positions[static_cast<std::size_t>(i)];
             pos_staged.push_back(data[p]);
             neg_staged.push_back(
-                negatives[static_cast<std::size_t>(rep) *
-                              static_cast<std::size_t>(m) +
-                          static_cast<std::size_t>(p)]);
+                loop.negatives[static_cast<std::size_t>(rep) *
+                                   static_cast<std::size_t>(m) +
+                               static_cast<std::size_t>(p)]);
           }
         }
         pos_batch = pos_staged;
         neg_batch = neg_staged;
       }
 
-      opt->zero_grad();
-
-      autograd::Variable loss;
-      {
-        profiling::ScopedAccum fwd(result.phases.forward_s);
-        loss = model.loss(pos_batch, neg_batch);
-      }
-      {
-        profiling::ScopedAccum bwd(result.phases.backward_s);
-        loss.backward();
-      }
-      {
-        profiling::ScopedAccum stp(result.phases.step_s);
-        opt->step();
-        model.post_step();
-      }
-      loss_sum += loss.value().at(0, 0);
+      loss_sum +=
+          loop.run_batch([&]() { return loop.model.loss(pos_batch, neg_batch); });
       ++batches;
     }
 
-    const float mean_loss =
-        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
-    if (config.record_loss_curve) result.epoch_loss.push_back(mean_loss);
-    if (on_epoch) on_epoch(epoch, mean_loss);
+    if (loop.finish_epoch(epoch, loss_sum, batches, epoch_start, 0.0)) break;
+  }
+}
 
-    if (config.patience > 0) {
-      if (mean_loss < best_loss - config.min_delta) {
-        best_loss = mean_loss;
-        epochs_without_improvement = 0;
-      } else if (++epochs_without_improvement >= config.patience) {
-        break;  // early stop: no progress for `patience` epochs
-      }
-    }
+}  // namespace
+
+TrainResult train(models::KgeModel& model, const TripletStore& data,
+                  const TrainConfig& config,
+                  const std::function<void(int, float)>& on_epoch) {
+  SPTX_CHECK(!data.empty(), "empty training set");
+  SPTX_CHECK(config.batch_size > 0 && config.epochs >= 0, "bad train config");
+  SPTX_CHECK(config.negatives_per_positive >= 1, "need k >= 1 negatives");
+
+  TrainLoop loop(model, data, config, on_epoch);
+
+  ScopedPeakWindow memory_window;
+  profiling::FlopWindow flop_window;
+  profiling::CounterWindow build_window(
+      profiling::Counter::kIncidenceBuilds);
+  // Recycle every per-batch tensor (SpMM outputs, autograd scratch, score
+  // columns) through the Workspace pool: after the first batch warms the
+  // free lists, the steady-state loop performs zero heap allocations.
+  ScopedWorkspace workspace;
+  const auto t_start = profiling::clock::now();
+
+  if (env_flag("SPTX_PLAN_CACHE", config.plan_cache)) {
+    run_planned(loop);
+  } else {
+    run_legacy(loop);
   }
 
-  result.total_seconds = profiling::seconds_since(t_start);
-  result.peak_bytes = memory_window.peak_bytes();
-  result.flops = flop_window.elapsed();
-  return result;
+  loop.result.total_seconds = profiling::seconds_since(t_start);
+  loop.result.peak_bytes = memory_window.peak_bytes();
+  loop.result.flops = flop_window.elapsed();
+  loop.result.incidence_builds = build_window.elapsed();
+  return loop.result;
 }
 
 }  // namespace sptx::train

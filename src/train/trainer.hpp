@@ -1,4 +1,4 @@
-// Training loop.
+// Training loop — a staged plan/execute pipeline.
 //
 // Mirrors the paper's protocol (§5.3): pre-generated negatives (one per
 // positive, sampled outside the loop), minibatch margin-ranking training,
@@ -7,6 +7,17 @@
 // computation (backward), parameter update (step) — exactly the breakdown
 // of Table 1 / Figure 8, and snapshots FLOPs and peak tracked memory for
 // Tables 5/6.
+//
+// Each epoch runs in two stages: plan compilation (stage the batch pairs,
+// pre-build the incidence matrices the model's ScoringRecipe names — see
+// batch_plan.hpp) and execution (forward/backward/step over the compiled
+// plans). Plans live in a sparse::PlanCache: with the paper's fixed-order
+// protocol (no shuffle, no negative resampling) the schedule is
+// epoch-invariant and every epoch after the first runs with zero incidence
+// rebuilds; shuffle / resample_negatives invalidate the cache and
+// recompile, optionally on a background prefetch thread that compiles epoch
+// e+1 while epoch e executes (double buffering — bit-exact either way,
+// because all RNG stays on the driving thread).
 #pragma once
 
 #include <functional>
@@ -17,6 +28,7 @@
 #include "src/models/model.hpp"
 #include "src/nn/optim.hpp"
 #include "src/profiling/timer.hpp"
+#include "src/sparse/plan_cache.hpp"
 
 namespace sptx::train {
 
@@ -57,6 +69,16 @@ struct TrainConfig {
   /// (0 = off) — forwarded to the optimizer.
   float weight_decay = 0.0f;
   float grad_clip_norm = 0.0f;
+  /// Compile batch plans (staged pairs + pre-built incidence, batch_plan.hpp)
+  /// and cache them across epochs. Off = the legacy per-batch rebuild path,
+  /// kept as the reference the plan pipeline is tested bit-exact against.
+  /// SPTX_PLAN_CACHE=0|1 overrides.
+  bool plan_cache = true;
+  /// Compile epoch e+1's plans on a background thread while epoch e
+  /// executes. Only engages when shuffle / resample_negatives invalidate
+  /// plans every epoch (otherwise the cache already serves them).
+  /// SPTX_PREFETCH=0|1 overrides.
+  bool prefetch = true;
 };
 
 struct TrainResult {
@@ -65,6 +87,17 @@ struct TrainResult {
   double total_seconds = 0.0;
   std::int64_t peak_bytes = 0;        // tracked allocation high-water mark
   std::int64_t flops = 0;             // FLOPs spent inside the loop
+  /// Plan-compilation stage: synchronous compiles plus time spent waiting
+  /// on the prefetch thread at epoch boundaries.
+  double plan_compile_s = 0.0;
+  /// Wall time per epoch (epoch 0 includes its plan compilation) — the
+  /// first-epoch vs cached-epoch comparison bench_pipeline reports.
+  std::vector<double> epoch_seconds;
+  /// Plan-cache traffic for the run (hits/misses/invalidations).
+  sparse::PlanCache::Stats plan_stats;
+  /// Incidence-matrix builder invocations inside the run; with an
+  /// epoch-invariant schedule everything after epoch 0 must be zero.
+  std::int64_t incidence_builds = 0;
 };
 
 /// Train `model` on `data` per `config`. The callback (optional) fires after

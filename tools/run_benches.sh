@@ -9,6 +9,8 @@
 #                        (all forward kernels + both backward paths)
 #   BENCH_hotspots.txt   bench_fig2_hotspots text artefact (dense-baseline
 #                        profile that motivates the sparse formulation)
+#   BENCH_pipeline.json  bench_pipeline: epoch-1 vs cached-epoch wall time
+#                        per model family, prefetch on/off under shuffle
 #
 # Knobs: SPTX_BENCH_MIN_TIME (per-benchmark min time, default 0.2s),
 # SPTX_EPOCHS / SPTX_SCALE forwarded to the hotspot bench as usual.
@@ -35,6 +37,11 @@ if [[ -x "$build_dir/bench_fig2_hotspots" ]]; then
   echo "== Training hotspots -> $out_dir/BENCH_hotspots.txt"
   SPTX_EPOCHS="${SPTX_EPOCHS:-2}" "$build_dir/bench_fig2_hotspots" \
     | tee "$out_dir/BENCH_hotspots.txt"
+fi
+
+if [[ -x "$build_dir/bench_pipeline" ]]; then
+  echo "== BatchPlan pipeline -> $out_dir/BENCH_pipeline.json"
+  "$build_dir/bench_pipeline" > "$out_dir/BENCH_pipeline.json"
 fi
 
 echo "done."
