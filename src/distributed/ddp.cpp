@@ -1,18 +1,175 @@
 #include "src/distributed/ddp.hpp"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "src/common/error.hpp"
+#include "src/common/simd.hpp"
 #include "src/kg/negative_sampler.hpp"
+#include "src/profiling/counters.hpp"
+#include "src/sparse/incidence.hpp"
 
 namespace sptx::distributed {
 
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::atoi(v);
+}
+
+/// "0", "off", "false" (any case) disable; anything else enables; unset
+/// keeps fallback.
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  std::string lower(v);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  return !(lower == "0" || lower == "off" || lower == "false");
+}
+
+/// One parameter's gradient contribution from one shard. Sparse when the
+/// parameter is entity/relation-indexed (only the rows in the shard's
+/// incidence support, which is the entire nonzero set), dense otherwise.
+struct ParamGrad {
+  bool present = false;
+  bool dense = false;
+  std::vector<index_t> rows;  // sorted touched rows (sparse form)
+  Matrix values;              // rows.size()×cols, or the full matrix (dense)
+};
+using ShardGrads = std::vector<ParamGrad>;
+
+/// Copy the shard's gradient support out of `params` and zero it there, so
+/// the worker's accumulation buffers are pristine for its next shard. The
+/// extraction is what makes the all-reduce sparse: for an entity table only
+/// rows named by the shard's triplets can hold gradient (every backward
+/// scatter lands inside the incidence support), so only those rows travel.
+/// Block expansion for kRelationBlocks: relation r owns rows
+/// [r·h, (r+1)·h) where h = rows / R. Input ids sorted → output sorted.
+std::vector<index_t> expand_relation_blocks(const std::vector<index_t>& rels,
+                                            index_t param_rows,
+                                            index_t num_relations) {
+  SPTX_CHECK(num_relations > 0 && param_rows % num_relations == 0,
+             "kRelationBlocks parameter rows (" << param_rows
+                 << ") not divisible by relation count " << num_relations);
+  const index_t h = param_rows / num_relations;
+  std::vector<index_t> rows;
+  rows.reserve(rels.size() * static_cast<std::size_t>(h));
+  for (index_t r : rels)
+    for (index_t k = 0; k < h; ++k) rows.push_back(r * h + k);
+  return rows;
+}
+
+void harvest_shard_grads(std::vector<autograd::Variable>& params,
+                         const std::vector<models::ParamIndexSpace>& spaces,
+                         std::span<const Triplet> pos,
+                         std::span<const Triplet> neg, index_t num_entities,
+                         index_t num_relations, ShardGrads& out) {
+  std::vector<index_t> ents;      // lazily built per shard, shared by params
+  std::vector<index_t> rels;
+  std::vector<index_t> stacked;
+  const auto entity_rows = [&]() -> const std::vector<index_t>& {
+    if (ents.empty()) ents = touched_entity_ids(pos, neg);
+    return ents;
+  };
+  const auto relation_rows = [&]() -> const std::vector<index_t>& {
+    if (rels.empty()) rels = touched_relation_ids(pos, neg);
+    return rels;
+  };
+  const auto stacked_rows = [&]() -> const std::vector<index_t>& {
+    if (stacked.empty()) {
+      // Entity ids all precede N ≤ N + relation id, so the concatenation of
+      // the two sorted lists is itself sorted.
+      stacked = entity_rows();
+      for (index_t r : relation_rows()) stacked.push_back(num_entities + r);
+    }
+    return stacked;
+  };
+
+  out.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ParamGrad& pg = out[i];
+    Matrix& g = params[i].grad();
+    pg.present = true;
+    if (spaces[i] == models::ParamIndexSpace::kDense) {
+      pg.dense = true;
+      pg.values = g;  // deep copy
+      g.zero();
+      continue;
+    }
+    std::vector<index_t> block_rows;  // kRelationBlocks, height per param
+    const std::vector<index_t>* rows = nullptr;
+    switch (spaces[i]) {
+      case models::ParamIndexSpace::kEntity:
+        rows = &entity_rows();
+        break;
+      case models::ParamIndexSpace::kRelation:
+        rows = &relation_rows();
+        break;
+      case models::ParamIndexSpace::kRelationBlocks:
+        block_rows =
+            expand_relation_blocks(relation_rows(), g.rows(), num_relations);
+        rows = &block_rows;
+        break;
+      default:
+        rows = &stacked_rows();
+        break;
+    }
+    pg.rows = *rows;
+    const index_t cols = g.cols();
+    pg.values = Matrix(static_cast<index_t>(pg.rows.size()), cols);
+    for (std::size_t k = 0; k < pg.rows.size(); ++k) {
+      std::memcpy(pg.values.row(static_cast<index_t>(k)), g.row(pg.rows[k]),
+                  static_cast<std::size_t>(cols) * sizeof(float));
+      std::memset(g.row(pg.rows[k]), 0,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+  }
+}
+
+/// One-time (per run, per worker) safety net for param_index_spaces(): after
+/// the first harvest, every gradient buffer must be identically zero — a
+/// residue means the model's loss touched rows outside the declared index
+/// space (e.g. a full-table regulariser on an entity-shaped parameter), and
+/// the sparse all-reduce would silently drop and cross-contaminate gradient.
+/// Costs one table scan per worker per run.
+void verify_support_exhausts_grads(std::vector<autograd::Variable>& params,
+                                   const models::KgeModel& model) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Matrix& g = params[i].grad();
+    SPTX_CHECK(g.max_abs() == 0.0f,
+               model.name() << " parameter " << i
+                            << " has gradient outside its declared "
+                               "ParamIndexSpace row support; override "
+                               "param_index_spaces() (kDense is always safe)");
+  }
+}
+
+}  // namespace
+
 DdpResult train_ddp(
     const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
-    const TripletStore& data, const DdpConfig& config) {
-  SPTX_CHECK(config.workers >= 1, "need at least one worker");
-  const int p = config.workers;
+    const kg::TripletSource& data, const DdpConfig& config) {
+  SPTX_CHECK(data.valid() && !data.empty(), "empty training set");
+  SPTX_CHECK(config.batch_size > 0 && config.epochs >= 0, "bad ddp config");
+  const int p = env_int("SPTX_DDP_WORKERS", config.workers);
+  SPTX_CHECK(p >= 1, "need at least one worker");
+  index_t shard_size =
+      static_cast<index_t>(env_int("SPTX_DDP_SHARD",
+                                   static_cast<int>(config.shard_size)));
+  if (shard_size <= 0) shard_size = (config.batch_size + p - 1) / p;
+  const bool use_cache = env_flag("SPTX_DDP_PLAN_CACHE", config.plan_cache);
+
+  const index_t m = data.size();
+  const index_t n_ent = data.num_entities();
+  const index_t n_rel = data.num_relations();
 
   // Identical replicas: every worker constructs from the same seed.
   std::vector<std::unique_ptr<models::KgeModel>> replicas;
@@ -21,79 +178,264 @@ DdpResult train_ddp(
     Rng rng(config.seed);
     replicas.push_back(make_model(rng));
   }
+  std::vector<models::ScoringCoreModel*> scorings(
+      static_cast<std::size_t>(p));
+  std::vector<std::vector<autograd::Variable>> all_params(
+      static_cast<std::size_t>(p));
+  for (int w = 0; w < p; ++w) {
+    const auto wi = static_cast<std::size_t>(w);
+    scorings[wi] = dynamic_cast<models::ScoringCoreModel*>(replicas[wi].get());
+    all_params[wi] = replicas[wi]->params();
+    SPTX_CHECK(all_params[wi].size() == all_params[0].size(),
+               "replica parameter sets diverge");
+    // Materialise every gradient buffer (zeroed) so the harvest/reduce
+    // cycle never races lazy allocation.
+    for (auto& param : all_params[wi]) param.grad();
+  }
+  const sparse::ScoringRecipe recipe =
+      scorings[0] != nullptr ? scorings[0]->recipe() : sparse::ScoringRecipe{};
+  const std::vector<models::ParamIndexSpace> spaces =
+      replicas[0]->param_index_spaces();
+  const std::size_t num_params = all_params[0].size();
 
-  Rng data_rng(config.seed + 1);
-  kg::NegativeSampler sampler(data, kg::CorruptionScheme::kUniform);
-  const std::vector<Triplet> negatives =
-      sampler.pregenerate(data.triplets(), data_rng);
+  // Store-free uniform sampler: works for streaming sources because it only
+  // needs the vocabulary sizes (the paper's §5.3 protocol is uniform).
+  kg::NegativeSampler sampler(n_ent, n_rel, kg::CorruptionScheme::kUniform);
+
+  std::vector<std::unique_ptr<sparse::PlanCache>> caches;
+  for (int w = 0; w < p; ++w)
+    caches.push_back(std::make_unique<sparse::PlanCache>());
+  // One support check per worker per run (see verify_support_exhausts_grads).
+  std::vector<char> support_verified(static_cast<std::size_t>(p), 0);
 
   DdpResult result;
+  result.workers = p;
+  result.shard_size = shard_size;
+  const profiling::CounterWindow shards_window(
+      profiling::Counter::kDdpShards);
+  const profiling::CounterWindow rows_window(
+      profiling::Counter::kDdpAllReduceRows);
+  const profiling::CounterWindow dense_window(
+      profiling::Counter::kDdpDenseReduces);
+  const profiling::CounterWindow builds_window(
+      profiling::Counter::kIncidenceBuilds);
   const auto t0 = profiling::clock::now();
-  const index_t m = data.size();
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto epoch_start = profiling::clock::now();
+    // Re-seeding per epoch pins the negatives to the epoch-0 stream — the
+    // paper's pregenerate-once protocol without an O(dataset) buffer, and
+    // the property that lets cached shard plans serve every later epoch.
+    Rng data_rng(config.seed + 1);
     double loss_sum = 0.0;
     index_t batches = 0;
+    index_t shard_ordinal_base = 0;  // global shard index, epoch-invariant
+
     for (index_t begin = 0; begin < m; begin += config.batch_size) {
       const index_t count = std::min<index_t>(config.batch_size, m - begin);
-      const index_t shard = (count + p - 1) / p;
+      const index_t num_shards = (count + shard_size - 1) / shard_size;
+      const std::span<const Triplet> pos_all = data.slice(begin, count);
+      const std::vector<Triplet> negatives =
+          sampler.pregenerate(pos_all, data_rng);
+      const std::span<const Triplet> neg_all(negatives);
 
-      // Each worker: forward+backward on its shard. Gradients accumulate in
-      // each replica's own parameter grads.
-      std::vector<float> shard_loss(static_cast<std::size_t>(p), 0.0f);
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<std::size_t>(p));
-      for (int w = 0; w < p; ++w) {
-        threads.emplace_back([&, w] {
-          const index_t s_begin = begin + static_cast<index_t>(w) * shard;
-          if (s_begin >= begin + count) return;
-          const index_t s_count =
-              std::min<index_t>(shard, begin + count - s_begin);
-          const auto pos = data.slice(s_begin, s_count);
-          const std::span<const Triplet> neg(
-              negatives.data() + s_begin, static_cast<std::size_t>(s_count));
-          for (auto& param : replicas[static_cast<std::size_t>(w)]->params())
-            param.zero_grad();
-          autograd::Variable loss =
-              replicas[static_cast<std::size_t>(w)]->loss(pos, neg);
-          loss.backward();
-          shard_loss[static_cast<std::size_t>(w)] = loss.value().at(0, 0);
-        });
-      }
-      for (auto& t : threads) t.join();
+      std::vector<ShardGrads> shard_grads(
+          static_cast<std::size_t>(num_shards));
+      std::vector<float> shard_loss(static_cast<std::size_t>(num_shards),
+                                    0.0f);
 
-      // All-reduce: average worker gradients into worker 0's buffers, then
-      // broadcast the SGD update by stepping every replica with the same
-      // averaged gradient.
-      auto params0 = replicas[0]->params();
-      for (std::size_t pi = 0; pi < params0.size(); ++pi) {
-        Matrix& g0 = params0[pi].grad();
-        for (int w = 1; w < p; ++w) {
-          auto params_w = replicas[static_cast<std::size_t>(w)]->params();
-          g0.add_(params_w[pi].grad());
+      // Workers: forward + backward per shard through the compiled-batch
+      // pipeline, harvesting each shard's sparse gradient as they go.
+      // Static round-robin assignment; the reduction below is ordered by
+      // shard index, so the assignment never affects the result.
+      auto run_worker = [&](int w) {
+        const auto wi = static_cast<std::size_t>(w);
+        sparse::PlanCache* cache = use_cache ? caches[wi].get() : nullptr;
+        for (index_t s = w; s < num_shards; s += p) {
+          const index_t s_begin = s * shard_size;
+          const index_t n_s = std::min<index_t>(shard_size, count - s_begin);
+          const std::span<const Triplet> pos =
+              pos_all.subspan(static_cast<std::size_t>(s_begin),
+                              static_cast<std::size_t>(n_s));
+          const std::span<const Triplet> neg =
+              neg_all.subspan(static_cast<std::size_t>(s_begin),
+                              static_cast<std::size_t>(n_s));
+          profiling::count_event(profiling::Counter::kDdpShards);
+
+          autograd::Variable loss;
+          if (scorings[wi] != nullptr) {
+            const sparse::PlanCache::Key key =
+                static_cast<sparse::PlanCache::Key>(shard_ordinal_base + s)
+                << 1;
+            std::shared_ptr<const sparse::CompiledBatch> pos_plan =
+                cache != nullptr ? cache->find(key) : nullptr;
+            if (!pos_plan) {
+              // Zero-copy: the plan views the store's (possibly mmap'd)
+              // span; for streaming sources nothing is ever copied.
+              pos_plan = sparse::CompiledBatch::compile(
+                  pos, recipe, n_ent, n_rel, /*copy_triplets=*/false);
+              if (cache != nullptr) cache->put(key, pos_plan);
+            }
+            std::shared_ptr<const sparse::CompiledBatch> neg_plan =
+                cache != nullptr ? cache->find(key | 1) : nullptr;
+            if (!neg_plan) {
+              neg_plan = sparse::CompiledBatch::compile_owned(
+                  std::vector<Triplet>(neg.begin(), neg.end()), recipe, n_ent,
+                  n_rel);
+              if (cache != nullptr) cache->put(key | 1, neg_plan);
+            }
+            loss = scorings[wi]->loss(*pos_plan, *neg_plan);
+          } else {
+            // Span fallback for models outside the scoring-core family
+            // (dense baselines, external KgeModels).
+            loss = replicas[wi]->loss(pos, neg);
+          }
+
+          // Scale by the shard's true share of the batch BEFORE backward:
+          // the reduced gradient is then exactly the full-batch-mean
+          // gradient even when shard_size does not divide the batch.
+          const float weight =
+              static_cast<float>(n_s) / static_cast<float>(count);
+          autograd::scale(loss, weight).backward();
+          shard_loss[static_cast<std::size_t>(s)] =
+              loss.value().at(0, 0) * weight;
+          harvest_shard_grads(all_params[wi], spaces, pos, neg, n_ent, n_rel,
+                              shard_grads[static_cast<std::size_t>(s)]);
+          if (!support_verified[wi]) {
+            verify_support_exhausts_grads(all_params[wi], *replicas[wi]);
+            support_verified[wi] = 1;
+          }
         }
-        g0.scale_(1.0f / static_cast<float>(p));
-      }
-      for (int w = 0; w < p; ++w) {
-        auto params_w = replicas[static_cast<std::size_t>(w)]->params();
-        for (std::size_t pi = 0; pi < params_w.size(); ++pi) {
-          const Matrix& g =
-              w == 0 ? params_w[pi].grad() : params0[pi].grad();
-          params_w[pi].mutable_value().axpy_(-config.lr, g);
-        }
-        replicas[static_cast<std::size_t>(w)]->post_step();
+      };
+      {
+        // Worker exceptions (bad_alloc compiling a plan, a failed
+        // SPTX_CHECK) are captured and rethrown here so they surface like
+        // single-threaded errors instead of terminating the process.
+        std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(p - 1));
+        auto guarded = [&](int w) {
+          try {
+            run_worker(w);
+          } catch (...) {
+            errors[static_cast<std::size_t>(w)] = std::current_exception();
+          }
+        };
+        for (int w = 1; w < p; ++w) threads.emplace_back(guarded, w);
+        guarded(0);  // the driving thread is worker 0
+        for (auto& t : threads) t.join();
+        for (const auto& err : errors)
+          if (err) std::rethrow_exception(err);
       }
 
-      float batch_loss = 0.0f;
+      // All-reduce, sparse-aware and deterministically ordered: shard
+      // contributions accumulate into replica 0's (all-zero) gradient
+      // buffers in shard-index order, touched rows only — bit-identical
+      // for any worker count.
+      for (index_t s = 0; s < num_shards; ++s) {
+        ShardGrads& sg = shard_grads[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < num_params; ++i) {
+          ParamGrad& pg = sg[i];
+          if (!pg.present) continue;
+          Matrix& g0 = all_params[0][i].grad();
+          if (pg.dense) {
+            g0.add_(pg.values);
+            profiling::count_event(profiling::Counter::kDdpDenseReduces);
+          } else {
+            const index_t cols = g0.cols();
+            for (std::size_t k = 0; k < pg.rows.size(); ++k)
+              simd::add(g0.row(pg.rows[k]),
+                        pg.values.row(static_cast<index_t>(k)), cols);
+            profiling::count_event(
+                profiling::Counter::kDdpAllReduceRows,
+                static_cast<std::int64_t>(pg.rows.size()));
+          }
+        }
+      }
+
+      // Broadcast the SGD update: every replica steps with the same reduced
+      // gradient over the batch's touched rows, then the accumulator is
+      // re-zeroed on the same support so the next batch starts clean.
+      const std::vector<index_t> batch_ents =
+          touched_entity_ids(pos_all, neg_all);
+      const std::vector<index_t> batch_rels =
+          touched_relation_ids(pos_all, neg_all);
+      std::vector<index_t> batch_stacked;
+      for (std::size_t i = 0; i < num_params; ++i) {
+        Matrix& g0 = all_params[0][i].grad();
+        if (spaces[i] == models::ParamIndexSpace::kDense) {
+          for (int w = 0; w < p; ++w)
+            all_params[static_cast<std::size_t>(w)][i]
+                .mutable_value()
+                .axpy_(-config.lr, g0);
+          g0.zero();
+          continue;
+        }
+        std::vector<index_t> block_rows;
+        const std::vector<index_t>* rows = nullptr;
+        switch (spaces[i]) {
+          case models::ParamIndexSpace::kEntity:
+            rows = &batch_ents;
+            break;
+          case models::ParamIndexSpace::kRelation:
+            rows = &batch_rels;
+            break;
+          case models::ParamIndexSpace::kRelationBlocks:
+            block_rows =
+                expand_relation_blocks(batch_rels, g0.rows(), n_rel);
+            rows = &block_rows;
+            break;
+          default:
+            if (batch_stacked.empty()) {
+              batch_stacked = batch_ents;
+              for (index_t r : batch_rels)
+                batch_stacked.push_back(n_ent + r);
+            }
+            rows = &batch_stacked;
+            break;
+        }
+        const index_t cols = g0.cols();
+        for (int w = 0; w < p; ++w) {
+          Matrix& v = all_params[static_cast<std::size_t>(w)][i]
+                          .mutable_value();
+          for (index_t row : *rows)
+            simd::axpy(v.row(row), g0.row(row), -config.lr, cols);
+        }
+        for (index_t row : *rows)
+          std::memset(g0.row(row), 0,
+                      static_cast<std::size_t>(cols) * sizeof(float));
+      }
+      for (int w = 0; w < p; ++w) replicas[static_cast<std::size_t>(w)]
+          ->post_step();
+
+      float batch_loss = 0.0f;  // shard order: worker-count invariant
       for (float l : shard_loss) batch_loss += l;
-      loss_sum += batch_loss / static_cast<float>(p);
+      loss_sum += batch_loss;
       ++batches;
+      shard_ordinal_base += num_shards;
     }
-    result.epoch_loss.push_back(
-        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f);
+
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+    result.epoch_loss.push_back(mean_loss);
+    result.epoch_seconds.push_back(profiling::seconds_since(epoch_start));
+    if (config.on_epoch) config.on_epoch(epoch, mean_loss);
   }
 
   result.total_seconds = profiling::seconds_since(t0);
+  result.shards_executed = shards_window.elapsed();
+  result.allreduce_rows = rows_window.elapsed();
+  result.dense_reduces = dense_window.elapsed();
+  result.incidence_builds = builds_window.elapsed();
+  for (const auto& cache : caches) {
+    const auto stats = cache->stats();
+    result.worker_plan_stats.push_back(stats);
+    result.plan_stats.hits += stats.hits;
+    result.plan_stats.misses += stats.misses;
+    result.plan_stats.invalidations += stats.invalidations;
+    result.plan_stats.entries += stats.entries;
+  }
+  result.model = std::move(replicas[0]);
   return result;
 }
 

@@ -1,14 +1,22 @@
-// Data-parallel training (Appendix F substitute).
+// Sharded data-parallel training (Appendix F substitute) over in-memory or
+// mmap'd streaming triplet stores.
 //
 // The paper wraps SpTransE in PyTorch DDP and scales to 64 A100 GPUs
 // (Table 9). This environment has no GPUs, so we build the DDP mechanics
 // ourselves and measure/model the scaling:
 //
-//  * DdpTrainer — real multi-worker data parallelism over std::threads:
-//    each worker computes gradients on its shard of the batch against a
-//    replica, gradients are averaged (the all-reduce), and replicas step
-//    in lockstep. Tests verify the invariant DDP relies on: the averaged
-//    shard gradient equals the full-batch gradient.
+//  * train_ddp — real multi-worker data parallelism over std::threads for
+//    ANY models::KgeModel. Every batch is cut into fixed-size shards; each
+//    worker drives its replica through the compiled-batch pipeline (the
+//    model's ScoringRecipe, per-worker sparse::PlanCache — zero incidence
+//    rebuilds after epoch 0 on the fixed-order protocol) and produces a
+//    per-shard gradient. Gradients are combined by a sparse-aware
+//    all-reduce: only the embedding rows in a shard's incidence support
+//    travel (everything outside it is identically zero), and shards reduce
+//    in shard-index order — so the result is bit-identical no matter how
+//    many workers executed them. Fed a kg::StreamingTripletStore the
+//    trainer reads positives as zero-copy spans over the mapping and
+//    samples negatives per batch, never materialising the file in RAM.
 //  * ScalingModel — an analytic DDP cost model,
 //        T(p) = T_compute / (p · eff(p)) + epochs · T_allreduce(p),
 //    with ring all-reduce time 2·(p−1)/p · bytes / bandwidth + latency
@@ -16,36 +24,72 @@
 //    the Table 9 series for p = 4 … 64 without 64 physical devices; the
 //    shape (near-linear until communication shows) is what the paper
 //    reports.
+//
+// Environment knobs: SPTX_DDP_WORKERS, SPTX_DDP_SHARD and
+// SPTX_DDP_PLAN_CACHE override the corresponding DdpConfig fields.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/kg/triplet.hpp"
+#include "src/kg/triplet_source.hpp"
 #include "src/models/model.hpp"
+#include "src/sparse/plan_cache.hpp"
 #include "src/train/trainer.hpp"
 
 namespace sptx::distributed {
 
 struct DdpConfig {
-  int workers = 4;
+  int workers = 4;          // SPTX_DDP_WORKERS overrides
   int epochs = 10;
   index_t batch_size = 4096;
+  /// Gradient-shard granularity. Results depend on the shard decomposition,
+  /// not on the worker count, so fixing shard_size makes training
+  /// bit-identical for any `workers` (the tests' invariance anchor). 0
+  /// derives ceil(batch_size / workers) — classic DDP behaviour, one shard
+  /// per worker. SPTX_DDP_SHARD overrides.
+  index_t shard_size = 0;
   float lr = 0.0004f;
   std::uint64_t seed = 42;
+  /// Cache compiled shard plans across epochs (per-worker PlanCache). On
+  /// the fixed-order protocol every epoch after the first is served
+  /// entirely from cache — zero incidence rebuilds. Costs O(dataset)
+  /// resident plan memory, so switch it off to train files that must not
+  /// be materialised. SPTX_DDP_PLAN_CACHE overrides.
+  bool plan_cache = true;
+  /// Fires after every epoch with (epoch, mean_loss).
+  std::function<void(int, float)> on_epoch;
 };
 
 struct DdpResult {
   double total_seconds = 0.0;
   std::vector<float> epoch_loss;
+  std::vector<double> epoch_seconds;
+  /// Worker replica 0 after training (all replicas are bit-identical).
+  std::unique_ptr<models::KgeModel> model;
+  // ---- resolved configuration -------------------------------------------
+  int workers = 0;
+  index_t shard_size = 0;
+  // ---- counters (profiling/counters.hpp windows over this run) ----------
+  std::int64_t shards_executed = 0;    // kDdpShards
+  std::int64_t allreduce_rows = 0;     // kDdpAllReduceRows (sparse path)
+  std::int64_t dense_reduces = 0;      // kDdpDenseReduces (fallback path)
+  std::int64_t incidence_builds = 0;   // kIncidenceBuilds
+  /// Per-worker plan-cache traffic, and the aggregate over all workers.
+  std::vector<sparse::PlanCache::Stats> worker_plan_stats;
+  sparse::PlanCache::Stats plan_stats;
 };
 
-/// Thread-backed data-parallel training of a *sparse TransE* parameter set.
-/// Model factory is invoked once per worker so each worker owns a replica;
+/// Thread-backed sharded data-parallel training of any KgeModel. The model
+/// factory is invoked once per worker so each worker owns a replica;
 /// replicas start from identical weights (same seed) and stay bit-identical
-/// because every step applies the same averaged gradient.
+/// because every step applies the same deterministically-reduced gradient.
+/// `data` binds implicitly from a TripletStore or a StreamingTripletStore.
 DdpResult train_ddp(
     const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
-    const TripletStore& data, const DdpConfig& config);
+    const kg::TripletSource& data, const DdpConfig& config);
 
 /// Analytic scaling estimate (Table 9 reproduction).
 struct ScalingModel {

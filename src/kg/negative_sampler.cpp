@@ -6,16 +6,18 @@
 
 namespace sptx::kg {
 
-namespace {
-// Order-sensitive 64-bit key for (h, r, t). Entity/relation counts in the
-// supported datasets fit comfortably in 21 bits each at paper scale
-// (max ~123k < 2^21); the key packs h|r|t.
-std::uint64_t key_of(const Triplet& t) {
-  return (static_cast<std::uint64_t>(t.head) << 42) ^
-         (static_cast<std::uint64_t>(t.relation) << 21) ^
-         static_cast<std::uint64_t>(t.tail);
+NegativeSampler::NegativeSampler(std::int64_t num_entities,
+                                 std::int64_t num_relations,
+                                 CorruptionScheme scheme)
+    : num_entities_(num_entities),
+      scheme_(scheme),
+      filtered_(false),
+      num_relations_(num_relations) {
+  SPTX_CHECK(num_entities_ >= 2, "need at least two entities to corrupt");
+  SPTX_CHECK(scheme_ == CorruptionScheme::kUniform,
+             "store-free sampler supports only unfiltered uniform corruption "
+             "(Bernoulli statistics need the positives)");
 }
-}  // namespace
 
 NegativeSampler::NegativeSampler(const TripletStore& positives,
                                  CorruptionScheme scheme, bool filtered)
@@ -26,8 +28,12 @@ NegativeSampler::NegativeSampler(const TripletStore& positives,
   SPTX_CHECK(num_entities_ >= 2, "need at least two entities to corrupt");
   if (filtered_) {
     positive_keys_.reserve(static_cast<std::size_t>(positives.size()) * 2);
-    for (const Triplet& t : positives.triplets())
-      positive_keys_.insert(key_of(t));
+    for (const Triplet& t : positives.triplets()) {
+      SPTX_CHECK(t.head >= 0 && t.relation >= 0 && t.tail >= 0,
+                 "filtered sampler requires non-negative ids, got h="
+                     << t.head << " r=" << t.relation << " t=" << t.tail);
+      positive_keys_.insert(t);
+    }
   }
   if (scheme_ == CorruptionScheme::kBernoulli) {
     // tph: average tails per (head, relation); hpt: heads per (tail,
@@ -62,7 +68,7 @@ NegativeSampler::NegativeSampler(const TripletStore& positives,
 }
 
 bool NegativeSampler::is_positive(const Triplet& t) const {
-  return positive_keys_.count(key_of(t)) > 0;
+  return positive_keys_.count(t) > 0;
 }
 
 float NegativeSampler::head_corruption_prob(std::int64_t relation) const {

@@ -28,8 +28,20 @@ class NegativeSampler {
   NegativeSampler(const TripletStore& positives, CorruptionScheme scheme,
                   bool filtered = false);
 
+  /// Store-free sampler for streaming sources whose triplets never live in
+  /// RAM: only the vocabulary sizes are needed. Bernoulli statistics and
+  /// positive-filtering both require scanning the positives, so this
+  /// constructor supports only the unfiltered kUniform scheme.
+  NegativeSampler(std::int64_t num_entities, std::int64_t num_relations,
+                  CorruptionScheme scheme);
+
   /// One corrupted counterpart for `positive`.
   Triplet corrupt(const Triplet& positive, Rng& rng) const;
+
+  /// Exact membership test against the positive set (filtered mode only;
+  /// always false otherwise). Keyed by the full triplet, so it is correct
+  /// for entity/relation ids of any magnitude.
+  bool is_positive(const Triplet& t) const;
 
   /// One negative per positive, aligned by index — the paper's
   /// pre-generation protocol.
@@ -43,14 +55,14 @@ class NegativeSampler {
                                      int k, Rng& rng) const;
 
  private:
-  bool is_positive(const Triplet& t) const;
   float head_corruption_prob(std::int64_t relation) const;
 
   std::int64_t num_entities_;
   CorruptionScheme scheme_;
   bool filtered_;
-  std::vector<float> bernoulli_head_prob_;    // per relation
-  std::unordered_set<std::uint64_t> positive_keys_;  // only when filtered
+  std::vector<float> bernoulli_head_prob_;  // per relation
+  /// Full triplets, not packed keys: equality is exact at any id scale.
+  std::unordered_set<Triplet, TripletHash> positive_keys_;
   std::int64_t num_relations_;
 };
 

@@ -93,16 +93,42 @@ StreamingTripletStore::StreamingTripletStore(
       mapped_bytes_(o.mapped_bytes_) {
   o.fd_ = -1;
   o.data_ = nullptr;
+  o.count_ = 0;
+  o.mapped_bytes_ = 0;
 }
 
-StreamingTripletStore::~StreamingTripletStore() {
+StreamingTripletStore& StreamingTripletStore::operator=(
+    StreamingTripletStore&& o) noexcept {
+  if (this != &o) {
+    release();  // the overwritten mapping must not leak its pages or fd
+    fd_ = o.fd_;
+    data_ = o.data_;
+    count_ = o.count_;
+    num_entities_ = o.num_entities_;
+    num_relations_ = o.num_relations_;
+    mapped_bytes_ = o.mapped_bytes_;
+    o.fd_ = -1;
+    o.data_ = nullptr;
+    o.count_ = 0;
+    o.mapped_bytes_ = 0;
+  }
+  return *this;
+}
+
+void StreamingTripletStore::release() noexcept {
   if (data_ != nullptr) {
     ::munmap(const_cast<void*>(static_cast<const void*>(
                  reinterpret_cast<const char*>(data_) - sizeof(FileHeader))),
              mapped_bytes_);
+    data_ = nullptr;
   }
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
+
+StreamingTripletStore::~StreamingTripletStore() { release(); }
 
 std::span<const Triplet> StreamingTripletStore::slice(
     std::int64_t begin, std::int64_t count) const {

@@ -28,7 +28,9 @@ class StreamingTripletStore {
 
   ~StreamingTripletStore();
   StreamingTripletStore(StreamingTripletStore&&) noexcept;
-  StreamingTripletStore& operator=(StreamingTripletStore&&) = delete;
+  /// Unmaps/closes the overwritten mapping, then adopts `o`'s — required so
+  /// stores can live in resizable containers (per-worker shard views).
+  StreamingTripletStore& operator=(StreamingTripletStore&&) noexcept;
   StreamingTripletStore(const StreamingTripletStore&) = delete;
   StreamingTripletStore& operator=(const StreamingTripletStore&) = delete;
 
@@ -46,6 +48,9 @@ class StreamingTripletStore {
   StreamingTripletStore(int fd, const Triplet* data, std::int64_t count,
                         std::int64_t num_entities, std::int64_t num_relations,
                         std::size_t mapped_bytes);
+
+  /// munmap + close this store's resources (idempotent).
+  void release() noexcept;
 
   int fd_ = -1;
   const Triplet* data_ = nullptr;

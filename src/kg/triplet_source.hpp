@@ -1,0 +1,56 @@
+// Uniform zero-copy view over a training-triplet container.
+//
+// The sharded trainer (distributed/ddp) and the batch-plan compiler consume
+// triplets exclusively through contiguous slices, which both the in-memory
+// TripletStore and the mmap-backed StreamingTripletStore (§4.7.2) provide.
+// TripletSource erases the difference behind one non-owning handle: slicing
+// an in-memory store returns a span over its vector, slicing a streaming
+// store returns a span over the mapping — in neither case is anything
+// copied, so an epoch over a multi-billion-triplet file touches only the
+// pages the current batch needs. The view must not outlive the store it
+// wraps.
+#pragma once
+
+#include "src/kg/streaming_store.hpp"
+#include "src/kg/triplet.hpp"
+
+namespace sptx::kg {
+
+class TripletSource {
+ public:
+  TripletSource() = default;
+  /*implicit*/ TripletSource(const TripletStore& store) : mem_(&store) {}
+  /*implicit*/ TripletSource(const StreamingTripletStore& store)
+      : stream_(&store) {}
+
+  bool valid() const { return mem_ != nullptr || stream_ != nullptr; }
+  bool streaming() const { return stream_ != nullptr; }
+
+  std::int64_t size() const {
+    return mem_ != nullptr ? mem_->size() : stream_->size();
+  }
+  bool empty() const { return size() == 0; }
+  std::int64_t num_entities() const {
+    return mem_ != nullptr ? mem_->num_entities() : stream_->num_entities();
+  }
+  std::int64_t num_relations() const {
+    return mem_ != nullptr ? mem_->num_relations() : stream_->num_relations();
+  }
+
+  /// Zero-copy contiguous view [begin, begin+count). Valid while the
+  /// underlying store lives.
+  std::span<const Triplet> slice(std::int64_t begin, std::int64_t count) const {
+    return mem_ != nullptr ? mem_->slice(begin, count)
+                           : stream_->slice(begin, count);
+  }
+
+  const Triplet& operator[](std::int64_t i) const {
+    return mem_ != nullptr ? (*mem_)[i] : stream_->slice(i, 1)[0];
+  }
+
+ private:
+  const TripletStore* mem_ = nullptr;
+  const StreamingTripletStore* stream_ = nullptr;
+};
+
+}  // namespace sptx::kg

@@ -55,6 +55,23 @@ inline autograd::Variable ranking_loss(const autograd::Variable& pos,
              : autograd::logistic_ranking_loss(pos, neg, config.margin);
 }
 
+/// How a parameter matrix's rows are indexed. Drives the distributed
+/// trainer's sparse all-reduce: for entity/relation-indexed tables only the
+/// rows a batch's incidence structure touches carry gradient, so only those
+/// rows need to travel. kDense disables the sparse path for a parameter —
+/// always safe, never wrong, just slower.
+enum class ParamIndexSpace {
+  kEntity,                  // rows indexed by entity id (N rows)
+  kRelation,                // rows indexed by relation id (R rows)
+  kEntityRelationStacked,   // [entities; relations] stacking (N + R rows)
+  /// R stacked fixed-height blocks, block r belonging to relation r
+  /// (TransR's (R·d_r) × d projection stack). Never inferred from shape —
+  /// only a model override can claim it, because a coincidentally divisible
+  /// dense matrix would silently drop gradient.
+  kRelationBlocks,
+  kDense,                   // anything else: all-reduce the whole matrix
+};
+
 class KgeModel {
  public:
   virtual ~KgeModel() = default;
@@ -72,6 +89,14 @@ class KgeModel {
   virtual bool higher_is_better() const { return false; }
 
   virtual std::vector<autograd::Variable> params() = 0;
+
+  /// Index space of each params() entry, aligned by position. The default
+  /// infers from row counts — N rows → entity-indexed, R rows →
+  /// relation-indexed, N+R rows → the stacked [entities; relations] layout —
+  /// which is exact for every model family in this library. Ambiguous counts
+  /// (a dataset where N == R) and unrecognised shapes classify as kDense,
+  /// which is always safe. Models with exotic layouts should override.
+  virtual std::vector<ParamIndexSpace> param_index_spaces();
 
   /// Apply model constraints after an optimizer step.
   virtual void post_step() {}

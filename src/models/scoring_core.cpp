@@ -11,6 +11,30 @@
 
 namespace sptx::models {
 
+std::vector<ParamIndexSpace> KgeModel::param_index_spaces() {
+  const index_t n = num_entities_;
+  const index_t r = num_relations_;
+  std::vector<ParamIndexSpace> spaces;
+  for (autograd::Variable& p : params()) {
+    const index_t rows = p.rows();
+    if (n == r) {
+      // Entity- and relation-sized tables are indistinguishable by shape;
+      // the stacked layout (rows == 2n) could equally be either doubled.
+      // Dense is the only classification that cannot drop gradient.
+      spaces.push_back(ParamIndexSpace::kDense);
+    } else if (rows == n) {
+      spaces.push_back(ParamIndexSpace::kEntity);
+    } else if (rows == r) {
+      spaces.push_back(ParamIndexSpace::kRelation);
+    } else if (rows == n + r) {
+      spaces.push_back(ParamIndexSpace::kEntityRelationStacked);
+    } else {
+      spaces.push_back(ParamIndexSpace::kDense);
+    }
+  }
+  return spaces;
+}
+
 autograd::Variable ScoringCoreModel::distance(std::span<const Triplet> batch) {
   const auto plan = sparse::CompiledBatch::compile(
       batch, recipe(), num_entities_, num_relations_, /*copy_triplets=*/false);

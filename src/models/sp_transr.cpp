@@ -76,6 +76,13 @@ std::vector<autograd::Variable> SpTransR::params() {
   return {entities_.var(), relations_.var(), projections_.var()};
 }
 
+std::vector<ParamIndexSpace> SpTransR::param_index_spaces() {
+  // The projection stack is (R·d_r) × d with block r owned by relation r —
+  // block-sparse by relation, which shape inference must not guess at.
+  return {ParamIndexSpace::kEntity, ParamIndexSpace::kRelation,
+          ParamIndexSpace::kRelationBlocks};
+}
+
 void SpTransR::post_step() {
   if (!config_.normalize_entities) return;
   entities_.normalize_rows();

@@ -30,6 +30,7 @@ class SpTransR final : public ScoringCoreModel {
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
+  std::vector<ParamIndexSpace> param_index_spaces() override;
   void post_step() override;
 
  private:

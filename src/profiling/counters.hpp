@@ -20,6 +20,9 @@ enum class Counter : int {
   kPlanCompiles,          // CompiledBatch compilations
   kPlanCacheHits,         // plans served from a PlanCache
   kPlanInvalidations,     // PlanCache::invalidate calls that dropped entries
+  kDdpShards,             // worker shard gradient computations (distributed)
+  kDdpAllReduceRows,      // embedding rows moved through the sparse all-reduce
+  kDdpDenseReduces,       // parameters that fell back to a dense all-reduce
   kNumCounters,
 };
 

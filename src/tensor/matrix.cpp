@@ -66,11 +66,15 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> init) {
   const index_t r = static_cast<index_t>(init.size());
   const index_t c =
       r == 0 ? 0 : static_cast<index_t>(init.begin()->size());
-  allocate(r, c);
-  index_t i = 0;
+  // Validate before allocate(): a throw from a half-built object skips the
+  // destructor, so allocating first would leak the buffer.
   for (const auto& row_init : init) {
     SPTX_CHECK(static_cast<index_t>(row_init.size()) == c,
                "ragged initializer");
+  }
+  allocate(r, c);
+  index_t i = 0;
+  for (const auto& row_init : init) {
     index_t j = 0;
     for (float v : row_init) at(i, j++) = v;
     ++i;

@@ -12,7 +12,7 @@ namespace {
 /// selects the positive or the aligned corrupted side.
 std::vector<Triplet> stage_batch(const EpochBatchSource& src, index_t begin,
                                  index_t count, bool is_pos) {
-  const index_t m = src.data->size();
+  const index_t m = src.data.size();
   std::vector<Triplet> staged;
   staged.reserve(static_cast<std::size_t>(src.k) *
                  static_cast<std::size_t>(count));
@@ -22,7 +22,7 @@ std::vector<Triplet> stage_batch(const EpochBatchSource& src, index_t begin,
                             ? i
                             : src.positions[static_cast<std::size_t>(i)];
       if (is_pos) {
-        staged.push_back((*src.data)[p]);
+        staged.push_back(src.data[p]);
       } else {
         staged.push_back(
             src.negatives[static_cast<std::size_t>(rep) *
@@ -39,15 +39,15 @@ std::vector<Triplet> stage_batch(const EpochBatchSource& src, index_t begin,
 std::vector<BatchPlan> compile_epoch_plans(const EpochBatchSource& source,
                                            const sparse::ScoringRecipe& recipe,
                                            sparse::PlanCache* cache) {
-  SPTX_CHECK(source.data != nullptr && source.batch_size > 0 && source.k >= 1,
+  SPTX_CHECK(source.data.valid() && source.batch_size > 0 && source.k >= 1,
              "bad epoch batch source");
-  const index_t m = source.data->size();
+  const index_t m = source.data.size();
   SPTX_CHECK(static_cast<index_t>(source.negatives.size()) ==
                  m * static_cast<index_t>(source.k),
              "negatives/positives size mismatch");
   const bool stage = !source.positions.empty() || source.k > 1;
-  const index_t n = source.data->num_entities();
-  const index_t r = source.data->num_relations();
+  const index_t n = source.data.num_entities();
+  const index_t r = source.data.num_relations();
 
   std::vector<BatchPlan> plans;
   plans.reserve(static_cast<std::size_t>((m + source.batch_size - 1) /
@@ -68,7 +68,7 @@ std::vector<BatchPlan> compile_epoch_plans(const EpochBatchSource& source,
             stage_batch(source, begin, count, is_pos), recipe, n, r);
       } else {
         const std::span<const Triplet> span =
-            is_pos ? source.data->slice(begin, count)
+            is_pos ? source.data.slice(begin, count)
                    : source.negatives.subspan(static_cast<std::size_t>(begin),
                                               static_cast<std::size_t>(count));
         plan = sparse::CompiledBatch::compile(span, recipe, n, r,

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kg/triplet.hpp"
+#include "src/kg/triplet_source.hpp"
 #include "src/sparse/plan_cache.hpp"
 
 namespace sptx::train {
@@ -37,7 +38,9 @@ struct BatchPlan {
 /// off. Spans must outlive the compiled plans unless staging copies them
 /// (shuffle or k > 1 always stage).
 struct EpochBatchSource {
-  const TripletStore* data = nullptr;
+  /// Positives — an in-memory store or an mmap'd streaming store; batches
+  /// compile from zero-copy slices either way.
+  kg::TripletSource data;
   /// Pre-generated negatives, repetition-major: entry rep·|data| + i
   /// corrupts positive i (NegativeSampler::pregenerate_k layout).
   std::span<const Triplet> negatives;

@@ -1,11 +1,13 @@
 #include "src/train/trainer.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <limits>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -19,13 +21,14 @@ namespace sptx::train {
 
 namespace {
 
-/// SPTX_PLAN_CACHE / SPTX_PREFETCH: "0", "off", "false" disable; anything
-/// else enables; unset keeps the config value.
+/// SPTX_PLAN_CACHE / SPTX_PREFETCH: "0", "off", "false" (any case) disable;
+/// anything else enables; unset keeps the config value.
 bool env_flag(const char* name, bool fallback) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
-  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-           std::strcmp(v, "false") == 0);
+  std::string lower(v);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  return !(lower == "0" || lower == "off" || lower == "false");
 }
 
 /// Joins on destruction so an exception unwinding past a live prefetch
@@ -170,7 +173,7 @@ void run_planned(TrainLoop& loop) {
   auto make_source = [&](const std::vector<Triplet>& negs,
                          const std::vector<index_t>& perm) {
     EpochBatchSource src;
-    src.data = &data;
+    src.data = kg::TripletSource(data);
     src.negatives = negs;
     src.positions = perm;
     src.k = k;

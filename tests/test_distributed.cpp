@@ -71,8 +71,10 @@ TEST(Ddp, WorkersConvergeLikeSequential) {
   const auto four = run(4);
   EXPECT_LT(one.epoch_loss.back(), one.epoch_loss.front());
   EXPECT_LT(four.epoch_loss.back(), four.epoch_loss.front());
-  // Final losses in the same ballpark (shard-average ≠ exactly full-batch
-  // when margin hinge activations differ, but must be close).
+  // With shard_size unset the decomposition derives from the worker count
+  // (1 shard vs 4 per batch), so results differ only by float reassociation
+  // across shard boundaries — same ballpark. Fixing shard_size makes them
+  // bit-identical (test_ddp_streaming covers that).
   EXPECT_NEAR(four.epoch_loss.back(), one.epoch_loss.back(),
               0.3f * std::max(1e-3f, one.epoch_loss.front()));
 }

@@ -111,6 +111,60 @@ TEST(NegativeSampler, DeterministicGivenSeed) {
   EXPECT_EQ(a, b);
 }
 
+TEST(NegativeSampler, FilteredKeysExactBeyond21Bits) {
+  // Regression: the filtered sampler used to pack (h, r, t) into one 64-bit
+  // word with 21-bit shifts and XOR, so ids ≥ 2^21 aliased — e.g. the key of
+  // (h, 1, 0) equalled the key of (h, 0, 2^21), making the sampler reject
+  // valid negatives and admit false ones at scale. Keys are now the full
+  // triplet, so membership must be exact for ids of any magnitude.
+  const std::int64_t big = std::int64_t{1} << 21;
+  std::vector<Triplet> positives = {{5, 1, 0}, {big + 7, 2, big + 9}};
+  TripletStore store(big + 16, 4, std::move(positives));
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform,
+                              /*filtered=*/true);
+  EXPECT_TRUE(sampler.is_positive({5, 1, 0}));
+  EXPECT_TRUE(sampler.is_positive({big + 7, 2, big + 9}));
+  // Old packed-key collision partners must NOT read as positives.
+  EXPECT_FALSE(sampler.is_positive({5, 0, big}));      // r bit ↔ t bit alias
+  EXPECT_FALSE(sampler.is_positive({5, 1, big}));
+  EXPECT_FALSE(sampler.is_positive({big + 7, 2, 9}));  // high bits dropped
+  EXPECT_FALSE(sampler.is_positive({7, 2, big + 9}));
+}
+
+TEST(NegativeSampler, FilteredCorruptionAtLargeIdScale) {
+  // Dense positive block living entirely above 2^21: filtered corruption
+  // must still avoid regenerating any of them.
+  const std::int64_t base = (std::int64_t{1} << 21) + 100;
+  std::vector<Triplet> positives;
+  for (std::int64_t t = 0; t < 5; ++t)
+    positives.push_back({base, 0, base + 1 + t});
+  TripletStore store(base + 10, 1, std::move(positives));
+  kg::NegativeSampler sampler(store, kg::CorruptionScheme::kUniform,
+                              /*filtered=*/true);
+  Rng rng(17);
+  int false_negatives = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Triplet neg = sampler.corrupt(store[0], rng);
+    if (sampler.is_positive(neg)) ++false_negatives;
+  }
+  EXPECT_LT(false_negatives, 5);  // bounded retries keep this tiny
+}
+
+TEST(NegativeSampler, StoreFreeUniformMatchesStoreBacked) {
+  const TripletStore store = toy_store();
+  kg::NegativeSampler with_store(store, kg::CorruptionScheme::kUniform);
+  kg::NegativeSampler store_free(store.num_entities(), store.num_relations(),
+                                 kg::CorruptionScheme::kUniform);
+  Rng rng1(21), rng2(21);
+  EXPECT_EQ(with_store.pregenerate(store.triplets(), rng1),
+            store_free.pregenerate(store.triplets(), rng2));
+}
+
+TEST(NegativeSampler, StoreFreeRejectsBernoulli) {
+  EXPECT_THROW(
+      kg::NegativeSampler(10, 2, kg::CorruptionScheme::kBernoulli), Error);
+}
+
 TEST(NegativeSampler, TooFewEntitiesThrows) {
   TripletStore store(1, 1, {{0, 0, 0}});
   EXPECT_THROW(

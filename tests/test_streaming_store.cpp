@@ -82,6 +82,44 @@ TEST(StreamingStore, MissingFileThrows) {
                Error);
 }
 
+TEST(StreamingStore, MoveAssignmentReleasesOverwrittenMapping) {
+  // Regression: move assignment was deleted, so stores couldn't live in
+  // resizable containers (per-worker shard views need exactly that). The
+  // implemented assignment must unmap/close the overwritten store — looping
+  // far past the fd limit proves the old descriptor is released each time.
+  Rng rng(4);
+  const kg::Dataset ds = kg::generate({"mv", 20, 2, 50}, rng, 0.0, 0.0);
+  const std::string path = temp_path("stream_mv.sptxs");
+  kg::StreamingTripletStore::write_file(path, ds.train.triplets(), 20, 2);
+  auto store = kg::StreamingTripletStore::open(path);
+  for (int i = 0; i < 4096; ++i)  // default RLIMIT_NOFILE is 1024
+    store = kg::StreamingTripletStore::open(path);
+  EXPECT_EQ(store.size(), ds.train.size());
+  EXPECT_EQ(store.slice(0, 1)[0], ds.train[0]);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStore, StoresLiveInResizableContainers) {
+  Rng rng(5);
+  const kg::Dataset a = kg::generate({"vecA", 15, 2, 40}, rng, 0.0, 0.0);
+  const kg::Dataset b = kg::generate({"vecB", 25, 3, 60}, rng, 0.0, 0.0);
+  const std::string pa = temp_path("stream_vec_a.sptxs");
+  const std::string pb = temp_path("stream_vec_b.sptxs");
+  kg::StreamingTripletStore::write_file(pa, a.train.triplets(), 15, 2);
+  kg::StreamingTripletStore::write_file(pb, b.train.triplets(), 25, 3);
+
+  std::vector<kg::StreamingTripletStore> shards;
+  shards.push_back(kg::StreamingTripletStore::open(pa));
+  shards.push_back(kg::StreamingTripletStore::open(pb));
+  shards.erase(shards.begin());  // shifts via move assignment
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].size(), b.train.size());
+  EXPECT_EQ(shards[0].num_entities(), 25);
+  EXPECT_EQ(shards[0].slice(0, 1)[0], b.train[0]);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
 TEST(StreamingStore, EmptyStoreIsValid) {
   const std::string path = temp_path("stream_empty.sptxs");
   kg::StreamingTripletStore::write_file(path, {}, 5, 2);

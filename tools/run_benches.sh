@@ -11,6 +11,9 @@
 #                        profile that motivates the sparse formulation)
 #   BENCH_pipeline.json  bench_pipeline: epoch-1 vs cached-epoch wall time
 #                        per model family, prefetch on/off under shuffle
+#   BENCH_ddp.json       bench_ddp: sharded multi-worker trainer over
+#                        in-memory vs mmap-streamed stores (time, loss,
+#                        sparse all-reduce rows, plan-cache traffic)
 #
 # Knobs: SPTX_BENCH_MIN_TIME (per-benchmark min time, default 0.2s),
 # SPTX_EPOCHS / SPTX_SCALE forwarded to the hotspot bench as usual.
@@ -42,6 +45,11 @@ fi
 if [[ -x "$build_dir/bench_pipeline" ]]; then
   echo "== BatchPlan pipeline -> $out_dir/BENCH_pipeline.json"
   "$build_dir/bench_pipeline" > "$out_dir/BENCH_pipeline.json"
+fi
+
+if [[ -x "$build_dir/bench_ddp" ]]; then
+  echo "== Sharded DDP (memory vs streaming) -> $out_dir/BENCH_ddp.json"
+  (cd "$build_dir" && ./bench_ddp) > "$out_dir/BENCH_ddp.json"
 fi
 
 echo "done."
