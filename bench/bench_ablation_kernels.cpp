@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "src/common/rng.hpp"
+#include "src/common/runtime_config.hpp"
 #include "src/kg/synthetic.hpp"
 #include "src/sparse/incidence.hpp"
 #include "src/sparse/spmm.hpp"
@@ -122,12 +123,13 @@ void BM_SpmmBackwardScatter(benchmark::State& state) {
   Matrix g(w.csr.rows, w.x.cols());
   g.fill(0.5f);
   Matrix dx(w.x.rows(), w.x.cols());
-  setenv("SPTX_SPMM_BACKWARD", "scatter", 1);
+  // Registry override, not setenv: the process snapshot is latched at first
+  // use, so only an installed snapshot reaches the dispatch.
+  config::ScopedOverride force("SPTX_SPMM_BACKWARD", "scatter");
   for (auto _ : state) {
     spmm_csr_transposed_accumulate(w.csr, g, dx);
     benchmark::DoNotOptimize(dx.data());
   }
-  unsetenv("SPTX_SPMM_BACKWARD");
   state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
 }
 
@@ -139,13 +141,12 @@ void BM_SpmmBackwardTransposedCached(benchmark::State& state) {
   Matrix g(w.csr.rows, w.x.cols());
   g.fill(0.5f);
   Matrix dx(w.x.rows(), w.x.cols());
-  setenv("SPTX_SPMM_BACKWARD", "transpose", 1);
+  config::ScopedOverride force("SPTX_SPMM_BACKWARD", "transpose");
   w.csr.transposed();  // warm the cache
   for (auto _ : state) {
     spmm_csr_transposed_accumulate(w.csr, g, dx);
     benchmark::DoNotOptimize(dx.data());
   }
-  unsetenv("SPTX_SPMM_BACKWARD");
   state.SetItemsProcessed(state.iterations() * w.csr.nnz() * w.x.cols());
 }
 

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "src/common/string_utils.hpp"
+#include "src/common/runtime_config.hpp"
 #include "src/kg/synthetic.hpp"
 #include "src/models/model.hpp"
 #include "src/train/trainer.hpp"
@@ -23,11 +23,13 @@
 namespace sptx::bench {
 
 inline double scale() {
-  const double s = env_double("SPTX_SCALE", 0.01);
+  const double s = config::current()->double_or("SPTX_SCALE", 0.01);
   return s <= 0.0 || s > 1.0 ? 0.01 : s;
 }
 
-inline int epochs(int fallback = 10) { return env_int("SPTX_EPOCHS", fallback); }
+inline int epochs(int fallback = 10) {
+  return static_cast<int>(config::current()->int_or("SPTX_EPOCHS", fallback));
+}
 
 /// The seven Table 3 datasets (order of Figure 7's rows).
 inline std::vector<std::string> figure7_datasets() {

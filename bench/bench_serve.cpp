@@ -1,0 +1,189 @@
+// Serving-layer throughput bench: queries/sec through a shared
+// InferenceSession, single-thread vs multi-thread, with and without
+// micro-batch coalescing.
+//
+// The serving claim is twofold: (1) the session is thread-safe and scales
+// with concurrent callers, and (2) under concurrency the micro-batching
+// queue coalesces small score queries into fewer, larger scoring calls,
+// buying back per-call overhead. This bench drives a fixed per-thread query
+// load (small triple-scoring batches, the traffic micro-batching targets)
+// through four configurations — {1 thread, N threads} × {coalescing off,
+// on} — and reports QPS plus the coalescing counters that explain it.
+// Top-k candidate queries are measured separately (they bypass the
+// micro-batcher and exercise the candidate-plan cache instead).
+//
+// Output is one JSON document on stdout — tools/run_benches.sh captures it
+// as BENCH_serve.json for the PR-to-PR perf trajectory.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/api/engine.hpp"
+#include "src/profiling/timer.hpp"
+
+namespace sptx {
+namespace {
+
+struct ServeRow {
+  int threads = 0;
+  bool micro_batch = false;
+  int window_us = 0;
+  double seconds = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t triplets = 0;
+  std::int64_t executions = 0;   // underlying score() calls
+  std::int64_t coalesced = 0;    // requests that shared an execution
+  double qps = 0.0;
+  double topk_qps = 0.0;
+  std::int64_t plan_hits = 0;
+};
+
+constexpr std::size_t kQueryBatch = 8;     // triplets per score request
+constexpr std::int64_t kRequests = 4000;   // score requests per thread
+constexpr std::int64_t kTopK = 200;        // top-k queries per thread
+
+std::vector<Triplet> make_queries(const kg::Dataset& ds, std::size_t count,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> out(count);
+  for (auto& t : out) {
+    t.head = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ds.num_entities())));
+    t.relation = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ds.num_relations())));
+    t.tail = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ds.num_entities())));
+  }
+  return out;
+}
+
+ServeRow run_load(Engine& engine, const kg::Dataset& ds, int threads,
+                  bool micro_batch, int window_us) {
+  serve::SessionOptions so;
+  so.micro_batch = micro_batch;
+  so.window_us = window_us;
+  auto session = engine.open_session(so);
+
+  // Pre-generated per-thread query streams keep RNG out of the timed loop.
+  std::vector<std::vector<Triplet>> streams;
+  streams.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w)
+    streams.push_back(make_queries(
+        ds, static_cast<std::size_t>(kRequests) * kQueryBatch,
+        static_cast<std::uint64_t>(500 + w)));
+
+  const auto t0 = profiling::clock::now();
+  std::vector<std::thread> pool;
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      const auto& stream = streams[static_cast<std::size_t>(w)];
+      for (std::int64_t i = 0; i < kRequests; ++i) {
+        const std::span<const Triplet> batch(
+            stream.data() + static_cast<std::size_t>(i) * kQueryBatch,
+            kQueryBatch);
+        session->score(batch);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double score_seconds = profiling::seconds_since(t0);
+
+  // Top-k pass: anchors cycle a small set so the candidate-plan cache
+  // engages the way repeated production queries would.
+  const auto t1 = profiling::clock::now();
+  std::vector<std::thread> topk_pool;
+  for (int w = 0; w < threads; ++w) {
+    topk_pool.emplace_back([&, w] {
+      Rng rng(static_cast<std::uint64_t>(900 + w));
+      for (std::int64_t i = 0; i < kTopK; ++i) {
+        const auto h = static_cast<std::int64_t>(rng.next_below(16));
+        const auto r = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(ds.num_relations())));
+        session->top_tails(h % ds.num_entities(), r, 10);
+      }
+    });
+  }
+  for (auto& t : topk_pool) t.join();
+  const double topk_seconds = profiling::seconds_since(t1);
+
+  const auto stats = session->stats();
+  ServeRow row;
+  row.threads = threads;
+  row.micro_batch = micro_batch;
+  row.window_us = window_us;
+  row.seconds = score_seconds;
+  row.requests = stats.batcher.requests;
+  row.triplets = stats.batcher.triplets;
+  row.executions = stats.batcher.batches_executed;
+  row.coalesced = stats.batcher.coalesced_requests;
+  row.qps = static_cast<double>(kRequests) * threads / score_seconds;
+  row.topk_qps = static_cast<double>(kTopK) * threads / topk_seconds;
+  row.plan_hits = stats.plans.hits;
+  return row;
+}
+
+}  // namespace
+}  // namespace sptx
+
+int main() {
+  using namespace sptx;
+
+  Rng rng(42);
+  kg::Dataset ds = kg::generate(
+      kg::scaled(kg::profile_by_name("FB15K"), bench::scale()), rng);
+
+  Engine engine;
+  ModelSpec spec;
+  spec.family = "TransE";
+  spec.config.dim = 64;
+  spec.seed = 7;
+  engine.create_model(spec, ds.num_entities(), ds.num_relations());
+  train::TrainConfig tc;
+  tc.epochs = bench::epochs(2);
+  tc.batch_size = 8192;
+  engine.train(ds.train, tc);
+
+  const int many = 4;
+  std::vector<ServeRow> rows;
+  // Three postures per thread count: direct (no queue), continuous batching
+  // (queue, no linger — coalesces only what contention piled up), and
+  // linger batching (a 100us window forces coalescing, trading latency).
+  for (const int threads : {1, many}) {
+    rows.push_back(run_load(engine, ds, threads, false, 0));
+    rows.push_back(run_load(engine, ds, threads, true, 0));
+    rows.push_back(run_load(engine, ds, threads, true, 100));
+  }
+
+  std::printf("{\n  \"bench\": \"serve\",\n");
+  std::printf("  \"dataset\": {\"entities\": %lld, \"relations\": %lld, "
+              "\"train\": %lld},\n",
+              static_cast<long long>(ds.num_entities()),
+              static_cast<long long>(ds.num_relations()),
+              static_cast<long long>(ds.train.size()));
+  std::printf("  \"query_batch\": %zu,\n  \"requests_per_thread\": %lld,\n",
+              kQueryBatch, static_cast<long long>(kRequests));
+  std::printf("  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServeRow& r = rows[i];
+    std::printf("    {\"threads\": %d, \"micro_batch\": %s, "
+                "\"window_us\": %d, \"qps\": %.0f, \"topk_qps\": %.0f, "
+                "\"requests\": %lld, \"executions\": %lld, "
+                "\"coalesced\": %lld, \"plan_hits\": %lld}%s\n",
+                r.threads, r.micro_batch ? "true" : "false", r.window_us,
+                r.qps, r.topk_qps, static_cast<long long>(r.requests),
+                static_cast<long long>(r.executions),
+                static_cast<long long>(r.coalesced),
+                static_cast<long long>(r.plan_hits),
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"paper_shape\": \"session is thread-safe at every row; "
+              "under concurrency the linger window collapses executions to "
+              "~requests/threads (coalesced ~= requests). On CPU-cheap "
+              "queries the direct path wins raw QPS — the linger only pays "
+              "when per-execution cost dominates (large models, accelerator "
+              "dispatch); window 0 is the latency-neutral default\"\n}\n");
+  return 0;
+}

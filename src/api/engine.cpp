@@ -1,0 +1,125 @@
+#include "src/api/engine.hpp"
+
+#include <utility>
+
+#include "src/models/checkpoint.hpp"
+
+namespace sptx {
+
+Engine::Engine(const Options& options) : config_(RuntimeConfig::from_env()) {
+  for (const auto& [name, value] : options.config_overrides)
+    config_.set(name, value);
+  if (options.install_process_config) config::install(config_);
+}
+
+models::KgeModel& Engine::create_model(const ModelSpec& spec,
+                                       index_t num_entities,
+                                       index_t num_relations) {
+  model_ = models::make_model(spec, num_entities, num_relations);
+  spec_ = spec;
+  num_entities_ = num_entities;
+  num_relations_ = num_relations;
+  return *model_;
+}
+
+models::KgeModel& Engine::load_model(const ModelSpec& spec,
+                                     index_t num_entities,
+                                     index_t num_relations,
+                                     const std::string& checkpoint_path) {
+  create_model(spec, num_entities, num_relations);
+  models::load_checkpoint(*model_, checkpoint_path);
+  return *model_;
+}
+
+models::KgeModel& Engine::model() {
+  SPTX_CHECK(model_ != nullptr, "no model — call create_model/load_model");
+  return *model_;
+}
+
+const ModelSpec& Engine::spec() const {
+  SPTX_CHECK(model_ != nullptr, "no model — call create_model/load_model");
+  return spec_;
+}
+
+void Engine::save(const std::string& path) {
+  models::save_checkpoint(model(), path);
+}
+
+train::TrainResult Engine::train(
+    const TripletStore& data, const train::TrainConfig& config,
+    const std::function<void(int, float)>& on_epoch) {
+  return train::train(model(), data, config, config_, on_epoch);
+}
+
+distributed::DdpResult Engine::train_ddp(
+    const kg::TripletSource& data, const distributed::DdpConfig& config) {
+  SPTX_CHECK(model_ != nullptr, "no model — call create_model first "
+                                "(train_ddp trains the engine's spec from "
+                                "fresh per-worker replicas)");
+  // Replicas are built exactly the way distributed::train_ddp builds them:
+  // one factory invocation per worker, each drawing the initial weights
+  // from the Rng the trainer seeds — so results are bit-identical to a
+  // caller passing this same factory to the free function.
+  const ModelSpec spec = spec_;
+  distributed::DdpResult result = distributed::train_ddp(
+      [&](Rng& rng) {
+        return spec.framework == "dense"
+                   ? models::make_dense_model(spec.family, data.num_entities(),
+                                              data.num_relations(),
+                                              spec.config, rng)
+                   : models::make_sparse_model(
+                         spec.family, data.num_entities(),
+                         data.num_relations(), spec.config, rng);
+      },
+      data, config, config_);
+  // Adopt the trained replica as the engine's model.
+  model_ = std::move(result.model);
+  num_entities_ = data.num_entities();
+  num_relations_ = data.num_relations();
+  return result;
+}
+
+namespace {
+
+/// Cheap content identity for a dataset's evaluation inputs: vocabulary
+/// sizes plus every test triplet (the cached candidate batches are a pure
+/// function of exactly these). Never a pointer — addresses get recycled.
+std::uint64_t eval_identity(const kg::Dataset& dataset) {
+  TripletHash h;
+  std::uint64_t acc =
+      0x9E3779B97F4A7C15ULL ^
+      (static_cast<std::uint64_t>(dataset.num_entities()) * 0x100000001B3ULL) ^
+      static_cast<std::uint64_t>(dataset.num_relations());
+  for (const Triplet& t : dataset.test.triplets())
+    acc = (acc * 0x100000001B3ULL) ^ h(t);
+  return acc == 0 ? 1 : acc;  // 0 is the "no cache yet" sentinel
+}
+
+}  // namespace
+
+eval::RankingMetrics Engine::evaluate(const kg::Dataset& dataset,
+                                      const eval::EvalConfig& config) {
+  eval::EvalConfig resolved = config;
+  if (resolved.plan_cache == nullptr &&
+      config_.flag_or("SPTX_EVAL_PLAN_CACHE", false)) {
+    const std::uint64_t fingerprint = eval_identity(dataset);
+    if (eval_fingerprint_ != fingerprint) {
+      eval_plans_ = std::make_unique<sparse::PlanCache>();
+      eval_fingerprint_ = fingerprint;
+    }
+    resolved.plan_cache = eval_plans_.get();
+  }
+  return eval::evaluate(model(), dataset, resolved);
+}
+
+std::shared_ptr<const models::KgeModel> Engine::freeze() {
+  return models::freeze(model(), spec_);
+}
+
+std::shared_ptr<serve::InferenceSession> Engine::open_session(
+    const serve::SessionOptions& options) {
+  return std::make_shared<serve::InferenceSession>(
+      freeze(), serve::resolve(options, config_));
+}
+
+}  // namespace sptx

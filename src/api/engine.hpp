@@ -1,0 +1,139 @@
+// sptx::Engine — the unified public facade over the library's lifecycle.
+//
+// Before this header, a caller juggled five surfaces: the model factories,
+// TrainConfig/DdpConfig/EvalConfig free functions, the checkpoint pair, and
+// ~15 SPTX_* environment variables read ad hoc deep inside the library. The
+// Engine collapses that into one object with one configuration story:
+//
+//   sptx::Engine engine;                            // snapshots SPTX_* env
+//   engine.create_model({.family = "TransE"}, n, r);
+//   engine.train(dataset.train, train_config);
+//   engine.evaluate(dataset);
+//   engine.save("model.sptxc");
+//   auto session = engine.open_session();           // frozen snapshot
+//   session->top_tails(head, rel, 10);              // from any thread
+//
+// Configuration: the Engine captures a RuntimeConfig snapshot exactly once
+// at construction (environment + Options overrides). Every wrapped call
+// resolves its config-struct against that snapshot — nothing inside an
+// Engine-driven run reads the environment again. By default the snapshot is
+// also installed process-wide so the kernel-dispatch knobs
+// (SPTX_SPMM_KERNEL, SPTX_NO_SIMD, …) consulted below the config-passing
+// layers see the same values.
+//
+// Compatibility: train()/train_ddp()/evaluate() here are thin wrappers over
+// the legacy free functions — same loop, same RNG stream, bit-identical
+// results (asserted by tests/test_engine.cpp). The free functions remain
+// supported; they resolve against the process-wide snapshot instead.
+//
+// Serving: open_session() freezes the current model (models/snapshot.hpp)
+// and returns a thread-safe serve::InferenceSession over the frozen
+// replica. Sessions are independent of the engine afterwards — keep
+// training, save, or destroy the engine; open sessions are unaffected.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/runtime_config.hpp"
+#include "src/distributed/ddp.hpp"
+#include "src/eval/link_prediction.hpp"
+#include "src/kg/dataset.hpp"
+#include "src/models/model.hpp"
+#include "src/models/snapshot.hpp"
+#include "src/serve/session.hpp"
+#include "src/train/trainer.hpp"
+
+namespace sptx {
+
+using models::ModelSpec;
+
+class Engine {
+ public:
+  struct Options {
+    /// (knob, value) overrides applied on top of the environment snapshot,
+    /// e.g. {{"SPTX_SPMM_KERNEL", "simd"}, {"SPTX_PLAN_CACHE", "0"}}.
+    /// Validated against the registry — a typo throws at construction.
+    std::vector<std::pair<std::string, std::string>> config_overrides;
+    /// Install this engine's snapshot as the process-wide config
+    /// (config::install) so kernel-dispatch sites see the same values.
+    /// With several engines alive, the last constructed wins there; their
+    /// train/eval/serve calls still use their own snapshots.
+    bool install_process_config = true;
+  };
+
+  /// Snapshot the environment, apply no overrides.
+  Engine() : Engine(Options{}) {}
+  explicit Engine(const Options& options);
+
+  /// The frozen-at-construction configuration snapshot.
+  const RuntimeConfig& config() const { return config_; }
+  /// Effective configuration as JSON (logging / reproducibility).
+  std::string config_json() const { return config_.to_json(); }
+
+  // ---- model lifecycle ----------------------------------------------------
+  /// Build a fresh model for a vocabulary; the engine keeps the spec so
+  /// checkpoints and snapshots can rebuild the architecture.
+  models::KgeModel& create_model(const ModelSpec& spec, index_t num_entities,
+                                 index_t num_relations);
+
+  /// create_model + checkpoint restore in one step.
+  models::KgeModel& load_model(const ModelSpec& spec, index_t num_entities,
+                               index_t num_relations,
+                               const std::string& checkpoint_path);
+
+  bool has_model() const { return model_ != nullptr; }
+  models::KgeModel& model();
+  const ModelSpec& spec() const;
+
+  /// Checkpoint the current model (models::save_checkpoint format).
+  void save(const std::string& path);
+
+  // ---- training / evaluation ---------------------------------------------
+  /// Train the engine's model. Bit-identical to train::train with the same
+  /// snapshot; the callback fires per epoch.
+  train::TrainResult train(const TripletStore& data,
+                           const train::TrainConfig& config = {},
+                           const std::function<void(int, float)>& on_epoch = {});
+
+  /// Sharded data-parallel training from the engine's spec (replicas are
+  /// constructed per worker exactly as distributed::train_ddp would).
+  /// The trained replica becomes the engine's model; DdpResult::model is
+  /// moved from accordingly.
+  distributed::DdpResult train_ddp(const kg::TripletSource& data,
+                                   const distributed::DdpConfig& config = {});
+
+  /// Filtered link prediction on `dataset.test`. With SPTX_EVAL_PLAN_CACHE
+  /// on (and no caller-supplied cache), repeated evaluations reuse staged
+  /// candidate batches through an engine-owned plan cache.
+  eval::RankingMetrics evaluate(const kg::Dataset& dataset,
+                                const eval::EvalConfig& config = {});
+
+  // ---- serving ------------------------------------------------------------
+  /// Freeze the current model and open a thread-safe inference session
+  /// over the frozen replica. `options` is resolved against the engine
+  /// snapshot (SPTX_SERVE_* knobs).
+  std::shared_ptr<serve::InferenceSession> open_session(
+      const serve::SessionOptions& options = {});
+
+  /// The frozen replica alone (no session) — for callers composing their
+  /// own serving layer.
+  std::shared_ptr<const models::KgeModel> freeze();
+
+ private:
+  RuntimeConfig config_;
+  ModelSpec spec_;
+  std::unique_ptr<models::KgeModel> model_;
+  index_t num_entities_ = 0;
+  index_t num_relations_ = 0;
+  /// Candidate-plan reuse across evaluate() calls (SPTX_EVAL_PLAN_CACHE);
+  /// bound to one dataset identity by a content fingerprint (sizes + test
+  /// triplets) — evaluating a different or mutated dataset drops the cache.
+  std::unique_ptr<sparse::PlanCache> eval_plans_;
+  std::uint64_t eval_fingerprint_ = 0;
+};
+
+}  // namespace sptx

@@ -3,12 +3,12 @@
 // The SpMM engine compiles AVX2/FMA kernels unconditionally (via per-function
 // target attributes) and selects them at runtime from cpuid, so a portable
 // -DSPTX_NATIVE=OFF binary still runs the vector kernels on capable hardware
-// and falls back to scalar code everywhere else. SPTX_NO_SIMD=1 forces the
-// scalar path (used by the kernel-equivalence tests to cover both sides of
-// the dispatch on one machine).
+// and falls back to scalar code everywhere else. The SPTX_NO_SIMD registry
+// knob forces the scalar path (used by the kernel-equivalence tests to cover
+// both sides of the dispatch on one machine).
 #pragma once
 
-#include <cstdlib>
+#include "src/common/runtime_config.hpp"
 
 namespace sptx {
 
@@ -34,14 +34,14 @@ inline const CpuFeatures& cpu_features() {
 }
 
 /// True when the AVX2+FMA kernels may run: hardware support present and the
-/// SPTX_NO_SIMD kill-switch is unset (or "0").
+/// SPTX_NO_SIMD kill-switch unset in the current runtime-config snapshot.
+/// Re-evaluated per call — one lock-free atomic shared_ptr load and a
+/// pre-resolved field read (RuntimeConfig::hot()), so a programmatically
+/// installed snapshot takes effect without a process restart and the SpMM
+/// dispatch path never touches a mutex or allocates.
 inline bool simd_enabled() {
-  static const bool enabled = [] {
-    const char* kill = std::getenv("SPTX_NO_SIMD");
-    if (kill != nullptr && kill[0] != '\0' && kill[0] != '0') return false;
-    return cpu_features().avx2 && cpu_features().fma;
-  }();
-  return enabled;
+  if (config::current()->hot().no_simd) return false;
+  return cpu_features().avx2 && cpu_features().fma;
 }
 
 }  // namespace sptx

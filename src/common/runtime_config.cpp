@@ -1,0 +1,351 @@
+#include "src/common/runtime_config.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace sptx {
+
+namespace {
+
+// The registry. One row per knob; the CLI and README render this table, the
+// library reads it, and nothing else in the tree calls getenv for SPTX_*.
+constexpr ConfigSpec kSpecs[] = {
+    {"SPTX_NO_SIMD", ConfigType::kFlag, "0",
+     "Force the scalar SpMM kernels even when cpuid reports AVX2+FMA "
+     "(kernel-equivalence testing, perf triage)."},
+    {"SPTX_SPMM_KERNEL", ConfigType::kEnum, "auto",
+     "Force a forward SpMM kernel instead of the per-call auto heuristic.",
+     "auto|naive|unrolled|tiled|parallel|simd|tiled_parallel"},
+    {"SPTX_SPMM_BACKWARD", ConfigType::kEnum, "auto",
+     "Force the backward SpMM strategy: sequential scatter vs "
+     "cached-transpose parallel gather.",
+     "auto|scatter|transpose"},
+    {"SPTX_PLAN_CACHE", ConfigType::kFlag, "",
+     "Override TrainConfig::plan_cache: compile batch plans once and reuse "
+     "them across epochs (off = legacy per-batch rebuild loop)."},
+    {"SPTX_PREFETCH", ConfigType::kFlag, "",
+     "Override TrainConfig::prefetch: compile epoch e+1's plans on a "
+     "background thread while epoch e executes."},
+    {"SPTX_DDP_WORKERS", ConfigType::kInt, "",
+     "Override DdpConfig::workers: thread-backed data-parallel worker "
+     "count."},
+    {"SPTX_DDP_SHARD", ConfigType::kInt, "",
+     "Override DdpConfig::shard_size: gradient-shard granularity (0 derives "
+     "ceil(batch/workers))."},
+    {"SPTX_DDP_PLAN_CACHE", ConfigType::kFlag, "",
+     "Override DdpConfig::plan_cache: per-worker compiled-plan caching "
+     "across epochs."},
+    {"SPTX_EVAL_PLAN_CACHE", ConfigType::kFlag, "0",
+     "Engine::evaluate only: reuse staged candidate batches across repeated "
+     "evaluations of the same dataset (memory: 2*|test|*N triplets)."},
+    {"SPTX_SCALE", ConfigType::kDouble, "0.01",
+     "Bench harness: dataset scale factor for the paper-profile benches "
+     "(0 < s <= 1)."},
+    {"SPTX_EPOCHS", ConfigType::kInt, "",
+     "Bench harness: epoch-count override for the figure/table benches."},
+    {"SPTX_SERVE_MICROBATCH", ConfigType::kFlag, "",
+     "Override SessionOptions::micro_batch: coalesce concurrent small "
+     "score queries into one SpMM-sized batch."},
+    {"SPTX_SERVE_MAX_BATCH", ConfigType::kInt, "",
+     "Override SessionOptions::max_batch: micro-batch coalescing cap in "
+     "triplets."},
+    {"SPTX_SERVE_WINDOW_US", ConfigType::kInt, "",
+     "Override SessionOptions::window_us: how long a micro-batch leader "
+     "waits for followers before executing."},
+    {"SPTX_SERVE_PLAN_CACHE", ConfigType::kFlag, "",
+     "Override SessionOptions::plan_cache: cache staged top-k/rank "
+     "candidate batches per (side, anchor, relation)."},
+    {"SPTX_SERVE_MAX_PLANS", ConfigType::kInt, "",
+     "Override SessionOptions::max_cached_plans: resident-plan cap for the "
+     "per-session candidate cache (each plan stages num_entities "
+     "triplets)."},
+};
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+/// Does `text` parse as the spec's type? Enum checks the choices list.
+bool validates(const ConfigSpec& spec, std::string_view text) {
+  switch (spec.type) {
+    case ConfigType::kFlag:
+      return !text.empty();  // any non-empty text is a valid flag
+    case ConfigType::kInt: {
+      const std::string s(text);
+      char* end = nullptr;
+      std::strtol(s.c_str(), &end, 10);
+      return end != s.c_str();
+    }
+    case ConfigType::kDouble: {
+      const std::string s(text);
+      char* end = nullptr;
+      std::strtod(s.c_str(), &end);
+      return end != s.c_str();
+    }
+    case ConfigType::kEnum: {
+      std::string_view choices = spec.choices;
+      while (!choices.empty()) {
+        const std::size_t bar = choices.find('|');
+        const std::string_view choice = choices.substr(0, bar);
+        if (iequals(choice, text)) return true;
+        if (bar == std::string_view::npos) break;
+        choices.remove_prefix(bar + 1);
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::int64_t parse_int(std::string_view text, std::int64_t fallback) {
+  if (text.empty()) return fallback;
+  const std::string s(text);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() ? fallback : static_cast<std::int64_t>(v);
+}
+
+double parse_double(std::string_view text, double fallback) {
+  if (text.empty()) return fallback;
+  const std::string s(text);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() ? fallback : v;
+}
+
+}  // namespace
+
+const char* to_string(ConfigOrigin origin) {
+  switch (origin) {
+    case ConfigOrigin::kDefault:
+      return "default";
+    case ConfigOrigin::kEnvironment:
+      return "env";
+    case ConfigOrigin::kOverride:
+      return "override";
+  }
+  return "?";
+}
+
+bool parse_flag(std::string_view text, bool fallback) {
+  if (text.empty()) return fallback;
+  const std::string lower = to_lower(text);
+  return !(lower == "0" || lower == "off" || lower == "false" ||
+           lower == "no");
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::span<const ConfigSpec> RuntimeConfig::specs() { return kSpecs; }
+
+const ConfigSpec* RuntimeConfig::find_spec(std::string_view name) {
+  for (const ConfigSpec& spec : kSpecs)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+RuntimeConfig::RuntimeConfig() : entries_(std::size(kSpecs)) { refresh_hot(); }
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig rc;
+  for (std::size_t i = 0; i < std::size(kSpecs); ++i) {
+    const std::string name(kSpecs[i].name);
+    const char* v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0') continue;
+    // A malformed environment value is ignored, not fatal — the historical
+    // helpers fell back to defaults, and a run must not die over a typo'd
+    // variable it may not even consume.
+    if (!validates(kSpecs[i], v)) continue;
+    rc.entries_[i] = {std::string(v), ConfigOrigin::kEnvironment};
+  }
+  rc.refresh_hot();
+  return rc;
+}
+
+void RuntimeConfig::refresh_hot() {
+  hot_.no_simd = flag_or("SPTX_NO_SIMD", false);
+  hot_.spmm_kernel = to_lower(value_or("SPTX_SPMM_KERNEL", "auto"));
+  hot_.spmm_backward = to_lower(value_or("SPTX_SPMM_BACKWARD", "auto"));
+}
+
+std::size_t RuntimeConfig::index_of(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kSpecs); ++i)
+    if (kSpecs[i].name == name) return i;
+  throw Error("unknown runtime-config knob: " + std::string(name));
+}
+
+const RuntimeConfig::Entry& RuntimeConfig::entry(std::string_view name) const {
+  return entries_[index_of(name)];
+}
+
+bool RuntimeConfig::flag_or(std::string_view name, bool fallback) const {
+  const std::size_t i = index_of(name);
+  SPTX_CHECK(kSpecs[i].type == ConfigType::kFlag,
+             name << " is not a flag knob");
+  const Entry& e = entries_[i];
+  const std::string_view text =
+      e.value ? std::string_view(*e.value) : kSpecs[i].default_value;
+  return parse_flag(text, fallback);
+}
+
+std::int64_t RuntimeConfig::int_or(std::string_view name,
+                                   std::int64_t fallback) const {
+  const std::size_t i = index_of(name);
+  SPTX_CHECK(kSpecs[i].type == ConfigType::kInt,
+             name << " is not an int knob");
+  const Entry& e = entries_[i];
+  const std::string_view text =
+      e.value ? std::string_view(*e.value) : kSpecs[i].default_value;
+  return parse_int(text, fallback);
+}
+
+double RuntimeConfig::double_or(std::string_view name, double fallback) const {
+  const std::size_t i = index_of(name);
+  SPTX_CHECK(kSpecs[i].type == ConfigType::kDouble,
+             name << " is not a double knob");
+  const Entry& e = entries_[i];
+  const std::string_view text =
+      e.value ? std::string_view(*e.value) : kSpecs[i].default_value;
+  return parse_double(text, fallback);
+}
+
+std::string RuntimeConfig::value_or(std::string_view name,
+                                    std::string_view fallback) const {
+  const std::size_t i = index_of(name);
+  const Entry& e = entries_[i];
+  if (e.value) return *e.value;
+  if (!kSpecs[i].default_value.empty())
+    return std::string(kSpecs[i].default_value);
+  return std::string(fallback);
+}
+
+bool RuntimeConfig::is_set(std::string_view name) const {
+  return entry(name).value.has_value();
+}
+
+ConfigOrigin RuntimeConfig::origin(std::string_view name) const {
+  return entry(name).origin;
+}
+
+void RuntimeConfig::set(std::string_view name, std::string_view value) {
+  const std::size_t i = index_of(name);
+  SPTX_CHECK(validates(kSpecs[i], value),
+             "invalid value '" << value << "' for " << name
+                               << (kSpecs[i].type == ConfigType::kEnum
+                                       ? std::string(" (choices: ") +
+                                             std::string(kSpecs[i].choices) +
+                                             ")"
+                                       : std::string()));
+  entries_[i] = {std::string(value), ConfigOrigin::kOverride};
+  refresh_hot();
+}
+
+void RuntimeConfig::clear(std::string_view name) {
+  entries_[index_of(name)] = Entry{};
+  refresh_hot();
+}
+
+std::string RuntimeConfig::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < std::size(kSpecs); ++i) {
+    const ConfigSpec& spec = kSpecs[i];
+    if (i > 0) os << ",";
+    os << "\n  \"" << spec.name << "\": {\"value\": ";
+    const Entry& e = entries_[i];
+    const std::string_view text =
+        e.value ? std::string_view(*e.value) : spec.default_value;
+    if (text.empty()) {
+      os << "null";
+    } else {
+      switch (spec.type) {
+        case ConfigType::kFlag:
+          os << (parse_flag(text, false) ? "true" : "false");
+          break;
+        case ConfigType::kInt:
+          os << parse_int(text, 0);
+          break;
+        case ConfigType::kDouble:
+          os << parse_double(text, 0.0);
+          break;
+        case ConfigType::kEnum:
+          os << "\"" << to_lower(text) << "\"";
+          break;
+      }
+    }
+    os << ", \"origin\": \"" << to_string(e.origin) << "\"}";
+  }
+  os << "\n}";
+  return os.str();
+}
+
+namespace config {
+
+namespace {
+// The SpMM dispatch consults current() on every call from every worker and
+// serving thread, so the fast path must not serialize threads: each thread
+// caches the snapshot in a thread_local, validated against a relaxed
+// version counter that install() bumps. Steady state is one atomic load —
+// no mutex, no atomic<shared_ptr> spin-lock, no refcount ping-pong. The
+// mutex guards only the (rare) install / first-use slow path.
+std::mutex g_mu;
+std::shared_ptr<const RuntimeConfig> g_snapshot;  // guarded by g_mu
+std::atomic<std::uint64_t> g_version{0};          // 0 = not yet initialised
+
+struct TlsCache {
+  std::uint64_t version = 0;
+  std::shared_ptr<const RuntimeConfig> snap;
+};
+}  // namespace
+
+std::shared_ptr<const RuntimeConfig> current() {
+  thread_local TlsCache cache;
+  const std::uint64_t v = g_version.load(std::memory_order_acquire);
+  if (cache.snap && cache.version == v) return cache.snap;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_snapshot) {
+    g_snapshot =
+        std::make_shared<const RuntimeConfig>(RuntimeConfig::from_env());
+    g_version.store(1, std::memory_order_release);
+  }
+  cache.snap = g_snapshot;
+  cache.version = g_version.load(std::memory_order_relaxed);
+  return cache.snap;
+}
+
+void install(RuntimeConfig snapshot) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_snapshot = std::make_shared<const RuntimeConfig>(std::move(snapshot));
+  // Monotonic: a TLS cache can never see a (version, different-snapshot)
+  // pair collide, because versions are handed out once.
+  g_version.fetch_add(1, std::memory_order_release);
+}
+
+ScopedOverride::ScopedOverride(std::string_view name, std::string_view value)
+    : previous_(current()) {
+  RuntimeConfig overridden = *previous_;
+  overridden.set(name, value);
+  install(std::move(overridden));
+}
+
+ScopedOverride::~ScopedOverride() { install(*previous_); }
+
+}  // namespace config
+
+}  // namespace sptx

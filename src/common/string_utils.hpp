@@ -31,10 +31,4 @@ inline std::string_view trim(std::string_view s) {
   return s.substr(b, e - b + 1);
 }
 
-/// Environment variable as double, with default. Used for SPTX_SCALE.
-double env_double(const char* name, double fallback);
-
-/// Environment variable as int, with default.
-int env_int(const char* name, int fallback);
-
 }  // namespace sptx

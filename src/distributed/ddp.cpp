@@ -19,22 +19,6 @@ namespace sptx::distributed {
 
 namespace {
 
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  return std::atoi(v);
-}
-
-/// "0", "off", "false" (any case) disable; anything else enables; unset
-/// keeps fallback.
-bool env_flag(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  std::string lower(v);
-  for (char& c : lower) c = static_cast<char>(std::tolower(c));
-  return !(lower == "0" || lower == "off" || lower == "false");
-}
-
 /// One parameter's gradient contribution from one shard. Sparse when the
 /// parameter is entity/relation-indexed (only the rows in the shard's
 /// incidence support, which is the entire nonzero set), dense otherwise.
@@ -154,18 +138,28 @@ void verify_support_exhausts_grads(std::vector<autograd::Variable>& params,
 
 }  // namespace
 
+DdpConfig resolve(const DdpConfig& config, const RuntimeConfig& rc) {
+  DdpConfig resolved = config;
+  resolved.workers = static_cast<int>(
+      rc.int_or("SPTX_DDP_WORKERS", config.workers));
+  resolved.shard_size = static_cast<index_t>(
+      rc.int_or("SPTX_DDP_SHARD", config.shard_size));
+  resolved.plan_cache = rc.flag_or("SPTX_DDP_PLAN_CACHE", config.plan_cache);
+  return resolved;
+}
+
 DdpResult train_ddp(
     const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
-    const kg::TripletSource& data, const DdpConfig& config) {
+    const kg::TripletSource& data, const DdpConfig& config,
+    const RuntimeConfig& rc) {
+  const DdpConfig res = resolve(config, rc);
   SPTX_CHECK(data.valid() && !data.empty(), "empty training set");
-  SPTX_CHECK(config.batch_size > 0 && config.epochs >= 0, "bad ddp config");
-  const int p = env_int("SPTX_DDP_WORKERS", config.workers);
+  SPTX_CHECK(res.batch_size > 0 && res.epochs >= 0, "bad ddp config");
+  const int p = res.workers;
   SPTX_CHECK(p >= 1, "need at least one worker");
-  index_t shard_size =
-      static_cast<index_t>(env_int("SPTX_DDP_SHARD",
-                                   static_cast<int>(config.shard_size)));
-  if (shard_size <= 0) shard_size = (config.batch_size + p - 1) / p;
-  const bool use_cache = env_flag("SPTX_DDP_PLAN_CACHE", config.plan_cache);
+  index_t shard_size = res.shard_size;
+  if (shard_size <= 0) shard_size = (res.batch_size + p - 1) / p;
+  const bool use_cache = res.plan_cache;
 
   const index_t m = data.size();
   const index_t n_ent = data.num_entities();
@@ -437,6 +431,12 @@ DdpResult train_ddp(
   }
   result.model = std::move(replicas[0]);
   return result;
+}
+
+DdpResult train_ddp(
+    const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
+    const kg::TripletSource& data, const DdpConfig& config) {
+  return train_ddp(make_model, data, config, *config::current());
 }
 
 double ScalingModel::predict_seconds(int p, int epochs) const {

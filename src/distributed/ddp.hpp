@@ -25,14 +25,16 @@
 //    shape (near-linear until communication shows) is what the paper
 //    reports.
 //
-// Environment knobs: SPTX_DDP_WORKERS, SPTX_DDP_SHARD and
-// SPTX_DDP_PLAN_CACHE override the corresponding DdpConfig fields.
+// Registry knobs (common/runtime_config.hpp): SPTX_DDP_WORKERS,
+// SPTX_DDP_SHARD and SPTX_DDP_PLAN_CACHE override the corresponding
+// DdpConfig fields.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/common/runtime_config.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/kg/triplet_source.hpp"
 #include "src/models/model.hpp"
@@ -90,6 +92,18 @@ struct DdpResult {
 DdpResult train_ddp(
     const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
     const kg::TripletSource& data, const DdpConfig& config);
+
+/// Apply the registry's DDP overrides (SPTX_DDP_WORKERS / SPTX_DDP_SHARD /
+/// SPTX_DDP_PLAN_CACHE) to `config`.
+DdpConfig resolve(const DdpConfig& config, const RuntimeConfig& rc);
+
+/// Engine path: resolve against an explicit snapshot instead of the
+/// process-wide one. Bit-identical to the overload above whenever the
+/// snapshots agree.
+DdpResult train_ddp(
+    const std::function<std::unique_ptr<models::KgeModel>(Rng&)>& make_model,
+    const kg::TripletSource& data, const DdpConfig& config,
+    const RuntimeConfig& rc);
 
 /// Analytic scaling estimate (Table 9 reproduction).
 struct ScalingModel {

@@ -1,0 +1,46 @@
+#include "src/models/snapshot.hpp"
+
+#include <utility>
+
+namespace sptx::models {
+
+std::unique_ptr<KgeModel> make_model(const ModelSpec& spec,
+                                     index_t num_entities,
+                                     index_t num_relations) {
+  Rng rng(spec.seed);
+  if (spec.framework == "sparse")
+    return make_sparse_model(spec.family, num_entities, num_relations,
+                             spec.config, rng);
+  if (spec.framework == "dense")
+    return make_dense_model(spec.family, num_entities, num_relations,
+                            spec.config, rng);
+  throw Error("unknown model framework: " + spec.framework +
+              " (expected \"sparse\" or \"dense\")");
+}
+
+void copy_parameters(KgeModel& src, KgeModel& dst) {
+  auto src_params = src.params();
+  auto dst_params = dst.params();
+  SPTX_CHECK(src_params.size() == dst_params.size(),
+             "parameter count mismatch: " << src_params.size() << " vs "
+                                          << dst_params.size());
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    SPTX_CHECK(src_params[i].value().same_shape(dst_params[i].value()),
+               "parameter " << i << " shape "
+                            << src_params[i].value().shape_str() << " vs "
+                            << dst_params[i].value().shape_str());
+    dst_params[i].mutable_value() = src_params[i].value();
+  }
+}
+
+std::shared_ptr<const KgeModel> freeze(KgeModel& src, const ModelSpec& spec) {
+  std::unique_ptr<KgeModel> replica =
+      make_model(spec, src.num_entities(), src.num_relations());
+  SPTX_CHECK(replica->name() == src.name(),
+             "spec builds " << replica->name() << " but the source model is "
+                            << src.name() << " — wrong ModelSpec");
+  copy_parameters(src, *replica);
+  return std::shared_ptr<const KgeModel>(std::move(replica));
+}
+
+}  // namespace sptx::models

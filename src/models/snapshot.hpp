@@ -1,0 +1,51 @@
+// Model snapshot / freeze API — the bridge from training to serving.
+//
+// A trained KgeModel is mutable (the optimizer steps it, post_step()
+// renormalises it), so handing it directly to a multi-threaded serving
+// layer would race with further training. freeze() produces an immutable
+// replica instead: a fresh instance built from the model's ModelSpec with
+// the current parameter values copied in, returned as shared_ptr<const>.
+// The replica shares nothing with the source — training can continue (or
+// the source can be destroyed) while any number of serving sessions score
+// against the snapshot concurrently; score() is const and element-pure for
+// every model family in the library.
+//
+// ModelSpec is also the registry-friendly description the Engine facade
+// keeps per model: family + framework + hyperparameters + init seed, i.e.
+// everything needed to rebuild the architecture for checkpoint restore.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/models/model.hpp"
+
+namespace sptx::models {
+
+/// Everything needed to (re)build a model architecture: which family
+/// ("TransE" … "RotatE"), which implementation ("sparse" SpMM engine or the
+/// "dense" gather/scatter baseline), the hyperparameters, and the seed the
+/// initial weights are drawn from.
+struct ModelSpec {
+  std::string family = "TransE";
+  std::string framework = "sparse";  // "sparse" | "dense"
+  ModelConfig config;
+  std::uint64_t seed = 43;
+};
+
+/// Instantiate the spec for a vocabulary. Throws on an unknown family or
+/// framework.
+std::unique_ptr<KgeModel> make_model(const ModelSpec& spec,
+                                     index_t num_entities,
+                                     index_t num_relations);
+
+/// Copy every parameter table of `src` into `dst`. Both models must expose
+/// identical params() shapes (same family + spec); throws otherwise.
+void copy_parameters(KgeModel& src, KgeModel& dst);
+
+/// Immutable snapshot of `src`: a fresh replica built from `spec` carrying
+/// src's current parameter values. The result is safe to score from many
+/// threads and is unaffected by further training of `src`.
+std::shared_ptr<const KgeModel> freeze(KgeModel& src, const ModelSpec& spec);
+
+}  // namespace sptx::models

@@ -1,0 +1,105 @@
+#include "src/serve/micro_batcher.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace sptx::serve {
+
+MicroBatcher::MicroBatcher(ScoreFn score, index_t max_batch,
+                           std::chrono::microseconds window)
+    : score_(std::move(score)), max_batch_(max_batch), window_(window) {
+  SPTX_CHECK(score_ != nullptr, "MicroBatcher needs a scorer");
+  SPTX_CHECK(max_batch_ >= 1, "max_batch must be >= 1");
+}
+
+void MicroBatcher::execute(std::span<const Triplet> triplets, float* out) {
+  if (triplets.empty()) return;
+  Request req{triplets, out};
+
+  std::unique_lock<std::mutex> lk(mu_);
+  queue_.push_back(&req);
+  queued_triplets_ += static_cast<index_t>(triplets.size());
+  ++stats_.requests;
+  stats_.triplets += static_cast<index_t>(triplets.size());
+  cv_.notify_all();  // a lingering leader may now be full enough to run
+
+  // Leader/follower loop. A caller leaves only when its own request is
+  // done; becoming leader (possibly for a batch that does not contain its
+  // own request, when a previous leader already took it) loops back here
+  // afterwards to wait for whoever is executing it. Leadership requires a
+  // non-empty queue: a caller whose request is mid-execution elsewhere must
+  // not claim an empty queue and spin draining nothing.
+  while (!req.done) {
+    if (leader_active_ || queue_.empty()) {
+      cv_.wait(lk, [&] {
+        return req.done || (!leader_active_ && !queue_.empty());
+      });
+      continue;
+    }
+    leader_active_ = true;
+
+    // Optional linger: give followers `window_` to pile in, cut short the
+    // moment a full batch is queued. window 0 skips straight to the drain —
+    // continuous batching, coalescing only what contention already queued.
+    if (window_.count() > 0 && queued_triplets_ < max_batch_) {
+      const auto deadline = std::chrono::steady_clock::now() + window_;
+      cv_.wait_until(lk, deadline,
+                     [&] { return queued_triplets_ >= max_batch_; });
+    }
+
+    // Drain up to max_batch_ triplets in arrival order. The first request
+    // is always taken, even when it alone exceeds the cap — the cap bounds
+    // coalescing, not request size.
+    std::vector<Request*> batch;
+    index_t total = 0;
+    while (!queue_.empty()) {
+      Request* r = queue_.front();
+      const auto size = static_cast<index_t>(r->triplets.size());
+      if (!batch.empty() && total + size > max_batch_) break;
+      batch.push_back(r);
+      total += size;
+      queue_.pop_front();
+      queued_triplets_ -= size;
+    }
+    ++stats_.batches_executed;
+    if (batch.size() > 1)
+      stats_.coalesced_requests += static_cast<std::int64_t>(batch.size());
+    const bool leftovers = !queue_.empty();
+    leader_active_ = false;
+    lk.unlock();
+    // Requests this drain could not fit elect their own leader and execute
+    // concurrently with ours — score() is thread-safe.
+    if (leftovers) cv_.notify_all();
+
+    if (batch.size() == 1) {
+      // Solo request: no concatenation, score the span directly.
+      const std::vector<float> scores = score_(batch[0]->triplets);
+      std::memcpy(batch[0]->out, scores.data(), scores.size() * sizeof(float));
+    } else {
+      std::vector<Triplet> fused;
+      fused.reserve(static_cast<std::size_t>(total));
+      for (const Request* r : batch)
+        fused.insert(fused.end(), r->triplets.begin(), r->triplets.end());
+      const std::vector<float> scores = score_(fused);
+      std::size_t offset = 0;
+      for (const Request* r : batch) {
+        std::memcpy(r->out, scores.data() + offset,
+                    r->triplets.size() * sizeof(float));
+        offset += r->triplets.size();
+      }
+    }
+
+    lk.lock();
+    for (Request* r : batch) r->done = true;
+    cv_.notify_all();
+  }
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sptx::serve

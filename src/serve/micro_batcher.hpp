@@ -1,0 +1,76 @@
+// Micro-batching queue for the inference serving layer.
+//
+// Production query traffic is many concurrent *small* requests (score one
+// triple, a handful of candidates), while the SpMM-era scoring core is at
+// its best on large batches. The MicroBatcher bridges the two: concurrent
+// callers enqueue their triplet spans, one caller is elected leader, and the
+// leader drains everything queued (up to max_batch triplets) into a single
+// underlying score call, then distributes the result slices back. Under
+// load, batching emerges naturally — while a leader executes, new arrivals
+// pile up and the next leader takes them all in one sweep (continuous
+// batching); an optional wait window lets the leader linger for followers
+// on low-traffic deployments where pile-up alone would not coalesce.
+//
+// Correctness is unconditional: every model's score() is element-pure, so a
+// coalesced batch returns bit-identical scores to per-request execution —
+// asserted by tests/test_serve.cpp.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/kg/triplet.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace sptx::serve {
+
+class MicroBatcher {
+ public:
+  using ScoreFn = std::function<std::vector<float>(std::span<const Triplet>)>;
+
+  struct Stats {
+    std::int64_t requests = 0;            // execute() calls served
+    std::int64_t triplets = 0;            // triplets scored through the queue
+    std::int64_t batches_executed = 0;    // underlying score() invocations
+    std::int64_t coalesced_requests = 0;  // requests that shared a batch
+  };
+
+  /// `score` is the underlying batch scorer (thread-safe, element-pure).
+  /// `max_batch` caps one coalesced execution; `window` is how long a
+  /// leader waits for followers before executing (0 = drain-what's-queued
+  /// continuous batching, the default posture).
+  MicroBatcher(ScoreFn score, index_t max_batch,
+               std::chrono::microseconds window);
+
+  /// Score `triplets` into out[0..triplets.size()). Blocks until the
+  /// result is ready; concurrent callers may share one underlying batch.
+  void execute(std::span<const Triplet> triplets, float* out);
+
+  Stats stats() const;
+
+ private:
+  struct Request {
+    std::span<const Triplet> triplets;
+    float* out = nullptr;
+    bool done = false;
+  };
+
+  ScoreFn score_;
+  const index_t max_batch_;
+  const std::chrono::microseconds window_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  index_t queued_triplets_ = 0;
+  bool leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace sptx::serve

@@ -1,0 +1,228 @@
+#include "src/serve/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sptx::serve {
+
+SessionOptions resolve(const SessionOptions& options,
+                       const RuntimeConfig& rc) {
+  SessionOptions resolved = options;
+  resolved.micro_batch =
+      rc.flag_or("SPTX_SERVE_MICROBATCH", options.micro_batch);
+  resolved.max_batch = static_cast<index_t>(
+      rc.int_or("SPTX_SERVE_MAX_BATCH", options.max_batch));
+  resolved.window_us =
+      static_cast<int>(rc.int_or("SPTX_SERVE_WINDOW_US", options.window_us));
+  resolved.plan_cache = rc.flag_or("SPTX_SERVE_PLAN_CACHE", options.plan_cache);
+  resolved.max_cached_plans = static_cast<index_t>(
+      rc.int_or("SPTX_SERVE_MAX_PLANS", options.max_cached_plans));
+  return resolved;
+}
+
+InferenceSession::InferenceSession(
+    std::shared_ptr<const models::KgeModel> model,
+    const SessionOptions& options)
+    : model_(std::move(model)),
+      options_(options),
+      batcher_(
+          [m = model_.get()](std::span<const Triplet> batch) {
+            return m->score(batch);
+          },
+          std::max<index_t>(options.max_batch, 1),
+          std::chrono::microseconds(std::max(options.window_us, 0))) {
+  SPTX_CHECK(model_ != nullptr, "InferenceSession needs a model snapshot");
+  if (options_.filter != nullptr) {
+    known_.reserve(static_cast<std::size_t>(options_.filter->size()) * 2);
+    for (const Triplet& t : options_.filter->triplets()) known_.insert(t);
+    options_.filter = nullptr;  // copied; never keep the caller's pointer
+  }
+}
+
+void InferenceSession::check_triplet(const Triplet& t) const {
+  SPTX_CHECK(t.head >= 0 && t.head < num_entities() && t.tail >= 0 &&
+                 t.tail < num_entities() && t.relation >= 0 &&
+                 t.relation < num_relations(),
+             "triplet out of range: (" << t.head << ", " << t.relation
+                                       << ", " << t.tail << ") vs "
+                                       << num_entities() << " entities / "
+                                       << num_relations() << " relations");
+}
+
+std::vector<float> InferenceSession::score(
+    std::span<const Triplet> batch) const {
+  for (const Triplet& t : batch) check_triplet(t);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  triplets_scored_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                             std::memory_order_relaxed);
+  // SpMM-sized requests gain nothing from coalescing; score them directly.
+  if (!options_.micro_batch ||
+      static_cast<index_t>(batch.size()) >= options_.max_batch)
+    return model_->score(batch);
+  std::vector<float> out(batch.size());
+  batcher_.execute(batch, out.data());
+  return out;
+}
+
+float InferenceSession::score_one(const Triplet& t) const {
+  return score(std::span<const Triplet>(&t, 1))[0];
+}
+
+std::optional<sparse::PlanCache::Key> InferenceSession::candidate_key(
+    bool corrupt_tail, std::int64_t anchor, std::int64_t relation) {
+  // side(1 bit) | relation(23 bits) | anchor(40 bits) — exact or nothing;
+  // a lossy key would let two queries share one candidate plan.
+  constexpr std::int64_t kMaxAnchor = std::int64_t{1} << 40;
+  constexpr std::int64_t kMaxRelation = std::int64_t{1} << 23;
+  if (anchor < 0 || anchor >= kMaxAnchor || relation < 0 ||
+      relation >= kMaxRelation)
+    return std::nullopt;
+  return (static_cast<sparse::PlanCache::Key>(corrupt_tail ? 1 : 0) << 63) |
+         (static_cast<sparse::PlanCache::Key>(relation) << 40) |
+         static_cast<sparse::PlanCache::Key>(anchor);
+}
+
+std::vector<float> InferenceSession::candidate_scores(
+    bool corrupt_tail, std::int64_t anchor, std::int64_t relation) const {
+  const index_t n = model_->num_entities();
+  SPTX_CHECK(anchor >= 0 && anchor < n, "entity id " << anchor
+                                                     << " out of range");
+  SPTX_CHECK(relation >= 0 && relation < model_->num_relations(),
+             "relation id " << relation << " out of range");
+
+  const auto fill = [&](std::vector<Triplet>& out) {
+    out.resize(static_cast<std::size_t>(n));
+    for (index_t e = 0; e < n; ++e)
+      out[static_cast<std::size_t>(e)] =
+          corrupt_tail ? Triplet{anchor, relation, e}
+                       : Triplet{e, relation, anchor};
+  };
+
+  std::span<const Triplet> candidates;
+  std::shared_ptr<const sparse::CompiledBatch> plan;
+  std::vector<Triplet> local;
+  const auto key = options_.plan_cache
+                       ? candidate_key(corrupt_tail, anchor, relation)
+                       : std::nullopt;
+  if (key) {
+    plan = plans_.find(*key);
+    if (!plan) {
+      std::vector<Triplet> staged;
+      fill(staged);
+      plan = sparse::CompiledBatch::compile_owned(
+          std::move(staged), sparse::ScoringRecipe{}, n,
+          model_->num_relations());
+      // The cap bounds resident memory, not correctness: over the cap the
+      // plan serves this query and is dropped.
+      if (plans_.stats().entries < options_.max_cached_plans)
+        plans_.put(*key, plan);
+    }
+    candidates = plan->triplets();
+  } else {
+    fill(local);
+    candidates = local;
+  }
+  triplets_scored_.fetch_add(n, std::memory_order_relaxed);
+  return model_->score(candidates);
+}
+
+namespace {
+
+/// Top-k selection with a deterministic order: score direction per the
+/// model, entity id as the tie-break.
+std::vector<Prediction> select_top_k(std::vector<Prediction>& candidates,
+                                     int k, bool higher_is_better) {
+  const auto better = [higher_is_better](const Prediction& a,
+                                         const Prediction& b) {
+    if (a.score != b.score)
+      return higher_is_better ? a.score > b.score : a.score < b.score;
+    return a.entity < b.entity;
+  };
+  const auto count =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
+                            candidates.size());
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(count),
+                    candidates.end(), better);
+  candidates.resize(count);
+  return std::move(candidates);
+}
+
+}  // namespace
+
+std::vector<Prediction> InferenceSession::top_tails(std::int64_t head,
+                                                    std::int64_t relation,
+                                                    int k) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<float> scores = candidate_scores(true, head, relation);
+  std::vector<Prediction> candidates;
+  candidates.reserve(scores.size());
+  for (index_t e = 0; e < static_cast<index_t>(scores.size()); ++e) {
+    if (filtered_out({head, relation, e})) continue;
+    candidates.push_back({e, scores[static_cast<std::size_t>(e)]});
+  }
+  return select_top_k(candidates, k, model_->higher_is_better());
+}
+
+std::vector<Prediction> InferenceSession::top_heads(std::int64_t relation,
+                                                    std::int64_t tail,
+                                                    int k) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<float> scores = candidate_scores(false, tail, relation);
+  std::vector<Prediction> candidates;
+  candidates.reserve(scores.size());
+  for (index_t e = 0; e < static_cast<index_t>(scores.size()); ++e) {
+    if (filtered_out({e, relation, tail})) continue;
+    candidates.push_back({e, scores[static_cast<std::size_t>(e)]});
+  }
+  return select_top_k(candidates, k, model_->higher_is_better());
+}
+
+double InferenceSession::rank(const Triplet& truth, bool corrupt_tail) const {
+  check_triplet(truth);  // both sides index into the candidate scores
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t anchor = corrupt_tail ? truth.head : truth.tail;
+  const std::int64_t truth_entity = corrupt_tail ? truth.tail : truth.head;
+  const std::vector<float> scores =
+      candidate_scores(corrupt_tail, anchor, truth.relation);
+  const float truth_score = scores[static_cast<std::size_t>(truth_entity)];
+  const bool higher = model_->higher_is_better();
+
+  // Optimistic-average tie handling, filtered competitors excluded — the
+  // evaluator's exact protocol (eval/link_prediction.cpp).
+  std::int64_t better = 0, ties = 0;
+  for (index_t e = 0; e < static_cast<index_t>(scores.size()); ++e) {
+    if (e == truth_entity) continue;
+    const Triplet candidate = corrupt_tail
+                                  ? Triplet{anchor, truth.relation, e}
+                                  : Triplet{e, truth.relation, anchor};
+    if (filtered_out(candidate)) continue;
+    const float s = scores[static_cast<std::size_t>(e)];
+    const bool is_better = higher ? s > truth_score : s < truth_score;
+    if (is_better) {
+      ++better;
+    } else if (s == truth_score) {
+      ++ties;
+    }
+  }
+  return 1.0 + static_cast<double>(better) + static_cast<double>(ties) / 2.0;
+}
+
+std::vector<double> InferenceSession::rank_batch(
+    std::span<const Triplet> truths, bool corrupt_tail) const {
+  std::vector<double> out;
+  out.reserve(truths.size());
+  for (const Triplet& t : truths) out.push_back(rank(t, corrupt_tail));
+  return out;
+}
+
+SessionStats InferenceSession::stats() const {
+  SessionStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.triplets_scored = triplets_scored_.load(std::memory_order_relaxed);
+  s.batcher = batcher_.stats();
+  s.plans = plans_.stats();
+  return s;
+}
+
+}  // namespace sptx::serve

@@ -1,0 +1,153 @@
+// Thread-safe inference serving over an immutable model snapshot.
+//
+// An InferenceSession is the query-side half of the Engine facade: it owns
+// a frozen KgeModel replica (models/snapshot.hpp) and answers
+//
+//  * triple scoring      — score()/score_one(), routed through a
+//    micro-batching queue that coalesces concurrent small queries into one
+//    SpMM-sized batch (micro_batcher.hpp);
+//  * top-k prediction    — top_tails()/top_heads(): rank every entity as
+//    the missing slot of (h, r, ?) / (?, r, t), optionally filtering known
+//    positives;
+//  * rank queries        — rank()/rank_batch(): the evaluator's filtered
+//    optimistic-average rank of a truth triplet against all entities.
+//
+// Candidate batches for top-k/rank queries reuse the PR 2 CompiledBatch
+// machinery the same way EvalConfig::plan_cache does: the staged
+// N-candidate batch for a (side, anchor, relation) query is compiled once
+// into a per-session sparse::PlanCache and served from the plan on every
+// later hit. What is reused is the candidate *staging* (score() is the
+// models' dense fast path, so the plans carry no incidence), so the win is
+// the O(N) fill per repeated query — and each resident plan pins N staged
+// triplets, which is why max_cached_plans defaults low and caps residency.
+//
+// Thread-safety contract: every public method is const and safe to call
+// from any number of threads concurrently. The model snapshot is immutable;
+// mutable internals (plan cache, micro-batch queue, stats) are internally
+// synchronized. Results are independent of concurrency — a query returns
+// bit-identical results whether executed alone, coalesced into a shared
+// micro-batch, or raced against a thousand others.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/runtime_config.hpp"
+#include "src/kg/triplet.hpp"
+#include "src/models/model.hpp"
+#include "src/serve/micro_batcher.hpp"
+#include "src/sparse/plan_cache.hpp"
+
+namespace sptx::serve {
+
+struct SessionOptions {
+  /// Coalesce concurrent small score() calls into one scoring batch.
+  /// SPTX_SERVE_MICROBATCH overrides.
+  bool micro_batch = true;
+  /// Coalescing cap in triplets per underlying score() call.
+  /// SPTX_SERVE_MAX_BATCH overrides.
+  index_t max_batch = 8192;
+  /// Microseconds a micro-batch leader lingers for followers before
+  /// executing. 0 = continuous batching: drain whatever contention already
+  /// queued, never add latency. SPTX_SERVE_WINDOW_US overrides.
+  int window_us = 0;
+  /// Cache staged top-k/rank candidate batches per (side, anchor,
+  /// relation). SPTX_SERVE_PLAN_CACHE overrides.
+  bool plan_cache = true;
+  /// Resident-plan cap for the candidate cache. Each plan pins
+  /// num_entities staged triplets (24 B each — ~24 MB per plan on a
+  /// million-entity graph), so the default stays small; raise it for hot
+  /// query sets over small vocabularies. SPTX_SERVE_MAX_PLANS overrides.
+  index_t max_cached_plans = 64;
+  /// Known positives to exclude from top-k results and rank competitors
+  /// (the evaluator's "filtered" protocol). Copied at session open — the
+  /// store need not outlive the session. Null = unfiltered.
+  const TripletStore* filter = nullptr;
+};
+
+/// Apply the registry's SPTX_SERVE_* overrides to `options`.
+SessionOptions resolve(const SessionOptions& options, const RuntimeConfig& rc);
+
+struct Prediction {
+  std::int64_t entity = 0;
+  float score = 0.0f;
+};
+
+struct SessionStats {
+  std::int64_t queries = 0;          // public API calls answered
+  std::int64_t triplets_scored = 0;  // total candidate/query triplets scored
+  MicroBatcher::Stats batcher;       // micro-batch queue traffic
+  sparse::PlanCache::Stats plans;    // candidate-plan cache traffic
+};
+
+class InferenceSession {
+ public:
+  /// `model` must be a frozen snapshot (models::freeze) or otherwise
+  /// guaranteed immutable for the session's lifetime.
+  InferenceSession(std::shared_ptr<const models::KgeModel> model,
+                   const SessionOptions& options);
+
+  const models::KgeModel& model() const { return *model_; }
+  index_t num_entities() const { return model_->num_entities(); }
+  index_t num_relations() const { return model_->num_relations(); }
+
+  /// Model-native scores for a batch of triplets (lower = more plausible
+  /// for translational families, higher for semiring ones — see
+  /// model().higher_is_better()). Small batches may be coalesced with
+  /// concurrent callers; results are identical either way.
+  std::vector<float> score(std::span<const Triplet> batch) const;
+  float score_one(const Triplet& t) const;
+
+  /// The k most plausible completions of (head, relation, ?) — entities
+  /// ranked by the model's score, known positives excluded when the
+  /// session was opened with a filter.
+  std::vector<Prediction> top_tails(std::int64_t head, std::int64_t relation,
+                                    int k) const;
+  /// The k most plausible completions of (?, relation, tail).
+  std::vector<Prediction> top_heads(std::int64_t relation, std::int64_t tail,
+                                    int k) const;
+
+  /// Filtered optimistic-average rank of `truth` against all entities on
+  /// one side (the evaluator's protocol: rank = 1 + #strictly-better +
+  /// #ties/2, filtered competitors excluded).
+  double rank(const Triplet& truth, bool corrupt_tail = true) const;
+  std::vector<double> rank_batch(std::span<const Triplet> truths,
+                                 bool corrupt_tail = true) const;
+
+  SessionStats stats() const;
+
+ private:
+  /// Scores for the N-entity candidate batch of (side, anchor, relation),
+  /// staged through the candidate-plan cache when enabled. Candidate
+  /// batches are already SpMM-sized, so they bypass the micro-batcher.
+  std::vector<float> candidate_scores(bool corrupt_tail, std::int64_t anchor,
+                                      std::int64_t relation) const;
+
+  /// Collision-free cache key for (side, anchor, relation), or nullopt when
+  /// the ids exceed the packable range (then the query stages fresh —
+  /// correctness never rides on a lossy key).
+  static std::optional<sparse::PlanCache::Key> candidate_key(
+      bool corrupt_tail, std::int64_t anchor, std::int64_t relation);
+
+  bool filtered_out(const Triplet& t) const {
+    return !known_.empty() && known_.count(t) > 0;
+  }
+
+  /// Serving inputs are user-controlled; ids are range-checked before they
+  /// reach the models' unchecked embedding-row arithmetic.
+  void check_triplet(const Triplet& t) const;
+
+  std::shared_ptr<const models::KgeModel> model_;
+  SessionOptions options_;
+  std::unordered_set<Triplet, TripletHash> known_;
+  mutable sparse::PlanCache plans_;
+  mutable MicroBatcher batcher_;
+  mutable std::atomic<std::int64_t> queries_{0};
+  mutable std::atomic<std::int64_t> triplets_scored_{0};
+};
+
+}  // namespace sptx::serve

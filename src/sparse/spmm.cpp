@@ -459,24 +459,24 @@ void kernel_tiled_parallel(const Csr& a, const Matrix& x, Matrix& c) {
 // saves; measured on the ablation bench's small end.
 constexpr std::int64_t kParallelMinWork = 1 << 18;
 
-SpmmKernel parse_kernel_name(const char* s) {
-  if (std::strcmp(s, "naive") == 0) return SpmmKernel::kNaive;
-  if (std::strcmp(s, "unrolled") == 0) return SpmmKernel::kUnrolled;
-  if (std::strcmp(s, "tiled") == 0) return SpmmKernel::kTiled;
-  if (std::strcmp(s, "parallel") == 0) return SpmmKernel::kParallel;
-  if (std::strcmp(s, "simd") == 0) return SpmmKernel::kSimd;
-  if (std::strcmp(s, "tiled_parallel") == 0)
-    return SpmmKernel::kTiledParallel;
+SpmmKernel parse_kernel_name(const std::string& s) {
+  if (s == "naive") return SpmmKernel::kNaive;
+  if (s == "unrolled") return SpmmKernel::kUnrolled;
+  if (s == "tiled") return SpmmKernel::kTiled;
+  if (s == "parallel") return SpmmKernel::kParallel;
+  if (s == "simd") return SpmmKernel::kSimd;
+  if (s == "tiled_parallel") return SpmmKernel::kTiledParallel;
   return SpmmKernel::kAuto;  // unknown names fall through to the heuristic
 }
 
 }  // namespace
 
 SpmmKernel spmm_auto_kernel(const Csr& a, index_t dim) {
-  if (const char* env = std::getenv("SPTX_SPMM_KERNEL")) {
-    const SpmmKernel forced = parse_kernel_name(env);
-    if (forced != SpmmKernel::kAuto) return forced;
-  }
+  // SPTX_SPMM_KERNEL (registry knob, case-insensitive) forces a kernel.
+  // hot() is pre-lowercased and pre-resolved at snapshot build time.
+  const SpmmKernel forced =
+      parse_kernel_name(config::current()->hot().spmm_kernel);
+  if (forced != SpmmKernel::kAuto) return forced;
   const std::int64_t work = a.nnz() * dim;
   const bool parallel_pays = num_threads() > 1 && work >= kParallelMinWork;
   if (!simd_enabled()) {
@@ -569,10 +569,10 @@ bool spmm_backward_uses_transpose(const Csr& a, index_t dim) {
   const std::int64_t work = a.nnz() * dim;
   bool use_transpose = num_threads() > 1 && work >= kParallelMinWork / 8 &&
                        work >= 8 * (a.nnz() + a.cols);
-  if (const char* env = std::getenv("SPTX_SPMM_BACKWARD")) {
-    if (std::strcmp(env, "scatter") == 0) use_transpose = false;
-    if (std::strcmp(env, "transpose") == 0) use_transpose = true;
-  }
+  const auto snapshot = config::current();  // keeps hot() storage alive
+  const std::string& forced = snapshot->hot().spmm_backward;
+  if (forced == "scatter") use_transpose = false;
+  if (forced == "transpose") use_transpose = true;
   return use_transpose;
 }
 

@@ -7,7 +7,9 @@
 // sub-headers remain individually includable for finer control.
 #pragma once
 
+#include "src/api/engine.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/runtime_config.hpp"
 #include "src/eval/classification.hpp"
 #include "src/eval/link_prediction.hpp"
 #include "src/kg/dataset.hpp"
@@ -16,6 +18,8 @@
 #include "src/kg/synthetic.hpp"
 #include "src/models/checkpoint.hpp"
 #include "src/models/model.hpp"
+#include "src/models/snapshot.hpp"
+#include "src/serve/session.hpp"
 #include "src/nn/embedding.hpp"
 #include "src/nn/optim.hpp"
 #include "src/profiling/flops.hpp"

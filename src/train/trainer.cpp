@@ -21,16 +21,6 @@ namespace sptx::train {
 
 namespace {
 
-/// SPTX_PLAN_CACHE / SPTX_PREFETCH: "0", "off", "false" (any case) disable;
-/// anything else enables; unset keeps the config value.
-bool env_flag(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  std::string lower(v);
-  for (char& c : lower) c = static_cast<char>(std::tolower(c));
-  return !(lower == "0" || lower == "off" || lower == "false");
-}
-
 /// Joins on destruction so an exception unwinding past a live prefetch
 /// thread never reaches std::thread's terminating destructor.
 struct JoiningThread {
@@ -159,8 +149,7 @@ void run_planned(TrainLoop& loop) {
       scoring ? scoring->recipe() : sparse::ScoringRecipe{};
 
   const bool variant = config.shuffle || config.resample_negatives;
-  const bool prefetch =
-      variant && env_flag("SPTX_PREFETCH", config.prefetch);
+  const bool prefetch = variant && config.prefetch;
 
   sparse::PlanCache cache;
   std::vector<index_t> positions;  // pair permutation; empty = identity
@@ -357,14 +346,23 @@ void run_legacy(TrainLoop& loop) {
 
 }  // namespace
 
-TrainResult train(models::KgeModel& model, const TripletStore& data,
-                  const TrainConfig& config,
-                  const std::function<void(int, float)>& on_epoch) {
-  SPTX_CHECK(!data.empty(), "empty training set");
-  SPTX_CHECK(config.batch_size > 0 && config.epochs >= 0, "bad train config");
-  SPTX_CHECK(config.negatives_per_positive >= 1, "need k >= 1 negatives");
+TrainConfig resolve(const TrainConfig& config, const RuntimeConfig& rc) {
+  TrainConfig resolved = config;
+  resolved.plan_cache = rc.flag_or("SPTX_PLAN_CACHE", config.plan_cache);
+  resolved.prefetch = rc.flag_or("SPTX_PREFETCH", config.prefetch);
+  return resolved;
+}
 
-  TrainLoop loop(model, data, config, on_epoch);
+TrainResult train(models::KgeModel& model, const TripletStore& data,
+                  const TrainConfig& config, const RuntimeConfig& rc,
+                  const std::function<void(int, float)>& on_epoch) {
+  const TrainConfig resolved = resolve(config, rc);
+  SPTX_CHECK(!data.empty(), "empty training set");
+  SPTX_CHECK(resolved.batch_size > 0 && resolved.epochs >= 0,
+             "bad train config");
+  SPTX_CHECK(resolved.negatives_per_positive >= 1, "need k >= 1 negatives");
+
+  TrainLoop loop(model, data, resolved, on_epoch);
 
   ScopedPeakWindow memory_window;
   profiling::FlopWindow flop_window;
@@ -376,7 +374,7 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
   ScopedWorkspace workspace;
   const auto t_start = profiling::clock::now();
 
-  if (env_flag("SPTX_PLAN_CACHE", config.plan_cache)) {
+  if (resolved.plan_cache) {
     run_planned(loop);
   } else {
     run_legacy(loop);
@@ -387,6 +385,12 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
   loop.result.flops = flop_window.elapsed();
   loop.result.incidence_builds = build_window.elapsed();
   return loop.result;
+}
+
+TrainResult train(models::KgeModel& model, const TripletStore& data,
+                  const TrainConfig& config,
+                  const std::function<void(int, float)>& on_epoch) {
+  return train(model, data, config, *config::current(), on_epoch);
 }
 
 }  // namespace sptx::train

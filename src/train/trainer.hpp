@@ -23,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/runtime_config.hpp"
 #include "src/kg/negative_sampler.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/models/model.hpp"
@@ -100,10 +101,24 @@ struct TrainResult {
   std::int64_t incidence_builds = 0;
 };
 
+/// Apply the registry's training overrides (SPTX_PLAN_CACHE, SPTX_PREFETCH)
+/// to `config`. Knobs left unset in the snapshot keep the config's fields.
+TrainConfig resolve(const TrainConfig& config, const RuntimeConfig& rc);
+
 /// Train `model` on `data` per `config`. The callback (optional) fires after
 /// every epoch with (epoch, mean_loss) — used for convergence studies.
+/// Registry overrides come from the process-wide snapshot
+/// (config::current()); Engine::train passes its own snapshot instead via
+/// the RuntimeConfig overload. Both run the identical loop.
 TrainResult train(models::KgeModel& model, const TripletStore& data,
                   const TrainConfig& config,
+                  const std::function<void(int, float)>& on_epoch = {});
+
+/// Engine path: resolve `config` against an explicit snapshot. No
+/// process-global state is consulted; bit-identical to the overload above
+/// whenever the snapshots agree.
+TrainResult train(models::KgeModel& model, const TripletStore& data,
+                  const TrainConfig& config, const RuntimeConfig& rc,
                   const std::function<void(int, float)>& on_epoch = {});
 
 }  // namespace sptx::train

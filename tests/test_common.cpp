@@ -130,18 +130,6 @@ TEST(StringUtils, TrimWhitespaceVariants) {
   EXPECT_EQ(trim(" a b "), "a b");
 }
 
-TEST(EnvUtils, ParsesAndFallsBack) {
-  ::setenv("SPTX_TEST_ENV_D", "2.5", 1);
-  EXPECT_DOUBLE_EQ(env_double("SPTX_TEST_ENV_D", 1.0), 2.5);
-  ::setenv("SPTX_TEST_ENV_I", "17", 1);
-  EXPECT_EQ(env_int("SPTX_TEST_ENV_I", 3), 17);
-  ::unsetenv("SPTX_TEST_ENV_D");
-  EXPECT_DOUBLE_EQ(env_double("SPTX_TEST_ENV_D", 1.0), 1.0);
-  ::setenv("SPTX_TEST_ENV_BAD", "not-a-number", 1);
-  EXPECT_DOUBLE_EQ(env_double("SPTX_TEST_ENV_BAD", 4.0), 4.0);
-  EXPECT_EQ(env_int("SPTX_TEST_ENV_BAD", 5), 5);
-}
-
 TEST(ErrorMacro, CheckThrowsWithContext) {
   try {
     SPTX_CHECK(1 == 2, "the answer was " << 42);

@@ -160,7 +160,12 @@ TEST(KernelEquivalence, BothBackwardPathsAgreeWithDenseTranspose) {
     const Matrix g = random_dense(sh.rows, sh.dim, rng);
     const Matrix want = matmul_tn(to_dense(a), g);
     for (const char* mode : {"scatter", "transpose"}) {
-      setenv("SPTX_SPMM_BACKWARD", mode, 1);
+      // Registry override (setenv would be a no-op: the process snapshot is
+      // latched at first use).
+      config::ScopedOverride force("SPTX_SPMM_BACKWARD", mode);
+      EXPECT_EQ(spmm_backward_uses_transpose(a, sh.dim),
+                std::string_view(mode) == "transpose")
+          << "override not honoured for " << mode;
       Matrix dx(sh.cols, sh.dim);
       spmm_csr_transposed_accumulate(a, g, dx);
       EXPECT_LT(max_abs_diff(dx, want), kTol)
@@ -170,7 +175,6 @@ TEST(KernelEquivalence, BothBackwardPathsAgreeWithDenseTranspose) {
       Matrix doubled = want;
       doubled.scale_(2.0f);
       EXPECT_LT(max_abs_diff(dx, doubled), kTol);
-      unsetenv("SPTX_SPMM_BACKWARD");
     }
     EXPECT_LT(max_abs_diff(spmm_csr_transposed_explicit(a, g), want), kTol);
   }
@@ -197,13 +201,25 @@ TEST(KernelEquivalence, AutoResolvesToConcreteKernel) {
 TEST(KernelEquivalence, AutoEnvOverrideForcesKernel) {
   Rng rng(43);
   const Csr a = random_csr(64, 32, 4, 0.8, true, rng);
-  setenv("SPTX_SPMM_KERNEL", "tiled", 1);
+  // The dispatch consults the installed runtime-config snapshot: a
+  // programmatic override forces a kernel...
+  RuntimeConfig rc = RuntimeConfig::from_env();
+  rc.set("SPTX_SPMM_KERNEL", "tiled");
+  config::install(rc);
   EXPECT_EQ(spmm_auto_kernel(a, 128), SpmmKernel::kTiled);
-  setenv("SPTX_SPMM_KERNEL", "naive", 1);
+  rc.set("SPTX_SPMM_KERNEL", "NAIVE");  // flags/enums are case-insensitive
+  config::install(rc);
   EXPECT_EQ(spmm_auto_kernel(a, 128), SpmmKernel::kNaive);
-  setenv("SPTX_SPMM_KERNEL", "not-a-kernel", 1);
-  EXPECT_NE(spmm_auto_kernel(a, 128), SpmmKernel::kAuto);  // falls back
+  // ...an invalid name is rejected at set() time instead of being silently
+  // dropped...
+  EXPECT_THROW(rc.set("SPTX_SPMM_KERNEL", "not-a-kernel"), Error);
+  // ...and the environment path works through a fresh snapshot.
+  setenv("SPTX_SPMM_KERNEL", "tiled", 1);
+  config::install(RuntimeConfig::from_env());
+  EXPECT_EQ(spmm_auto_kernel(a, 128), SpmmKernel::kTiled);
   unsetenv("SPTX_SPMM_KERNEL");
+  config::install(RuntimeConfig::from_env());
+  EXPECT_NE(spmm_auto_kernel(a, 128), SpmmKernel::kAuto);
 }
 
 TEST(KernelEquivalence, UnitValueCacheDetectsIncidence) {

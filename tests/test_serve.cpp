@@ -1,0 +1,341 @@
+// Tests for the inference serving layer (serve/session.hpp): correctness of
+// scoring / top-k / rank queries against brute force, micro-batch
+// coalescing equivalence, the candidate-plan cache, and — the load-bearing
+// contract — identical results for concurrent vs sequential execution from
+// many threads over one shared session.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/api/engine.hpp"
+#include "src/kg/synthetic.hpp"
+#include "src/serve/micro_batcher.hpp"
+
+namespace sptx {
+namespace {
+
+kg::Dataset tiny_dataset(std::uint64_t seed = 11) {
+  Rng rng(seed);
+  return kg::generate({"serve-test", 50, 4, 600}, rng, 0.05, 0.1);
+}
+
+/// A session over a lightly trained TransE snapshot, plus the frozen model
+/// itself for brute-force comparison.
+struct Fixture {
+  kg::Dataset ds = tiny_dataset();
+  Engine engine;
+  std::shared_ptr<const models::KgeModel> frozen;
+
+  explicit Fixture(const char* family = "TransE") {
+    ModelSpec spec;
+    spec.family = family;
+    spec.config.dim = 16;
+    spec.config.rel_dim = 8;
+    spec.seed = 3;
+    engine.create_model(spec, ds.num_entities(), ds.num_relations());
+    train::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 128;
+    engine.train(ds.train, tc);
+    frozen = engine.freeze();
+  }
+
+  std::shared_ptr<serve::InferenceSession> session(
+      serve::SessionOptions options = {}) {
+    return engine.open_session(options);
+  }
+};
+
+std::vector<Triplet> random_queries(const kg::Dataset& ds, std::size_t count,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> out(count);
+  for (auto& t : out) {
+    t.head = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ds.num_entities())));
+    t.relation = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ds.num_relations())));
+    t.tail = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ds.num_entities())));
+  }
+  return out;
+}
+
+TEST(Serve, ScoreMatchesModelWithAndWithoutMicroBatching) {
+  Fixture fx;
+  const auto queries = random_queries(fx.ds, 64, 1);
+  const auto expected = fx.frozen->score(queries);
+
+  for (bool micro : {false, true}) {
+    serve::SessionOptions so;
+    so.micro_batch = micro;
+    auto session = fx.session(so);
+    const auto got = session->score(queries);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], expected[i]) << "micro=" << micro << " i=" << i;
+    EXPECT_EQ(session->score_one(queries[0]), expected[0]);
+  }
+}
+
+TEST(Serve, ConcurrentQueriesMatchSequentialExecution) {
+  Fixture fx;
+  constexpr int kThreads = 8;
+  constexpr std::size_t kBatches = 40;
+  constexpr std::size_t kBatchSize = 6;
+
+  // Per-thread query streams with brute-force expected answers.
+  std::vector<std::vector<Triplet>> queries(kThreads);
+  std::vector<std::vector<float>> expected(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    queries[w] = random_queries(fx.ds, kBatches * kBatchSize,
+                                static_cast<std::uint64_t>(100 + w));
+    expected[w] = fx.frozen->score(queries[w]);
+  }
+
+  // A linger window forces real coalescing: leaders wait for followers, so
+  // most executions fuse requests from several threads.
+  serve::SessionOptions so;
+  so.micro_batch = true;
+  so.window_us = 200;
+  auto session = fx.session(so);
+
+  std::vector<std::vector<float>> got(kThreads);
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      got[w].reserve(queries[w].size());
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        const std::span<const Triplet> batch(
+            queries[w].data() + b * kBatchSize, kBatchSize);
+        const auto scores = session->score(batch);
+        got[w].insert(got[w].end(), scores.begin(), scores.end());
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (int w = 0; w < kThreads; ++w) {
+    ASSERT_EQ(got[w].size(), expected[w].size());
+    for (std::size_t i = 0; i < got[w].size(); ++i)
+      EXPECT_EQ(got[w][i], expected[w][i]) << "thread " << w << " i " << i;
+  }
+
+  const auto stats = session->stats();
+  EXPECT_EQ(stats.batcher.requests,
+            static_cast<std::int64_t>(kThreads * kBatches));
+  // With 8 threads hammering through a 200us window, at least some
+  // requests must have shared an execution.
+  EXPECT_GT(stats.batcher.coalesced_requests, 0);
+  EXPECT_LT(stats.batcher.batches_executed, stats.batcher.requests);
+}
+
+TEST(Serve, ConcurrentTopKAndRankMatchSequential) {
+  Fixture fx;
+  constexpr int kThreads = 6;
+  auto session = fx.session();
+
+  // Expected answers computed sequentially first.
+  std::vector<std::vector<serve::Prediction>> expected_top(kThreads);
+  std::vector<double> expected_rank(kThreads);
+  const auto probe = random_queries(fx.ds, kThreads, 55);
+  for (int w = 0; w < kThreads; ++w) {
+    expected_top[w] =
+        session->top_tails(probe[w].head, probe[w].relation, 5);
+    expected_rank[w] = session->rank(probe[w]);
+  }
+
+  std::vector<std::vector<serve::Prediction>> got_top(kThreads);
+  std::vector<double> got_rank(kThreads);
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int repeat = 0; repeat < 10; ++repeat) {
+        got_top[w] = session->top_tails(probe[w].head, probe[w].relation, 5);
+        got_rank[w] = session->rank(probe[w]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(got_rank[w], expected_rank[w]);
+    ASSERT_EQ(got_top[w].size(), expected_top[w].size());
+    for (std::size_t i = 0; i < got_top[w].size(); ++i) {
+      EXPECT_EQ(got_top[w][i].entity, expected_top[w][i].entity);
+      EXPECT_EQ(got_top[w][i].score, expected_top[w][i].score);
+    }
+  }
+  // Repeated identical queries hit the candidate-plan cache.
+  EXPECT_GT(session->stats().plans.hits, 0);
+}
+
+TEST(Serve, TopTailsMatchesBruteForce) {
+  Fixture fx;
+  auto session = fx.session();
+  const std::int64_t head = 3, relation = 1;
+  const int k = 7;
+
+  // Brute force: score every (head, relation, e) and sort.
+  const index_t n = fx.ds.num_entities();
+  std::vector<Triplet> candidates(static_cast<std::size_t>(n));
+  for (index_t e = 0; e < n; ++e)
+    candidates[static_cast<std::size_t>(e)] = {head, relation, e};
+  const auto scores = fx.frozen->score(candidates);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  for (index_t e = 0; e < n; ++e) order[static_cast<std::size_t>(e)] = e;
+  const bool higher = fx.frozen->higher_is_better();
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    const float sa = scores[static_cast<std::size_t>(a)];
+    const float sb = scores[static_cast<std::size_t>(b)];
+    if (sa != sb) return higher ? sa > sb : sa < sb;
+    return a < b;
+  });
+
+  const auto top = session->top_tails(head, relation, k);
+  ASSERT_EQ(top.size(), static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].entity,
+              order[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].score,
+              scores[static_cast<std::size_t>(
+                  order[static_cast<std::size_t>(i)])]);
+  }
+
+  // k past the vocabulary clamps.
+  EXPECT_EQ(session->top_tails(head, relation, 10000).size(),
+            static_cast<std::size_t>(n));
+}
+
+TEST(Serve, FilterExcludesKnownPositives) {
+  Fixture fx;
+  serve::SessionOptions so;
+  so.filter = &fx.ds.train;
+  auto filtered = fx.session(so);
+  auto unfiltered = fx.session();
+
+  // Pick a training triplet; its tail must never appear in the filtered
+  // top-k for (head, relation, ?) but is eligible unfiltered.
+  const Triplet known = fx.ds.train[0];
+  const auto n = static_cast<int>(fx.ds.num_entities());
+  const auto top = filtered->top_tails(known.head, known.relation, n);
+  for (const auto& p : top) {
+    EXPECT_FALSE((p.entity == known.tail))
+        << "filtered top-k leaked a known positive";
+  }
+  const auto top_unfiltered =
+      unfiltered->top_tails(known.head, known.relation, n);
+  EXPECT_GT(top_unfiltered.size(), top.size());
+
+  // Rank: filtering removes competitors, so the filtered rank can only be
+  // better (smaller) or equal, never worse.
+  const Triplet probe = fx.ds.test[0];
+  EXPECT_LE(filtered->rank(probe), unfiltered->rank(probe));
+}
+
+TEST(Serve, RankMatchesManualComputation) {
+  Fixture fx;
+  auto session = fx.session();
+  const Triplet truth = fx.ds.test[0];
+
+  const index_t n = fx.ds.num_entities();
+  std::vector<Triplet> candidates(static_cast<std::size_t>(n));
+  for (index_t e = 0; e < n; ++e)
+    candidates[static_cast<std::size_t>(e)] = {truth.head, truth.relation, e};
+  const auto scores = fx.frozen->score(candidates);
+  const float truth_score = scores[static_cast<std::size_t>(truth.tail)];
+  const bool higher = fx.frozen->higher_is_better();
+  std::int64_t better = 0, ties = 0;
+  for (index_t e = 0; e < n; ++e) {
+    if (e == truth.tail) continue;
+    const float s = scores[static_cast<std::size_t>(e)];
+    if (higher ? s > truth_score : s < truth_score) {
+      ++better;
+    } else if (s == truth_score) {
+      ++ties;
+    }
+  }
+  const double expected =
+      1.0 + static_cast<double>(better) + static_cast<double>(ties) / 2.0;
+  EXPECT_EQ(session->rank(truth, true), expected);
+
+  const auto batch_ranks = session->rank_batch(
+      std::span<const Triplet>(&truth, 1), true);
+  ASSERT_EQ(batch_ranks.size(), 1u);
+  EXPECT_EQ(batch_ranks[0], expected);
+}
+
+TEST(Serve, CandidatePlanCacheCapsResidency) {
+  Fixture fx;
+  serve::SessionOptions so;
+  so.max_cached_plans = 2;
+  auto session = fx.session(so);
+  for (std::int64_t h = 0; h < 6; ++h) session->top_tails(h, 0, 3);
+  const auto stats = session->stats();
+  EXPECT_LE(stats.plans.entries, 2);
+  EXPECT_EQ(stats.plans.misses, 6);
+  // Cached anchors still hit.
+  session->top_tails(0, 0, 3);
+  EXPECT_EQ(session->stats().plans.hits, 1);
+
+  // plan_cache off: no plans at all.
+  serve::SessionOptions off;
+  off.plan_cache = false;
+  auto uncached = fx.session(off);
+  uncached->top_tails(0, 0, 3);
+  EXPECT_EQ(uncached->stats().plans.misses, 0);
+  EXPECT_EQ(uncached->stats().plans.entries, 0);
+}
+
+TEST(Serve, SemiringFamilyServesHigherIsBetter) {
+  Fixture fx("DistMult");
+  ASSERT_TRUE(fx.frozen->higher_is_better());
+  auto session = fx.session();
+  const auto top = session->top_tails(1, 0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Predictions are ordered best-first: descending for similarity models.
+  EXPECT_GE(top[0].score, top[1].score);
+  EXPECT_GE(top[1].score, top[2].score);
+}
+
+TEST(Serve, OutOfRangeIdsAreRejectedNotDereferenced) {
+  Fixture fx;
+  auto session = fx.session();
+  const auto n = fx.ds.num_entities();
+  EXPECT_THROW(session->score_one({n, 0, 0}), Error);
+  EXPECT_THROW(session->score_one({0, fx.ds.num_relations(), 0}), Error);
+  EXPECT_THROW(session->score_one({0, 0, -1}), Error);
+  EXPECT_THROW(session->rank({0, 0, n}), Error);        // truth-side entity
+  EXPECT_THROW(session->rank({-1, 0, 0}, false), Error);
+  EXPECT_THROW(session->top_tails(n, 0, 3), Error);
+  EXPECT_THROW(session->top_heads(-1, 0, 3), Error);
+  // In-range queries still work after the rejections.
+  EXPECT_NO_THROW(session->score_one({0, 0, 0}));
+}
+
+TEST(MicroBatcherUnit, OversizedRequestStillExecutes) {
+  const auto echo = [](std::span<const Triplet> batch) {
+    std::vector<float> out(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      out[i] = static_cast<float>(batch[i].head);
+    return out;
+  };
+  serve::MicroBatcher batcher(echo, /*max_batch=*/4,
+                              std::chrono::microseconds(0));
+  std::vector<Triplet> big(10);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i].head = static_cast<std::int64_t>(i);
+  std::vector<float> out(big.size());
+  batcher.execute(big, out.data());
+  for (std::size_t i = 0; i < big.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<float>(i));
+  EXPECT_EQ(batcher.stats().batches_executed, 1);
+  batcher.execute({}, nullptr);  // empty request is a no-op
+  EXPECT_EQ(batcher.stats().requests, 1);
+}
+
+}  // namespace
+}  // namespace sptx

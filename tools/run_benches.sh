@@ -14,6 +14,8 @@
 #   BENCH_ddp.json       bench_ddp: sharded multi-worker trainer over
 #                        in-memory vs mmap-streamed stores (time, loss,
 #                        sparse all-reduce rows, plan-cache traffic)
+#   BENCH_serve.json     bench_serve: InferenceSession queries/sec,
+#                        1 vs 4 threads, micro-batch coalescing off vs on
 #
 # Knobs: SPTX_BENCH_MIN_TIME (per-benchmark min time, default 0.2s),
 # SPTX_EPOCHS / SPTX_SCALE forwarded to the hotspot bench as usual.
@@ -50,6 +52,11 @@ fi
 if [[ -x "$build_dir/bench_ddp" ]]; then
   echo "== Sharded DDP (memory vs streaming) -> $out_dir/BENCH_ddp.json"
   (cd "$build_dir" && ./bench_ddp) > "$out_dir/BENCH_ddp.json"
+fi
+
+if [[ -x "$build_dir/bench_serve" ]]; then
+  echo "== Inference serving (threads x coalescing) -> $out_dir/BENCH_serve.json"
+  (cd "$build_dir" && ./bench_serve) > "$out_dir/BENCH_serve.json"
 fi
 
 echo "done."

@@ -1,57 +1,36 @@
-// sptx — command-line interface to the SparseTransX library.
+// sptx — command-line interface to the SparseTransX library, built on the
+// sptx::Engine facade.
 //
-//   sptx train --data triples.tsv --model TransE --epochs 200
-//              --dim 128 --lr 0.0004 --save model.sptxc
-//   sptx train --profile FB15K --scale 0.01 --model TransR ...
-//   sptx eval  --data triples.tsv --model TransE --load model.sptxc
-//   sptx info  --data triples.tsv          (dataset statistics)
-//   sptx profiles                          (the paper's Table 3)
+//   sptx train  --data triples.tsv --model TransE --epochs 200
+//               --dim 128 --lr 0.0004 --save model.sptxc
+//   sptx train  --profile FB15K --scale 0.01 --model TransR ...
+//   sptx eval   --data triples.tsv --model TransE --load model.sptxc
+//   sptx query  --profile FB15K --model TransE --load model.sptxc
+//               --head 17 --relation 3 --top 10
+//   sptx serve  --profile FB15K --model TransE [--load ckpt]
+//               --threads 4 --queries 2000       (throughput smoke test)
+//   sptx config [--json 1]                       (the SPTX_* registry)
+//   sptx info   --data triples.tsv               (dataset statistics)
+//   sptx profiles                                (the paper's Table 3)
 //
 // Data sources: --data <file.tsv|file.csv|file.sptx> loads a real dataset
 // (format by extension); --profile <NAME> [--scale s] generates the
 // synthetic equivalent of a Table 3 dataset.
+#include <atomic>
 #include <cstdio>
-#include <cstring>
-#include <map>
-#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "src/eval/link_prediction.hpp"
+#include "src/api/engine.hpp"
+#include "src/common/cli_args.hpp"
 #include "src/kg/synthetic.hpp"
-#include "src/models/checkpoint.hpp"
-#include "src/models/model.hpp"
-#include "src/train/trainer.hpp"
+#include "src/profiling/timer.hpp"
 
 namespace {
 
 using namespace sptx;
-
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-
-  bool has(const std::string& key) const { return options.count(key) > 0; }
-  std::string get(const std::string& key, const std::string& fallback) const {
-    auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
-  double num(const std::string& key, double fallback) const {
-    auto it = options.find(key);
-    return it == options.end() ? fallback : std::atof(it->second.c_str());
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const char* key = argv[i];
-    SPTX_CHECK(std::strncmp(key, "--", 2) == 0, "expected --option, got "
-                                                    << key);
-    args.options[key + 2] = argv[i + 1];
-  }
-  return args;
-}
+using cli::Args;
 
 kg::Dataset load_dataset(const Args& args) {
   if (args.has("profile")) {
@@ -78,27 +57,37 @@ kg::Dataset load_dataset(const Args& args) {
   return ds;
 }
 
-std::unique_ptr<models::KgeModel> build_model(const Args& args,
-                                              const kg::Dataset& ds) {
-  models::ModelConfig cfg;
-  cfg.dim = static_cast<index_t>(args.num("dim", 128));
-  cfg.rel_dim = static_cast<index_t>(args.num("rel-dim", cfg.dim));
-  cfg.margin = static_cast<float>(args.num("margin", 0.5));
-  cfg.dissimilarity = args.get("dissimilarity", "l2") == "l1"
-                          ? models::Dissimilarity::kL1
-                          : models::Dissimilarity::kL2;
-  cfg.loss = args.get("loss", "margin") == "logistic"
-                 ? models::LossType::kLogistic
-                 : models::LossType::kMarginRanking;
-  cfg.normalize_entities = args.num("normalize", 1) != 0;
-  Rng rng(static_cast<std::uint64_t>(args.num("seed", 42)) + 1);
-  const std::string model_name = args.get("model", "TransE");
-  const std::string framework = args.get("framework", "sparse");
-  return framework == "dense"
-             ? models::make_dense_model(model_name, ds.num_entities(),
-                                        ds.num_relations(), cfg, rng)
-             : models::make_sparse_model(model_name, ds.num_entities(),
-                                         ds.num_relations(), cfg, rng);
+ModelSpec build_spec(const Args& args) {
+  ModelSpec spec;
+  spec.family = args.get("model", "TransE");
+  spec.framework = args.get("framework", "sparse");
+  spec.config.dim = static_cast<index_t>(args.num("dim", 128));
+  spec.config.rel_dim = static_cast<index_t>(args.num("rel-dim",
+                                                      spec.config.dim));
+  spec.config.margin = static_cast<float>(args.num("margin", 0.5));
+  spec.config.dissimilarity = args.get("dissimilarity", "l2") == "l1"
+                                  ? models::Dissimilarity::kL1
+                                  : models::Dissimilarity::kL2;
+  spec.config.loss = args.get("loss", "margin") == "logistic"
+                         ? models::LossType::kLogistic
+                         : models::LossType::kMarginRanking;
+  spec.config.normalize_entities = args.num("normalize", 1) != 0;
+  spec.seed = static_cast<std::uint64_t>(args.num("seed", 42)) + 1;
+  return spec;
+}
+
+/// Engine with the model the args describe, checkpoint-restored when
+/// --load was given.
+Engine make_engine(const Args& args, const kg::Dataset& ds) {
+  Engine engine;
+  const ModelSpec spec = build_spec(args);
+  if (args.has("load")) {
+    engine.load_model(spec, ds.num_entities(), ds.num_relations(),
+                      args.get("load", ""));
+  } else {
+    engine.create_model(spec, ds.num_entities(), ds.num_relations());
+  }
+  return engine;
 }
 
 void print_metrics(const eval::RankingMetrics& m) {
@@ -117,8 +106,7 @@ int cmd_train(const Args& args) {
               static_cast<long long>(ds.train.size()),
               static_cast<long long>(ds.valid.size()),
               static_cast<long long>(ds.test.size()));
-  auto model = build_model(args, ds);
-  if (args.has("load")) models::load_checkpoint(*model, args.get("load", ""));
+  Engine engine = make_engine(args, ds);
 
   train::TrainConfig tc;
   tc.epochs = static_cast<int>(args.num("epochs", 200));
@@ -137,21 +125,21 @@ int cmd_train(const Args& args) {
   tc.seed = static_cast<std::uint64_t>(args.num("seed", 42));
   const int log_every = std::max(tc.epochs / 10, 1);
 
-  const auto result = train::train(
-      *model, ds.train, tc, [&](int epoch, float loss) {
+  const auto result =
+      engine.train(ds.train, tc, [&](int epoch, float loss) {
         if (epoch % log_every == 0)
           std::printf("  epoch %4d  loss %.6f\n", epoch, loss);
       });
   std::printf("trained %s in %.2fs (fwd %.2fs, bwd %.2fs, step %.2fs); "
               "peak %.1f MB, %.2f GFLOP\n",
-              model->name().c_str(), result.total_seconds,
+              engine.model().name().c_str(), result.total_seconds,
               result.phases.forward_s, result.phases.backward_s,
               result.phases.step_s,
               static_cast<double>(result.peak_bytes) / (1024.0 * 1024.0),
               static_cast<double>(result.flops) / 1e9);
 
   if (args.has("save")) {
-    models::save_checkpoint(*model, args.get("save", ""));
+    engine.save(args.get("save", ""));
     std::printf("checkpoint written to %s\n", args.get("save", "").c_str());
   }
   if (!ds.test.empty() && args.num("eval", 1) != 0) {
@@ -159,29 +147,197 @@ int cmd_train(const Args& args) {
     ec.max_queries =
         static_cast<std::int64_t>(args.num("max-queries", 200));
     std::printf("filtered link prediction on test split:\n");
-    print_metrics(eval::evaluate(*model, ds, ec));
+    print_metrics(engine.evaluate(ds, ec));
   }
   return 0;
 }
 
 int cmd_eval(const Args& args) {
   const kg::Dataset ds = load_dataset(args);
-  auto model = build_model(args, ds);
   SPTX_CHECK(args.has("load"), "eval needs --load <checkpoint>");
-  models::load_checkpoint(*model, args.get("load", ""));
+  Engine engine = make_engine(args, ds);
   eval::EvalConfig ec;
   ec.max_queries = static_cast<std::int64_t>(args.num("max-queries", 0));
   ec.filtered = args.num("filtered", 1) != 0;
-  std::printf("%s on %s:\n", model->name().c_str(), ds.name.c_str());
-  print_metrics(eval::evaluate(*model, ds, ec));
+  std::printf("%s on %s:\n", engine.model().name().c_str(), ds.name.c_str());
+  print_metrics(engine.evaluate(ds, ec));
   if (args.num("by-category", 0) != 0) {
-    const auto by_cat = eval::evaluate_by_category(*model, ds, ec);
+    const auto by_cat = eval::evaluate_by_category(engine.model(), ds, ec);
     for (int c = 0; c < 4; ++c) {
       std::printf("  [%s]", eval::to_string(
                                 static_cast<eval::RelationCategory>(c)));
       print_metrics(by_cat.by_category[c]);
     }
   }
+  return 0;
+}
+
+const char* type_name(ConfigType type) {
+  switch (type) {
+    case ConfigType::kFlag:
+      return "flag";
+    case ConfigType::kInt:
+      return "int";
+    case ConfigType::kDouble:
+      return "double";
+    case ConfigType::kEnum:
+      return "enum";
+  }
+  return "?";
+}
+
+int cmd_config(const Args& args) {
+  const RuntimeConfig rc = RuntimeConfig::from_env();
+  if (args.num("json", 0) != 0) {
+    std::printf("%s\n", rc.to_json().c_str());
+    return 0;
+  }
+  std::printf("%-24s %-7s %-14s %-8s %s\n", "knob", "type", "value", "origin",
+              "doc");
+  for (const ConfigSpec& spec : RuntimeConfig::specs()) {
+    const std::string name(spec.name);
+    std::string value = rc.value_or(name, "");
+    if (value.empty()) value = "(unset)";
+    std::string doc(spec.doc);
+    if (!spec.choices.empty())
+      doc += " [" + std::string(spec.choices) + "]";
+    std::printf("%-24s %-7s %-14s %-8s %s\n", name.c_str(),
+                type_name(spec.type), value.c_str(),
+                to_string(rc.origin(name)), doc.c_str());
+  }
+  return 0;
+}
+
+void print_predictions(const kg::Dataset& ds,
+                       const std::vector<serve::Prediction>& predictions,
+                       bool is_tail) {
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const auto& p = predictions[i];
+    const auto e = static_cast<std::size_t>(p.entity);
+    const std::string name = e < ds.entity_names.size()
+                                 ? ds.entity_names[e]
+                                 : std::to_string(p.entity);
+    std::printf("  %2zu. %s %-24s score %.4f\n", i + 1,
+                is_tail ? "tail" : "head", name.c_str(), p.score);
+  }
+}
+
+int cmd_query(const Args& args) {
+  const kg::Dataset ds = load_dataset(args);
+  SPTX_CHECK(args.has("load"), "query needs --load <checkpoint>");
+  SPTX_CHECK(args.has("relation"), "query needs --relation <id>");
+  Engine engine = make_engine(args, ds);
+
+  serve::SessionOptions so;
+  if (args.num("filtered", 1) != 0) so.filter = &ds.train;
+  auto session = engine.open_session(so);
+  const auto relation = static_cast<std::int64_t>(args.num("relation", 0));
+  const int k = static_cast<int>(args.num("top", 10));
+
+  if (args.has("head") && args.has("tail")) {
+    // Full triple: score it and rank the tail among all entities.
+    const Triplet t{static_cast<std::int64_t>(args.num("head", 0)), relation,
+                    static_cast<std::int64_t>(args.num("tail", 0))};
+    std::printf("score(%lld, %lld, %lld) = %.4f   filtered tail-rank %.1f\n",
+                static_cast<long long>(t.head),
+                static_cast<long long>(t.relation),
+                static_cast<long long>(t.tail), session->score_one(t),
+                session->rank(t, /*corrupt_tail=*/true));
+  } else if (args.has("head")) {
+    const auto head = static_cast<std::int64_t>(args.num("head", 0));
+    std::printf("top-%d tails for (%lld, %lld, ?):\n", k,
+                static_cast<long long>(head),
+                static_cast<long long>(relation));
+    print_predictions(ds, session->top_tails(head, relation, k), true);
+  } else if (args.has("tail")) {
+    const auto tail = static_cast<std::int64_t>(args.num("tail", 0));
+    std::printf("top-%d heads for (?, %lld, %lld):\n", k,
+                static_cast<long long>(relation),
+                static_cast<long long>(tail));
+    print_predictions(ds, session->top_heads(relation, tail, k), false);
+  } else {
+    throw Error("query needs --head and/or --tail");
+  }
+  return 0;
+}
+
+/// Multi-threaded serving throughput smoke test: T threads drive one
+/// shared session with a mixed query load (small batch scores + periodic
+/// top-k), then the counters and QPS are reported. Exercises exactly the
+/// concurrent path CI's ASan job needs to see under instrumentation.
+int cmd_serve(const Args& args) {
+  const kg::Dataset ds = load_dataset(args);
+  Engine engine = make_engine(args, ds);
+  if (!args.has("load")) {
+    // No checkpoint: warm the model with a short training run so the
+    // served scores are not pure noise.
+    train::TrainConfig tc;
+    tc.epochs = static_cast<int>(args.num("epochs", 2));
+    tc.batch_size = static_cast<index_t>(args.num("batch", 4096));
+    tc.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+    engine.train(ds.train, tc);
+  }
+
+  serve::SessionOptions so;
+  so.micro_batch = args.num("microbatch", 1) != 0;
+  so.window_us = static_cast<int>(args.num("window-us", 0));
+  auto session = engine.open_session(so);
+
+  const int threads = static_cast<int>(args.num("threads", 4));
+  const auto queries = static_cast<std::int64_t>(args.num("queries", 2000));
+  const auto batch = static_cast<std::size_t>(args.num("query-batch", 8));
+  const int top_k = static_cast<int>(args.num("top", 10));
+  SPTX_CHECK(threads >= 1 && queries >= 1, "bad serve load shape");
+
+  std::atomic<std::int64_t> scored{0};
+  const auto t0 = profiling::clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      Rng rng(static_cast<std::uint64_t>(1000 + w));
+      std::vector<Triplet> q(batch);
+      for (std::int64_t i = 0; i < queries; ++i) {
+        if (i % 64 == 63) {
+          // Every 64th query is a top-k prediction (the heavy path).
+          const auto h = static_cast<std::int64_t>(
+              rng.next_below(static_cast<std::uint64_t>(ds.num_entities())));
+          const auto r = static_cast<std::int64_t>(
+              rng.next_below(static_cast<std::uint64_t>(ds.num_relations())));
+          session->top_tails(h, r, top_k);
+        } else {
+          for (auto& t : q) {
+            t.head = static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(ds.num_entities())));
+            t.relation = static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(ds.num_relations())));
+            t.tail = static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(ds.num_entities())));
+          }
+          session->score(q);
+        }
+        scored.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double seconds = profiling::seconds_since(t0);
+
+  const auto stats = session->stats();
+  std::printf("served %lld queries on %d threads in %.3fs — %.0f queries/s\n",
+              static_cast<long long>(scored.load()), threads, seconds,
+              static_cast<double>(scored.load()) / seconds);
+  std::printf("  micro-batch: %s — %lld requests in %lld executions "
+              "(%lld coalesced), %lld triplets\n",
+              so.micro_batch ? "on" : "off",
+              static_cast<long long>(stats.batcher.requests),
+              static_cast<long long>(stats.batcher.batches_executed),
+              static_cast<long long>(stats.batcher.coalesced_requests),
+              static_cast<long long>(stats.batcher.triplets));
+  std::printf("  candidate plans: %lld hits, %lld misses, %lld resident\n",
+              static_cast<long long>(stats.plans.hits),
+              static_cast<long long>(stats.plans.misses),
+              static_cast<long long>(stats.plans.entries));
   return 0;
 }
 
@@ -216,7 +372,8 @@ int cmd_profiles() {
 
 void usage() {
   std::printf(
-      "usage: sptx <train|eval|info|profiles> [--option value ...]\n"
+      "usage: sptx <train|eval|query|serve|config|info|profiles> "
+      "[--option value ...]\n"
       "  data:   --data file.{tsv,csv,sptx} | --profile NAME --scale S\n"
       "  model:  --model TransE|TransR|TransH|TorusE|TransD|TransA|TransC|\n"
       "          TransM|DistMult|ComplEx|RotatE  --framework sparse|dense\n"
@@ -226,20 +383,41 @@ void usage() {
       "          --negatives K --resample-negatives 0|1\n"
       "          --corruption uniform|bernoulli --save ckpt --load ckpt\n"
       "          --shuffle 0|1 --weight-decay L --clip-norm C --patience P\n"
-      "  eval:   --load ckpt --max-queries Q --filtered 0|1 --by-category 1\n");
+      "  eval:   --load ckpt --max-queries Q --filtered 0|1 --by-category 1\n"
+      "  query:  --load ckpt --relation R [--head H] [--tail T] --top K\n"
+      "  serve:  [--load ckpt] --threads T --queries N --microbatch 0|1\n"
+      "          --window-us U --query-batch B\n"
+      "  config: [--json 1]   print the SPTX_* runtime-config registry\n");
 }
+
+constexpr std::string_view kCommands[] = {"train", "eval",     "query",
+                                          "serve", "config",   "info",
+                                          "profiles", "help"};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const Args args = parse_args(argc, argv);
+    const Args args = cli::parse_args(argc, argv);
+    if (args.command.empty()) {
+      usage();
+      return 1;
+    }
+    if (!cli::known_command(args.command, kCommands)) {
+      std::fprintf(stderr, "error: unknown command '%s'\n",
+                   args.command.c_str());
+      usage();
+      return 1;
+    }
     if (args.command == "train") return cmd_train(args);
     if (args.command == "eval") return cmd_eval(args);
+    if (args.command == "query") return cmd_query(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "config") return cmd_config(args);
     if (args.command == "info") return cmd_info(args);
     if (args.command == "profiles") return cmd_profiles();
     usage();
-    return args.command.empty() ? 1 : (args.command == "help" ? 0 : 1);
+    return 0;  // help
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
