@@ -5,6 +5,8 @@
 // incidence matrix vs two separate SpMM calls.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.hpp"
+
 #include "src/common/rng.hpp"
 #include "src/models/sp_transr.hpp"  // build_relation_selection_csr
 #include "src/sparse/incidence.hpp"
@@ -104,4 +106,4 @@ BENCHMARK(BM_TwoPassPosNeg)->Arg(8192)->Arg(32768);
 }  // namespace
 }  // namespace sptx
 
-BENCHMARK_MAIN();
+SPTX_GBENCH_MAIN();

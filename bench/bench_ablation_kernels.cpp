@@ -5,6 +5,8 @@
 // as BENCH_spmm.json to track the perf trajectory across PRs.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.hpp"
+
 #include <cstdlib>
 
 #include "src/common/rng.hpp"
@@ -178,4 +180,4 @@ BENCHMARK(BM_SpmmBackwardExplicitTranspose) SPTX_ARGS;
 }  // namespace
 }  // namespace sptx
 
-BENCHMARK_MAIN();
+SPTX_GBENCH_MAIN();

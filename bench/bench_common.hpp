@@ -22,6 +22,45 @@
 
 namespace sptx::bench {
 
+/// Build type this bench binary was compiled as. The harness only trusts
+/// Release numbers: a debug build inflates every autograd-vs-fused or
+/// kernel-vs-kernel ratio (BENCH_spmm.json was once recorded from a debug
+/// build — tools/run_benches.sh now configures Release and refuses quietly
+/// mixed data).
+inline constexpr bool kReleaseBuild =
+#ifdef NDEBUG
+    true;
+#else
+    false;
+#endif
+
+inline const char* build_type() { return kReleaseBuild ? "release" : "debug"; }
+
+/// JSON context fragment every bench's document embeds:
+/// `"build_type": "release"` — plus a loud warning field when the library
+/// was not compiled Release, so a stray debug artefact can never be read as
+/// a real measurement.
+inline std::string build_type_json() {
+  std::string json = "\"build_type\": \"" + std::string(build_type()) + "\"";
+  if (!kReleaseBuild) {
+    json +=
+        ",\n  \"WARNING\": \"library_build_type != release — timings are "
+        "not comparable; rebuild with -DCMAKE_BUILD_TYPE=Release\"";
+  }
+  return json;
+}
+
+/// Stderr counterpart for the text-artefact benches.
+inline void warn_if_debug_build() {
+  if (!kReleaseBuild) {
+    std::fprintf(stderr,
+                 "WARNING: bench compiled with library_build_type=%s — "
+                 "numbers below are NOT comparable; rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release\n",
+                 build_type());
+  }
+}
+
 inline double scale() {
   const double s = config::current()->double_or("SPTX_SCALE", 0.01);
   return s <= 0.0 || s > 1.0 ? 0.01 : s;
@@ -86,10 +125,16 @@ inline train::TrainConfig bench_train_config(int epoch_count,
 
 inline void print_header(const std::string& artefact,
                          const std::string& paper_shape) {
+  warn_if_debug_build();
   std::printf("==============================================================\n");
   std::printf("%s\n", artefact.c_str());
   std::printf("paper_shape: %s\n", paper_shape.c_str());
   std::printf("scale=%.4g (SPTX_SCALE), epochs via SPTX_EPOCHS\n", scale());
+  if (!kReleaseBuild) {
+    std::printf("WARNING: library_build_type=%s — not a Release build, "
+                "timings unusable\n",
+                build_type());
+  }
   std::printf("==============================================================\n");
 }
 

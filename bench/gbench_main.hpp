@@ -1,0 +1,28 @@
+// Shared main() for the google-benchmark binaries: BENCHMARK_MAIN plus a
+// context stamp recording how *this* code was compiled. The JSON's own
+// "library_build_type" field describes the system benchmark library, not
+// sptransx; a debug stamp here means the numbers are junk
+// (tools/run_benches.sh refuses non-Release build dirs for this reason).
+// Include after benchmark/benchmark.h and invoke SPTX_GBENCH_MAIN() at
+// file scope in place of BENCHMARK_MAIN().
+#pragma once
+
+#define SPTX_GBENCH_MAIN()                                               \
+  int main(int argc, char** argv) {                                      \
+    benchmark::AddCustomContext("sptransx_build_type",                   \
+                                sptx::bench_detail::kBuildTypeStamp);    \
+    benchmark::Initialize(&argc, argv);                                  \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    benchmark::RunSpecifiedBenchmarks();                                 \
+    benchmark::Shutdown();                                               \
+    return 0;                                                            \
+  }
+
+namespace sptx::bench_detail {
+inline constexpr const char* kBuildTypeStamp =
+#ifdef NDEBUG
+    "release";
+#else
+    "debug (WARNING: timings not comparable)";
+#endif
+}  // namespace sptx::bench_detail

@@ -25,6 +25,11 @@ constexpr ConfigSpec kSpecs[] = {
      "Force the backward SpMM strategy: sequential scatter vs "
      "cached-transpose parallel gather.",
      "auto|scatter|transpose"},
+    {"SPTX_FUSED", ConfigType::kEnum, "auto",
+     "Fused forward+backward scoring kernels (src/kernels): auto/on use the "
+     "single-pass fused path for every family that provides it, off keeps "
+     "the legacy autograd graph (bit-identical to the historical path).",
+     "auto|on|off"},
     {"SPTX_PLAN_CACHE", ConfigType::kFlag, "",
      "Override TrainConfig::plan_cache: compile batch plans once and reuse "
      "them across epochs (off = legacy per-batch rebuild loop)."},
@@ -182,6 +187,7 @@ void RuntimeConfig::refresh_hot() {
   hot_.no_simd = flag_or("SPTX_NO_SIMD", false);
   hot_.spmm_kernel = to_lower(value_or("SPTX_SPMM_KERNEL", "auto"));
   hot_.spmm_backward = to_lower(value_or("SPTX_SPMM_BACKWARD", "auto"));
+  hot_.fused_off = to_lower(value_or("SPTX_FUSED", "auto")) == "off";
 }
 
 std::size_t RuntimeConfig::index_of(std::string_view name) {

@@ -119,6 +119,7 @@ class RuntimeConfig {
   /// access — no name lookup, no string allocation, no parsing.
   struct HotKnobs {
     bool no_simd = false;
+    bool fused_off = false;              // SPTX_FUSED == "off"
     std::string spmm_kernel = "auto";    // lowercased
     std::string spmm_backward = "auto";  // lowercased
   };

@@ -56,6 +56,12 @@ inline void mul_scalar(float* __restrict y, const float* __restrict x,
   for (std::int64_t j = 0; j < d; ++j) y[j] *= x[j];
 }
 
+inline float dot_scalar(const float* a, const float* b, std::int64_t d) {
+  float acc = 0.0f;
+  for (std::int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
 #ifdef SPTX_SIMD_X86
 
 SPTX_TARGET_AVX2 inline float hsum(__m256 v) {
@@ -141,6 +147,26 @@ SPTX_TARGET_AVX2 inline void mul_avx2(float* __restrict y,
   for (; j < d; ++j) y[j] *= x[j];
 }
 
+SPTX_TARGET_AVX2 inline float dot_avx2(const float* a, const float* b,
+                                       std::int64_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8),
+                           _mm256_loadu_ps(b + j + 8), acc1);
+  }
+  for (; j + 8 <= d; j += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+  }
+  float acc = hsum(_mm256_add_ps(acc0, acc1));
+  for (; j < d; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
 #endif  // SPTX_SIMD_X86
 
 }  // namespace detail
@@ -191,6 +217,14 @@ inline void mul(float* y, const float* x, std::int64_t d) {
   if (simd_enabled()) return detail::mul_avx2(y, x, d);
 #endif
   detail::mul_scalar(y, x, d);
+}
+
+/// Σ a[j]·b[j].
+inline float dot(const float* a, const float* b, std::int64_t d) {
+#ifdef SPTX_SIMD_X86
+  if (simd_enabled()) return detail::dot_avx2(a, b, d);
+#endif
+  return detail::dot_scalar(a, b, d);
 }
 
 }  // namespace sptx::simd

@@ -21,12 +21,30 @@
 #include "src/autograd/ops.hpp"
 #include "src/autograd/variable.hpp"
 #include "src/common/rng.hpp"
+#include "src/kernels/fused.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/sparse/plan_cache.hpp"
 
 namespace sptx::models {
 
 enum class Dissimilarity { kL1, kL2 };
+
+/// The fused kernels' norm tag for a dissimilarity (one conversion, shared
+/// by every family's fused_forward and score).
+inline kernels::Norm fused_norm(Dissimilarity d) {
+  return d == Dissimilarity::kL2 ? kernels::Norm::kL2 : kernels::Norm::kL1;
+}
+
+/// Whether a fused node's backward must run: the fused scatter writes every
+/// parent table in one pass, so it runs when ANY parent is trainable (a
+/// frozen table then receives gradient rows nothing consumes — harmless,
+/// and the trainable parents stay correct, unlike gating on parent 0).
+inline bool fused_backward_needed(const autograd::Node& n) {
+  for (const auto& p : n.parents()) {
+    if (p->requires_grad()) return true;
+  }
+  return false;
+}
 
 /// Training objective built inside each model's loss().
 enum class LossType {
@@ -134,6 +152,24 @@ class ScoringCoreModel : public KgeModel {
 
   /// The scoring core over a compiled batch.
   virtual autograd::Variable forward(const sparse::CompiledBatch& batch) = 0;
+
+  /// Fused single-node forward (src/kernels): the same score column as
+  /// forward(), but as ONE autograd node whose backward scatters gradients
+  /// straight into the parameter tables — no add/sub/norm/spmm backward
+  /// chain, no intermediate M×d matrices. Families without fused kernels
+  /// (the semiring models, whose score op is already one fused node) return
+  /// an undefined Variable. The storage backing the batch's triplets must
+  /// outlive backward(); implementations capture the plan's owned triplets
+  /// so cached/staged plans satisfy this automatically.
+  virtual autograd::Variable fused_forward(const sparse::CompiledBatch&) {
+    return {};
+  }
+
+  /// The dispatch every consumer goes through: fused_forward() when the
+  /// SPTX_FUSED registry knob allows it (auto/on, the default) and the
+  /// family provides kernels, the autograd-graph forward() otherwise
+  /// (SPTX_FUSED=off keeps the historical path bit-identical).
+  autograd::Variable run_forward(const sparse::CompiledBatch& batch);
 
   /// Span path: compiles an ephemeral plan, then runs the core — the
   /// legacy per-batch rebuild behaviour, kept for external callers and as

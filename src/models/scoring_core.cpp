@@ -7,7 +7,9 @@
 // path compiles an ephemeral plan per call (exactly the old per-batch
 // behaviour), and the compiled path is what the staged trainer feeds with
 // cached / prefetched plans.
+#include "src/kernels/fused.hpp"
 #include "src/models/model.hpp"
+#include "src/profiling/counters.hpp"
 
 namespace sptx::models {
 
@@ -35,15 +37,26 @@ std::vector<ParamIndexSpace> KgeModel::param_index_spaces() {
   return spaces;
 }
 
+autograd::Variable ScoringCoreModel::run_forward(
+    const sparse::CompiledBatch& batch) {
+  if (kernels::fused_enabled()) {
+    if (autograd::Variable fused = fused_forward(batch); fused.defined()) {
+      profiling::count_event(profiling::Counter::kFusedBatches);
+      return fused;
+    }
+  }
+  return forward(batch);
+}
+
 autograd::Variable ScoringCoreModel::distance(std::span<const Triplet> batch) {
   const auto plan = sparse::CompiledBatch::compile(
       batch, recipe(), num_entities_, num_relations_, /*copy_triplets=*/false);
-  return forward(*plan);
+  return run_forward(*plan);
 }
 
 autograd::Variable ScoringCoreModel::loss(const sparse::CompiledBatch& pos,
                                           const sparse::CompiledBatch& neg) {
-  return ranking_loss(forward(pos), forward(neg), config_);
+  return ranking_loss(run_forward(pos), run_forward(neg), config_);
 }
 
 autograd::Variable ScoringCoreModel::loss(std::span<const Triplet> pos,

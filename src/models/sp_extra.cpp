@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "src/kernels/fused.hpp"
 #include "src/models/sp_transr.hpp"  // build_relation_selection_csr
+#include "src/profiling/timer.hpp"
 #include "src/sparse/incidence.hpp"
 
 namespace sptx::models {
@@ -69,13 +71,44 @@ autograd::Variable SpTransD::forward(const sparse::CompiledBatch& batch) {
   return norm_for(expr, config_.dissimilarity);
 }
 
+autograd::Variable SpTransD::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transd");
+  const auto triplets = batch.triplets();
+  const kernels::Norm norm = fused_norm(config_.dissimilarity);
+  Matrix out(batch.size(), 1);
+  kernels::transd_forward(triplets, entities_.weights(),
+                          entity_proj_.weights(), relations_.weights(),
+                          relation_proj_.weights(), norm, out.data());
+  return autograd::Variable::op(
+      std::move(out),
+      {entities_.var(), entity_proj_.var(), relations_.var(),
+       relation_proj_.var()},
+      [triplets, norm, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transd_backward(
+            triplets, node.parents()[0]->value(), node.parents()[1]->value(),
+            node.parents()[2]->value(), node.parents()[3]->value(), norm,
+            node.value().data(), node.grad().data(),
+            node.parents()[0]->grad(), node.parents()[1]->grad(),
+            node.parents()[2]->grad(), node.parents()[3]->grad());
+      },
+      "kernels::fused_transd_backward");
+}
+
 std::vector<float> SpTransD::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transd_forward(batch, entities_.weights(),
+                            entity_proj_.weights(), relations_.weights(),
+                            relation_proj_.weights(),
+                            fused_norm(config_.dissimilarity), out.data());
+    return out;
+  }
   const Matrix& e = entities_.weights();
   const Matrix& ep = entity_proj_.weights();
   const Matrix& r = relations_.weights();
   const Matrix& rp = relation_proj_.weights();
   const index_t d = config_.dim;
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);
@@ -138,11 +171,36 @@ autograd::Variable SpTransA::forward(const sparse::CompiledBatch& batch) {
   return autograd::row_dot(w, autograd::mul(hrt, hrt));
 }
 
+autograd::Variable SpTransA::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transa");
+  const auto triplets = batch.triplets();
+  const index_t n = num_entities_;
+  Matrix out(batch.size(), 1);
+  kernels::transa_forward(triplets, ent_rel_.weights(), metric_.weights(), n,
+                          out.data());
+  return autograd::Variable::op(
+      std::move(out), {ent_rel_.var(), metric_.var()},
+      [triplets, n, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transa_backward(triplets, node.parents()[0]->value(),
+                                 node.parents()[1]->value(), n,
+                                 node.grad().data(),
+                                 node.parents()[0]->grad(),
+                                 node.parents()[1]->grad());
+      },
+      "kernels::fused_transa_backward");
+}
+
 std::vector<float> SpTransA::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transa_forward(batch, ent_rel_.weights(), metric_.weights(),
+                            num_entities_, out.data());
+    return out;
+  }
   const Matrix& e = ent_rel_.weights();
   const Matrix& w = metric_.weights();
   const index_t d = e.cols();
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);
@@ -191,10 +249,32 @@ autograd::Variable SpTransC::forward(const sparse::CompiledBatch& batch) {
   return autograd::row_squared_l2(hrt);  // Table 2: ||h + r − t||₂²
 }
 
+autograd::Variable SpTransC::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transc");
+  const auto triplets = batch.triplets();
+  const index_t n = num_entities_;
+  Matrix out(batch.size(), 1);
+  kernels::transc_forward(triplets, ent_rel_.weights(), n, out.data());
+  return autograd::Variable::op(
+      std::move(out), {ent_rel_.var()},
+      [triplets, n, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transc_backward(triplets, node.parents()[0]->value(), n,
+                                 node.grad().data(),
+                                 node.parents()[0]->grad());
+      },
+      "kernels::fused_transc_backward");
+}
+
 std::vector<float> SpTransC::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transc_forward(batch, ent_rel_.weights(), num_entities_,
+                            out.data());
+    return out;
+  }
   const Matrix& e = ent_rel_.weights();
   const index_t d = e.cols();
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);
@@ -246,11 +326,38 @@ autograd::Variable SpTransM::forward(const sparse::CompiledBatch& batch) {
   return autograd::mul(w, norm_for(hrt, config_.dissimilarity));
 }
 
+autograd::Variable SpTransM::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transm");
+  const auto triplets = batch.triplets();
+  const kernels::Norm norm = fused_norm(config_.dissimilarity);
+  const index_t n = num_entities_;
+  Matrix out(batch.size(), 1);
+  kernels::transm_forward(triplets, ent_rel_.weights(), rel_weight_.weights(),
+                          n, norm, out.data());
+  return autograd::Variable::op(
+      std::move(out), {ent_rel_.var(), rel_weight_.var()},
+      [triplets, norm, n, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transm_backward(triplets, node.parents()[0]->value(),
+                                 node.parents()[1]->value(), n, norm,
+                                 node.grad().data(),
+                                 node.parents()[0]->grad(),
+                                 node.parents()[1]->grad());
+      },
+      "kernels::fused_transm_backward");
+}
+
 std::vector<float> SpTransM::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transm_forward(batch, ent_rel_.weights(), rel_weight_.weights(),
+                            num_entities_, fused_norm(config_.dissimilarity),
+                            out.data());
+    return out;
+  }
   const Matrix& e = ent_rel_.weights();
   const Matrix& w = rel_weight_.weights();
   const index_t d = e.cols();
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);

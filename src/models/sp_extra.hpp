@@ -36,6 +36,7 @@ class SpTransD final : public ScoringCoreModel {
   std::string name() const override { return "SpTransD"; }
   sparse::ScoringRecipe recipe() const override;
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
+  autograd::Variable fused_forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
@@ -54,6 +55,7 @@ class SpTransA final : public ScoringCoreModel {
   std::string name() const override { return "SpTransA"; }
   sparse::ScoringRecipe recipe() const override;
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
+  autograd::Variable fused_forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
@@ -70,6 +72,7 @@ class SpTransC final : public ScoringCoreModel {
   std::string name() const override { return "SpTransC"; }
   sparse::ScoringRecipe recipe() const override;
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
+  autograd::Variable fused_forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
@@ -85,6 +88,7 @@ class SpTransM final : public ScoringCoreModel {
   std::string name() const override { return "SpTransM"; }
   sparse::ScoringRecipe recipe() const override;
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
+  autograd::Variable fused_forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/kernels/fused.hpp"
+#include "src/profiling/timer.hpp"
 #include "src/sparse/incidence.hpp"
 
 namespace sptx::models {
@@ -31,10 +33,34 @@ autograd::Variable SpTorusE::forward(const sparse::CompiledBatch& batch) {
              : autograd::row_l1_torus(hrt);
 }
 
+autograd::Variable SpTorusE::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_toruse");
+  const auto triplets = batch.triplets();
+  const kernels::Norm norm = fused_norm(config_.dissimilarity);
+  const index_t n = num_entities_;
+  Matrix out(batch.size(), 1);
+  kernels::toruse_forward(triplets, ent_rel_.weights(), n, norm, out.data());
+  return autograd::Variable::op(
+      std::move(out), {ent_rel_.var()},
+      [triplets, norm, n, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::toruse_backward(triplets, node.parents()[0]->value(), n, norm,
+                                 node.grad().data(),
+                                 node.parents()[0]->grad());
+      },
+      "kernels::fused_toruse_backward");
+}
+
 std::vector<float> SpTorusE::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::toruse_forward(batch, ent_rel_.weights(), num_entities_,
+                            fused_norm(config_.dissimilarity),
+                            out.data());
+    return out;
+  }
   const Matrix& e = ent_rel_.weights();
   const index_t d = e.cols();
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);

@@ -21,6 +21,7 @@ class SpTorusE final : public ScoringCoreModel {
   std::string name() const override { return "SpTorusE"; }
   sparse::ScoringRecipe recipe() const override;
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
+  autograd::Variable fused_forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/kernels/fused.hpp"
+#include "src/profiling/timer.hpp"
 #include "src/sparse/incidence.hpp"
 
 namespace sptx::models {
@@ -25,10 +27,33 @@ autograd::Variable SpTransE::forward(const sparse::CompiledBatch& batch) {
                                                      : autograd::row_l1(hrt);
 }
 
+autograd::Variable SpTransE::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transe");
+  const auto triplets = batch.triplets();
+  const kernels::Norm norm = fused_norm(config_.dissimilarity);
+  const index_t n = num_entities_;
+  Matrix out(batch.size(), 1);
+  kernels::transe_forward(triplets, ent_rel_.weights(), n, norm, out.data());
+  return autograd::Variable::op(
+      std::move(out), {ent_rel_.var()},
+      [triplets, norm, n, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transe_backward(triplets, node.parents()[0]->value(), n, norm,
+                                 node.value().data(), node.grad().data(),
+                                 node.parents()[0]->grad());
+      },
+      "kernels::fused_transe_backward");
+}
+
 std::vector<float> SpTransE::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transe_forward(batch, ent_rel_.weights(), num_entities_,
+                            fused_norm(config_.dissimilarity), out.data());
+    return out;
+  }
   const Matrix& e = ent_rel_.weights();
   const index_t d = e.cols();
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);

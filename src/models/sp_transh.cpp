@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "src/kernels/fused.hpp"
 #include "src/models/sp_transr.hpp"  // build_relation_selection_csr
+#include "src/profiling/timer.hpp"
 #include "src/sparse/incidence.hpp"
 
 namespace sptx::models {
@@ -42,12 +44,40 @@ autograd::Variable SpTransH::forward(const sparse::CompiledBatch& batch) {
                                                      : autograd::row_l1(expr);
 }
 
+autograd::Variable SpTransH::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transh");
+  const auto triplets = batch.triplets();
+  const kernels::Norm norm = fused_norm(config_.dissimilarity);
+  Matrix out(batch.size(), 1);
+  kernels::transh_forward(triplets, entities_.weights(), normals_.weights(),
+                          transfers_.weights(), norm, out.data());
+  return autograd::Variable::op(
+      std::move(out),
+      {entities_.var(), normals_.var(), transfers_.var()},
+      [triplets, norm, keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transh_backward(
+            triplets, node.parents()[0]->value(), node.parents()[1]->value(),
+            node.parents()[2]->value(), norm, node.value().data(),
+            node.grad().data(), node.parents()[0]->grad(),
+            node.parents()[1]->grad(), node.parents()[2]->grad());
+      },
+      "kernels::fused_transh_backward");
+}
+
 std::vector<float> SpTransH::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transh_forward(batch, entities_.weights(), normals_.weights(),
+                            transfers_.weights(),
+                            fused_norm(config_.dissimilarity),
+                            out.data());
+    return out;
+  }
   const Matrix& e = entities_.weights();
   const Matrix& wn = normals_.weights();
   const Matrix& dt = transfers_.weights();
   const index_t d = config_.dim;
-  std::vector<float> out(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];
     const float* h = e.row(t.head);

@@ -1,7 +1,10 @@
 #include "src/models/sp_transr.hpp"
 
 #include <cmath>
+#include <memory>
 
+#include "src/kernels/fused.hpp"
+#include "src/profiling/timer.hpp"
 #include "src/sparse/incidence.hpp"
 
 namespace sptx::models {
@@ -22,6 +25,11 @@ sparse::ScoringRecipe SpTransR::recipe() const {
   r.ht = true;
   r.relation_selection = true;
   r.relation_indices = true;
+  // The fused kernel's relation-blocked GEMM order. Only requested when the
+  // fused layer is active so the SPTX_FUSED=off baseline keeps its exact
+  // historical compile cost (a plan compiled under off and then run under
+  // on fails loudly in the fused kernel's groups check, never silently).
+  r.relation_groups = kernels::fused_enabled();
   r.dim = config_.dim;
   r.relation_dim = config_.rel_dim;  // relations live in the d_r space
   return r;
@@ -41,13 +49,50 @@ autograd::Variable SpTransR::forward(const sparse::CompiledBatch& batch) {
              : autograd::row_l1(translated);
 }
 
+autograd::Variable SpTransR::fused_forward(const sparse::CompiledBatch& batch) {
+  profiling::ScopedHotspot hotspot("kernels::fused_transr");
+  const auto triplets = batch.triplets();
+  const kernels::Norm norm = fused_norm(config_.dissimilarity);
+  const index_t dr = config_.rel_dim;
+  const auto groups = batch.relation_groups();
+  // Pre-norm expression rows, kept for the backward so it never re-runs the
+  // forward GEMM. Workspace-pooled: zero steady-state allocations.
+  auto stash = std::make_shared<Matrix>(batch.size(), dr);
+  Matrix out(batch.size(), 1);
+  kernels::transr_forward(groups.get(), triplets, entities_.weights(),
+                          relations_.weights(), projections_.weights(), dr,
+                          norm, out.data(), stash.get());
+  return autograd::Variable::op(
+      std::move(out),
+      {entities_.var(), relations_.var(), projections_.var()},
+      [triplets, norm, dr, groups, stash,
+       keep = batch.owned_triplets()](autograd::Node& node) {
+        if (!fused_backward_needed(node)) return;
+        kernels::transr_backward(
+            groups.get(), triplets, node.parents()[0]->value(),
+            node.parents()[1]->value(), node.parents()[2]->value(), dr, norm,
+            *stash, node.value().data(), node.grad().data(),
+            node.parents()[0]->grad(), node.parents()[1]->grad(),
+            node.parents()[2]->grad());
+      },
+      "kernels::fused_transr_backward");
+}
+
 std::vector<float> SpTransR::score(std::span<const Triplet> batch) const {
+  std::vector<float> out(batch.size());
+  if (kernels::fused_enabled()) {
+    kernels::transr_forward(nullptr, batch, entities_.weights(),
+                            relations_.weights(), projections_.weights(),
+                            config_.rel_dim,
+                            fused_norm(config_.dissimilarity),
+                            out.data(), nullptr);
+    return out;
+  }
   const Matrix& e = entities_.weights();
   const Matrix& r = relations_.weights();
   const Matrix& m = projections_.weights();
   const index_t de = config_.dim;
   const index_t dr = config_.rel_dim;
-  std::vector<float> out(batch.size());
   std::vector<float> diff(static_cast<std::size_t>(de));
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Triplet& t = batch[i];

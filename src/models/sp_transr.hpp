@@ -28,6 +28,7 @@ class SpTransR final : public ScoringCoreModel {
   std::string name() const override { return "SpTransR"; }
   sparse::ScoringRecipe recipe() const override;
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
+  autograd::Variable fused_forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   std::vector<ParamIndexSpace> param_index_spaces() override;

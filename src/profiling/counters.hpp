@@ -23,6 +23,7 @@ enum class Counter : int {
   kDdpShards,             // worker shard gradient computations (distributed)
   kDdpAllReduceRows,      // embedding rows moved through the sparse all-reduce
   kDdpDenseReduces,       // parameters that fell back to a dense all-reduce
+  kFusedBatches,          // forwards served by the fused kernel layer
   kNumCounters,
 };
 

@@ -55,6 +55,31 @@ void CompiledBatch::build(const ScoringRecipe& recipe, index_t num_entities,
     for (const Triplet& t : view_) idx->push_back(t.relation);
     relation_indices_ = std::move(idx);
   }
+  if (recipe.relation_groups) {
+    // Counting sort by relation id: O(M + R), stable (rows of one relation
+    // keep batch order, which keeps the fused backward deterministic).
+    auto groups = std::make_shared<RelationGroups>();
+    const index_t m = static_cast<index_t>(view_.size());
+    std::vector<index_t> start(static_cast<std::size_t>(num_relations) + 1, 0);
+    for (const Triplet& t : view_) ++start[static_cast<std::size_t>(t.relation) + 1];
+    for (index_t r = 0; r < num_relations; ++r)
+      start[static_cast<std::size_t>(r) + 1] += start[static_cast<std::size_t>(r)];
+    groups->order.resize(static_cast<std::size_t>(m));
+    std::vector<index_t> cursor(start.begin(), start.end() - 1);
+    for (index_t i = 0; i < m; ++i) {
+      const index_t r = view_[static_cast<std::size_t>(i)].relation;
+      groups->order[static_cast<std::size_t>(cursor[static_cast<std::size_t>(r)]++)] = i;
+    }
+    for (index_t r = 0; r < num_relations; ++r) {
+      const index_t begin = start[static_cast<std::size_t>(r)];
+      const index_t end = start[static_cast<std::size_t>(r) + 1];
+      if (begin == end) continue;
+      groups->rels.push_back(r);
+      groups->offsets.push_back(begin);
+    }
+    groups->offsets.push_back(m);
+    relation_groups_ = std::move(groups);
+  }
   profiling::count_event(profiling::Counter::kPlanCompiles);
 }
 
@@ -121,6 +146,13 @@ CompiledBatch::relation_indices() const {
   SPTX_CHECK(relation_indices_ != nullptr,
              "plan compiled without relation indices");
   return relation_indices_;
+}
+
+const std::shared_ptr<const RelationGroups>& CompiledBatch::relation_groups()
+    const {
+  SPTX_CHECK(relation_groups_ != nullptr,
+             "plan compiled without relation groups");
+  return relation_groups_;
 }
 
 std::shared_ptr<const CompiledBatch> PlanCache::find(Key key) const {

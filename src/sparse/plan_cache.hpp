@@ -36,6 +36,19 @@
 
 namespace sptx::sparse {
 
+/// Batch rows grouped by relation id — the execution order of the fused
+/// TransR kernel's relation-blocked batched-GEMM. Group k covers
+/// order[offsets[k] .. offsets[k+1]) (row indices into the batch), all of
+/// which share relation rels[k], so the relation's projection panel is
+/// loaded once per group instead of once per row. Built at plan compilation
+/// and cached with the CompiledBatch, it costs nothing on the epochs a
+/// PlanCache serves.
+struct RelationGroups {
+  std::vector<index_t> order;    // batch row ids, grouped by relation
+  std::vector<index_t> offsets;  // group k = order[offsets[k], offsets[k+1])
+  std::vector<index_t> rels;     // relation id of each group
+};
+
 /// Which incidence structures a model's forward pass consumes. Declared by
 /// the model (ScoringCoreModel::recipe), executed by CompiledBatch::compile.
 struct ScoringRecipe {
@@ -46,6 +59,7 @@ struct ScoringRecipe {
   bool tail_selection = false;      // build_entity_selection_csr(kTail)
   bool shared_triplets = false;     // semiring kernels take the batch itself
   bool relation_indices = false;    // relation_project's per-row index vector
+  bool relation_groups = false;     // fused TransR's relation-grouped order
   /// Embedding width the incidence will multiply — used only to decide
   /// whether the backward pass would take the cached-transpose path, in
   /// which case compile() pre-builds the transpose off the hot path.
@@ -89,6 +103,15 @@ class CompiledBatch {
   const std::shared_ptr<const Csr>& tail_selection() const;
   const std::shared_ptr<const std::vector<Triplet>>& shared_triplets() const;
   const std::shared_ptr<const std::vector<index_t>>& relation_indices() const;
+  const std::shared_ptr<const RelationGroups>& relation_groups() const;
+
+  /// The owned triplet vector when this plan copied its batch, null when it
+  /// views caller storage. The fused kernels capture this in their autograd
+  /// nodes so plan-owned triplets survive until backward even if the plan
+  /// itself is released.
+  const std::shared_ptr<const std::vector<Triplet>>& owned_triplets() const {
+    return owned_;
+  }
 
  private:
   CompiledBatch() = default;
@@ -103,6 +126,7 @@ class CompiledBatch {
   std::shared_ptr<const Csr> head_selection_;
   std::shared_ptr<const Csr> tail_selection_;
   std::shared_ptr<const std::vector<index_t>> relation_indices_;
+  std::shared_ptr<const RelationGroups> relation_groups_;
 };
 
 /// Keyed store of compiled plans with explicit invalidation. Thread-safe:

@@ -1,10 +1,24 @@
 #include "src/tensor/workspace.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 
+#include "src/common/error.hpp"
 #include "src/tensor/memory_tracker.hpp"
 
 namespace sptx {
+
+namespace {
+// Every pooled buffer must keep the 64-byte (cache-line / AVX) alignment
+// Matrix::allocate established — the fused kernels and the SpMM engine rely
+// on aligned base pointers for their vector loads. Checked at the pool
+// boundary so a foreign buffer can never poison the recycle path.
+constexpr std::size_t kPoolAlignment = 64;
+
+bool aligned(const float* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kPoolAlignment == 0;
+}
+}  // namespace
 
 Workspace& Workspace::instance() {
   static Workspace ws;
@@ -42,6 +56,8 @@ std::optional<Workspace::Buffer> Workspace::acquire(std::size_t padded_bytes) {
 }
 
 bool Workspace::release(Buffer buffer, std::size_t padded_bytes) {
+  SPTX_CHECK(aligned(buffer.data),
+             "Workspace::release: buffer not 64-byte aligned");
   std::lock_guard<std::mutex> lock(mu_);
   if (depth_ == 0) return false;
   pool_[padded_bytes].push_back(buffer);

@@ -4,6 +4,8 @@
 // batch has warmed the pool.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/kg/synthetic.hpp"
 #include "src/models/model.hpp"
 #include "src/tensor/matrix.hpp"
@@ -65,6 +67,28 @@ TEST(Workspace, PooledBuffersCountAsLiveUntilDrain) {
     EXPECT_GE(stats.cached_buffers, 1);
   }
   EXPECT_EQ(tracker.current(), live_before);
+}
+
+TEST(Workspace, AllBuffersFreshAndRecycledAre64ByteAligned) {
+  // The fused kernels and the SpMM engine assume cache-line/AVX alignment
+  // of every Matrix base pointer — including buffers that went through the
+  // pool. Odd shapes force several padded size classes.
+  const auto aligned = [](const float* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+  };
+  ScopedWorkspace ws;
+  for (index_t rows : {1, 3, 7, 32}) {
+    for (index_t cols : {1, 5, 12, 17, 128}) {
+      const Matrix fresh(rows, cols);
+      EXPECT_TRUE(aligned(fresh.data())) << rows << "x" << cols;
+    }
+  }
+  // Recycled path: the second allocation of a size class comes from the
+  // pool and must preserve the alignment of the original allocation.
+  { Matrix warm(9, 33); }
+  Matrix recycled(9, 33);
+  EXPECT_TRUE(aligned(recycled.data()));
+  EXPECT_GE(Workspace::instance().stats().hits, 1);
 }
 
 TEST(Workspace, NestedScopesDrainOnlyAtOutermostExit) {
