@@ -1,7 +1,10 @@
 #include "src/api/engine.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "src/common/fault.hpp"
 #include "src/models/checkpoint.hpp"
 
 namespace sptx {
@@ -10,6 +13,8 @@ Engine::Engine(const Options& options) : config_(RuntimeConfig::from_env()) {
   for (const auto& [name, value] : options.config_overrides)
     config_.set(name, value);
   if (options.install_process_config) config::install(config_);
+  // Pick up SPTX_FAULT_SPEC/SPTX_FAULT_SEED for env-driven fault drills.
+  fault::init_from_config();
 }
 
 models::KgeModel& Engine::create_model(const ModelSpec& spec,
@@ -118,8 +123,76 @@ std::shared_ptr<const models::KgeModel> Engine::freeze() {
 
 std::shared_ptr<serve::InferenceSession> Engine::open_session(
     const serve::SessionOptions& options) {
-  return std::make_shared<serve::InferenceSession>(
+  auto session = std::make_shared<serve::InferenceSession>(
       freeze(), serve::resolve(options, config_));
+  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                 [](const auto& w) { return w.expired(); }),
+                  sessions_.end());
+  sessions_.push_back(session);
+  return session;
+}
+
+namespace {
+
+void json_escape_into(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+std::string Engine::health_json() const {
+  // Aggregate serving traffic over the sessions still alive.
+  int live = 0;
+  serve::SessionStats total;
+  for (const auto& weak : sessions_) {
+    if (auto session = weak.lock()) {
+      ++live;
+      const serve::SessionStats s = session->stats();
+      total.queries += s.queries;
+      total.triplets_scored += s.triplets_scored;
+      total.rejected += s.rejected;
+      total.batcher.rejected_queue_full += s.batcher.rejected_queue_full;
+      total.batcher.rejected_deadline += s.batcher.rejected_deadline;
+      total.batcher.shed_expired += s.batcher.shed_expired;
+      total.batcher.batches_executed += s.batcher.batches_executed;
+      total.batcher.coalesced_requests += s.batcher.coalesced_requests;
+    }
+  }
+  const bool faults = fault::active();
+  const bool degraded =
+      faults || total.rejected > 0 || total.batcher.rejected_queue_full > 0 ||
+      total.batcher.rejected_deadline > 0;
+
+  std::ostringstream out;
+  out << "{\n  \"status\": \"" << (degraded ? "degraded" : "ok") << "\",\n";
+  out << "  \"model\": {\"loaded\": " << (model_ ? "true" : "false");
+  if (model_) {
+    out << ", \"family\": \"";
+    json_escape_into(out, spec_.family);
+    out << "\", \"framework\": \"";
+    json_escape_into(out, spec_.framework);
+    out << "\", \"entities\": " << num_entities_
+        << ", \"relations\": " << num_relations_;
+  }
+  out << "},\n";
+  out << "  \"fault_injection\": {\"active\": " << (faults ? "true" : "false")
+      << ", \"spec\": \"";
+  json_escape_into(out, fault::spec());
+  out << "\"},\n";
+  out << "  \"serving\": {\"sessions_open\": " << live
+      << ", \"queries\": " << total.queries
+      << ", \"triplets_scored\": " << total.triplets_scored
+      << ", \"rejected\": " << total.rejected
+      << ", \"rejected_queue_full\": " << total.batcher.rejected_queue_full
+      << ", \"rejected_deadline\": " << total.batcher.rejected_deadline
+      << ", \"shed_expired\": " << total.batcher.shed_expired
+      << ", \"batches_executed\": " << total.batcher.batches_executed
+      << ", \"coalesced_requests\": " << total.batcher.coalesced_requests
+      << "}\n}";
+  return out.str();
 }
 
 }  // namespace sptx

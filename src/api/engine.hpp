@@ -123,6 +123,15 @@ class Engine {
   /// own serving layer.
   std::shared_ptr<const models::KgeModel> freeze();
 
+  // ---- health -------------------------------------------------------------
+  /// One-call operational health surface as JSON: model state, the fault-
+  /// injection harness (active + spec), and aggregate serving traffic over
+  /// every live session this engine opened (queries, scored triplets, and
+  /// the graceful-degradation counters — queue-full and deadline
+  /// rejections). `status` is "ok", or "degraded" once load has been shed
+  /// or a fault spec is installed. The `sptx health` CLI prints this.
+  std::string health_json() const;
+
  private:
   RuntimeConfig config_;
   ModelSpec spec_;
@@ -134,6 +143,10 @@ class Engine {
   /// triplets) — evaluating a different or mutated dataset drops the cache.
   std::unique_ptr<sparse::PlanCache> eval_plans_;
   std::uint64_t eval_fingerprint_ = 0;
+  /// Sessions opened by this engine, for the health surface. Weak — the
+  /// engine never extends a session's lifetime; dead entries are pruned on
+  /// the next open_session().
+  mutable std::vector<std::weak_ptr<serve::InferenceSession>> sessions_;
 };
 
 }  // namespace sptx

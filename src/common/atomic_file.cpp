@@ -1,0 +1,98 @@
+#include "src/common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/error.hpp"
+#include "src/common/fault.hpp"
+
+namespace sptx {
+
+namespace {
+
+/// fsync an already-open descriptor, retrying on EINTR.
+int fsync_retry(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+/// Open + fsync + close a path (used for both the temp file after the
+/// buffered stream is closed, and the parent directory after rename).
+/// When `required` is false an unopenable path is silently skipped — some
+/// filesystems refuse O_RDONLY on directories, and a non-durable rename
+/// beats a failed checkpoint there.
+void fsync_path(const std::string& path, int open_flags,
+                bool required = true) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), open_flags);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0 && !required) return;
+  SPTX_CHECK_CODE(fd >= 0, ErrorCode::kIo,
+                  "open for fsync failed: " << path << " ("
+                                            << std::strerror(errno) << ")");
+  const int rc = fsync_retry(fd);
+  const int saved = errno;
+  ::close(fd);
+  SPTX_CHECK_CODE(rc == 0, ErrorCode::kIo,
+                  "fsync failed: " << path << " (" << std::strerror(saved)
+                                   << ")");
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp." + std::to_string(::getpid())),
+      out_(tmp_path_, std::ios::binary | std::ios::trunc) {
+  SPTX_CHECK_CODE(out_.good(), ErrorCode::kIo,
+                  "cannot open temp file for atomic write: " << tmp_path_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFileWriter::commit() {
+  SPTX_CHECK(!committed_, "AtomicFileWriter::commit called twice");
+  out_.flush();
+  SPTX_CHECK_CODE(out_.good(), ErrorCode::kIo,
+                  "write to temp file failed: " << tmp_path_);
+  out_.close();
+  SPTX_CHECK_CODE(!out_.fail(), ErrorCode::kIo,
+                  "close of temp file failed: " << tmp_path_);
+
+  // The payload is fully on its way to disk but the destination is still
+  // the previous complete file: this is the injection point a mid-write
+  // crash or I/O error exercises. A kill here must leave the old
+  // checkpoint loadable; a thrown fault must leave it untouched (the
+  // destructor unlinks the temp).
+  fault::maybe_fail("checkpoint_write");
+
+  fsync_path(tmp_path_, O_WRONLY);
+  SPTX_CHECK_CODE(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
+                  ErrorCode::kIo,
+                  "rename " << tmp_path_ << " -> " << path_ << " failed ("
+                            << std::strerror(errno) << ")");
+  committed_ = true;
+
+  // Make the rename itself durable. A directory that cannot be opened
+  // read-only (exotic filesystems) degrades to a non-durable rename rather
+  // than a failed checkpoint, so only real fsync errors propagate.
+  const std::string dir =
+      std::filesystem::path(path_).parent_path().string();
+  fsync_path(dir.empty() ? "." : dir, O_RDONLY, /*required=*/false);
+}
+
+}  // namespace sptx

@@ -1,0 +1,54 @@
+// Crash-safe file replacement: write to a temp file in the target
+// directory, fsync, rename over the destination, fsync the directory.
+//
+// Every checkpoint writer in the tree goes through this class so that a
+// crash (power loss, SIGKILL, injected fault) at ANY point leaves either
+// the previous complete file or the new complete file — never a truncated
+// hybrid. The historical `ofstream(path)` save truncated the good
+// checkpoint first and filled it back in, which is exactly the window the
+// kill-and-resume test slams.
+//
+// Usage:
+//   AtomicFileWriter w(path);
+//   w.stream() << payload;   // buffered writes to <path>.tmp.<pid>
+//   w.commit();              // flush + fsync + rename + fsync(dir)
+//
+// If commit() is never reached (exception, early return), the destructor
+// unlinks the temp file and the destination is untouched.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace sptx {
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp.<pid>` for writing. Throws Error{kIo} on failure.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Abandons the write: closes and unlinks the temp file unless commit()
+  /// already ran.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The buffered output stream for the payload.
+  std::ofstream& stream() { return out_; }
+
+  /// Flush + fsync the temp file, rename it over the destination, fsync the
+  /// containing directory so the rename itself is durable. Throws
+  /// Error{kIo} on any failure (the temp file is cleaned up, the
+  /// destination keeps its previous content). Honors the
+  /// "checkpoint_write" fault-injection site before the rename.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace sptx

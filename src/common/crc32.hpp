@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// checkpoint format embeds so a truncated or bit-flipped file is rejected
+// instead of silently loading garbage parameters.
+//
+// Header-only, table-driven, one byte per step: checkpoint payloads are a
+// few MB written once per epoch at most, so throughput is irrelevant next
+// to the fsync that follows. The table is built at compile time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sptx {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC-32: pass the previous return value as `crc` to extend a
+/// running checksum over multiple buffers. Start from the default 0.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t crc = 0) {
+  return crc32(s.data(), s.size(), crc);
+}
+
+}  // namespace sptx

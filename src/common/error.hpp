@@ -4,6 +4,12 @@
 // indices) so that library users get actionable messages instead of UB.
 // SPTX_CHECK is always on (the conditions it guards are O(1)); the
 // hot inner kernels use SPTX_DCHECK which compiles away in release builds.
+//
+// Every Error carries an ErrorCode — a small taxonomy the fault-tolerance
+// layer dispatches on (is this a corrupt checkpoint? an injected fault? a
+// dead DDP worker?) where matching on what() substrings would be brittle.
+// SPTX_CHECK throws kPrecondition; I/O and recovery paths throw typed codes
+// via throw_error()/SPTX_CHECK_CODE.
 #pragma once
 
 #include <sstream>
@@ -12,19 +18,69 @@
 
 namespace sptx {
 
+/// The library's error taxonomy. Codes are stable identifiers callers may
+/// dispatch on; the message is for humans.
+enum class ErrorCode {
+  kPrecondition,       // violated API contract (the SPTX_CHECK default)
+  kIo,                 // filesystem / mmap / fd failure
+  kCorruptCheckpoint,  // bad magic, truncation, CRC mismatch, version skew
+  kDataFormat,         // malformed dataset / streaming-store file
+  kDeadlineExceeded,   // request missed its serving deadline
+  kQueueFull,          // bounded serving queue rejected the request
+  kWorkerFailed,       // a DDP worker died and recovery was exhausted
+  kFaultInjected,      // raised by the deterministic fault harness
+};
+
+const char* to_string(ErrorCode code);
+
 /// Exception thrown on any violated precondition inside the library.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kPrecondition)
+      : std::runtime_error("[" + std::string(to_string(code)) + "] " + what),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kPrecondition:
+      return "precondition";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kCorruptCheckpoint:
+      return "corrupt_checkpoint";
+    case ErrorCode::kDataFormat:
+      return "data_format";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kQueueFull:
+      return "queue_full";
+    case ErrorCode::kWorkerFailed:
+      return "worker_failed";
+    case ErrorCode::kFaultInjected:
+      return "fault_injected";
+  }
+  return "?";
+}
+
+[[noreturn]] inline void throw_error(ErrorCode code, const std::string& msg) {
+  throw Error(msg, code);
+}
 
 namespace detail {
 [[noreturn]] inline void fail(const char* cond, const char* file, int line,
-                              const std::string& msg) {
+                              const std::string& msg,
+                              ErrorCode code = ErrorCode::kPrecondition) {
   std::ostringstream os;
   os << "sptx check failed: (" << cond << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), code);
 }
 }  // namespace detail
 
@@ -35,6 +91,16 @@ namespace detail {
     if (!(cond)) {                                                  \
       ::sptx::detail::fail(#cond, __FILE__, __LINE__,               \
                            (std::ostringstream{} << msg).str());    \
+    }                                                               \
+  } while (0)
+
+/// SPTX_CHECK with a typed ErrorCode (I/O validation, checkpoint parsing).
+#define SPTX_CHECK_CODE(cond, code, msg)                            \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sptx::detail::fail(#cond, __FILE__, __LINE__,               \
+                           (std::ostringstream{} << msg).str(),     \
+                           (code));                                 \
     }                                                               \
   } while (0)
 

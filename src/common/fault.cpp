@@ -1,0 +1,201 @@
+#include "src/common/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/runtime_config.hpp"
+
+namespace sptx::fault {
+
+namespace {
+
+enum class Mode { kFailOnce, kFail, kEio, kKill, kDie };
+
+struct Rule {
+  std::string site;
+  Mode mode = Mode::kFailOnce;
+  std::int64_t n = 1;          // fail_once/fail/kill: the trigger hit (1-based)
+  double p = 0.0;              // eio: per-hit probability
+  std::int64_t ctx_a = -1;     // die: required ctx_a
+  std::int64_t ctx_b = -1;     // die: required ctx_b (-1 = any)
+  bool has_ctx_b = false;
+  std::atomic<std::int64_t> hits{0};
+  std::atomic<bool> fired{false};  // fail_once: already consumed
+};
+
+struct Harness {
+  std::string spec_text;
+  std::uint64_t seed = 0;
+  std::vector<std::unique_ptr<Rule>> rules;
+};
+
+std::mutex g_mu;
+std::shared_ptr<Harness> g_harness;          // guarded by g_mu for writes
+std::atomic<bool> g_active{false};           // fast-path gate
+std::atomic<bool> g_config_checked{false};   // init_from_config ran once
+
+std::shared_ptr<Harness> snapshot() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_harness;
+}
+
+/// SplitMix64 — mixes (seed, site hash, hit index) into the eio decision so
+/// the same spec + seed faults exactly the same hits in every run.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  return h;
+}
+
+std::int64_t parse_i64(std::string_view text, std::string_view spec) {
+  const std::string s(text);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  SPTX_CHECK(end == s.c_str() + s.size() && !s.empty(),
+             "bad integer '" << text << "' in fault spec '" << spec << "'");
+  return static_cast<std::int64_t>(v);
+}
+
+std::unique_ptr<Rule> parse_rule(std::string_view text,
+                                 std::string_view full_spec) {
+  auto rule = std::make_unique<Rule>();
+  const std::size_t colon = text.find(':');
+  SPTX_CHECK(colon != std::string_view::npos && colon > 0,
+             "fault rule '" << text << "' is not site:mode[@args]");
+  rule->site = std::string(text.substr(0, colon));
+  std::string_view rest = text.substr(colon + 1);
+  const std::size_t at = rest.find('@');
+  const std::string_view mode = rest.substr(0, at);
+  std::string_view args =
+      at == std::string_view::npos ? std::string_view{} : rest.substr(at + 1);
+  if (mode == "fail_once" || mode == "fail" || mode == "kill") {
+    rule->mode = mode == "fail_once" ? Mode::kFailOnce
+                 : mode == "fail"    ? Mode::kFail
+                                     : Mode::kKill;
+    rule->n = args.empty() ? 1 : parse_i64(args, full_spec);
+    SPTX_CHECK(rule->n >= 1, "fault rule '" << text << "': hit index must "
+                                            << "be >= 1");
+  } else if (mode == "eio") {
+    rule->mode = Mode::kEio;
+    SPTX_CHECK(!args.empty(), "fault rule '" << text << "': eio needs @P");
+    const std::string s(args);
+    char* end = nullptr;
+    rule->p = std::strtod(s.c_str(), &end);
+    SPTX_CHECK(end == s.c_str() + s.size() && rule->p >= 0.0 && rule->p <= 1.0,
+               "fault rule '" << text << "': eio probability must be in "
+                              << "[0, 1]");
+  } else if (mode == "die") {
+    rule->mode = Mode::kDie;
+    SPTX_CHECK(!args.empty(), "fault rule '" << text << "': die needs @A[:B]");
+    const std::size_t sep = args.find(':');
+    rule->ctx_a = parse_i64(args.substr(0, sep), full_spec);
+    if (sep != std::string_view::npos) {
+      rule->ctx_b = parse_i64(args.substr(sep + 1), full_spec);
+      rule->has_ctx_b = true;
+    }
+  } else {
+    SPTX_CHECK(false, "fault rule '" << text << "': unknown mode '" << mode
+                                     << "' (fail_once|fail|eio|kill|die)");
+  }
+  return rule;
+}
+
+bool rule_fires(Rule& rule, std::uint64_t seed, std::int64_t ctx_a,
+                std::int64_t ctx_b) {
+  const std::int64_t hit = rule.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  switch (rule.mode) {
+    case Mode::kFailOnce: {
+      if (hit != rule.n) return false;
+      bool expected = false;
+      return rule.fired.compare_exchange_strong(expected, true);
+    }
+    case Mode::kFail:
+      return hit >= rule.n;
+    case Mode::kEio: {
+      const std::uint64_t h =
+          mix(seed ^ fnv1a(rule.site) ^ static_cast<std::uint64_t>(hit));
+      return (static_cast<double>(h >> 11) * 0x1.0p-53) < rule.p;
+    }
+    case Mode::kKill:
+      if (hit != rule.n) return false;
+      // A simulated SIGKILL: no destructors, no stream flush, no atexit.
+      // 137 = 128 + SIGKILL, what a shell reports for a real kill -9.
+      std::_Exit(137);
+    case Mode::kDie:
+      return ctx_a == rule.ctx_a && (!rule.has_ctx_b || ctx_b == rule.ctx_b);
+  }
+  return false;
+}
+
+}  // namespace
+
+void install(std::string_view spec, std::uint64_t seed) {
+  auto harness = std::make_shared<Harness>();
+  harness->spec_text = std::string(spec);
+  harness->seed = seed;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view rule = rest.substr(0, comma);
+    if (!rule.empty()) harness->rules.push_back(parse_rule(rule, spec));
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_harness = harness->rules.empty() ? nullptr : std::move(harness);
+  g_active.store(g_harness != nullptr, std::memory_order_release);
+  g_config_checked.store(true, std::memory_order_release);
+}
+
+void clear() { install("", 0); }
+
+bool active() { return g_active.load(std::memory_order_acquire); }
+
+std::string spec() {
+  if (!active()) return {};
+  const auto h = snapshot();
+  return h ? h->spec_text : std::string{};
+}
+
+bool should_fail(std::string_view site, std::int64_t ctx_a,
+                 std::int64_t ctx_b) {
+  if (!active()) return false;
+  const auto h = snapshot();
+  if (!h) return false;
+  bool fires = false;
+  for (const auto& rule : h->rules)
+    if (rule->site == site)
+      fires = rule_fires(*rule, h->seed, ctx_a, ctx_b) || fires;
+  return fires;
+}
+
+void maybe_fail(std::string_view site, std::int64_t ctx_a,
+                std::int64_t ctx_b) {
+  if (should_fail(site, ctx_a, ctx_b))
+    throw_error(ErrorCode::kFaultInjected,
+                "injected fault at site '" + std::string(site) + "'");
+}
+
+void init_from_config() {
+  if (g_config_checked.load(std::memory_order_acquire)) return;
+  const auto rc = config::current();
+  const std::string spec = rc->value_or("SPTX_FAULT_SPEC", "");
+  const auto seed =
+      static_cast<std::uint64_t>(rc->int_or("SPTX_FAULT_SEED", 0));
+  // install() sets g_config_checked; harmless if two threads race here —
+  // both install the same spec.
+  install(spec, seed);
+}
+
+}  // namespace sptx::fault

@@ -1,0 +1,71 @@
+// Deterministic fault injection — every failure mode the fault-tolerance
+// layer claims to survive is exercised by ctest, not hoped-for.
+//
+// A fault spec is a comma-separated list of `site:mode[@args]` rules bound
+// to named call sites threaded through the tree:
+//
+//   checkpoint_write   AtomicFileWriter::commit, before the rename
+//   mmap_read          StreamingTripletStore open + slice
+//   ddp_worker         per-shard inside train_ddp workers (ctx = epoch, worker)
+//   serve_queue        MicroBatcher enqueue
+//
+// Modes:
+//   fail_once@N   throw Error{kFaultInjected} on the N-th hit of the site
+//                 (1-based), exactly once
+//   fail@N        throw on every hit from the N-th on
+//   eio@P         throw with probability P per hit — deterministic: the
+//                 decision is a hash of (seed, site, hit index), so the same
+//                 spec + seed faults the same hits in every run
+//   kill@N        `_Exit(137)` on the N-th hit: a simulated SIGKILL for
+//                 crash-safety tests (no destructors, no atexit, no flush)
+//   die@A[:B]     throw when the caller-supplied context matches (A matches
+//                 ctx_a, B — when present — matches ctx_b); used as
+//                 `ddp_worker:die@<epoch>:<worker>`
+//
+// Example: SPTX_FAULT_SPEC="checkpoint_write:fail_once@3,ddp_worker:die@2:1,
+// mmap_read:eio@0.01" SPTX_FAULT_SEED=42.
+//
+// The harness is process-global (installed programmatically via install()
+// or lazily from the SPTX_FAULT_SPEC / SPTX_FAULT_SEED registry knobs) and
+// thread-safe; hit counters are atomic. When no spec is installed the cost
+// of a site is one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sptx::fault {
+
+/// Parse and install a fault spec. An empty spec clears the harness.
+/// Throws Error{kPrecondition} on a malformed spec. Resets all hit
+/// counters.
+void install(std::string_view spec, std::uint64_t seed = 0);
+
+/// Remove all rules and counters.
+void clear();
+
+/// True when any rule is installed (one relaxed atomic load).
+bool active();
+
+/// The installed spec text ("" when inactive) — surfaced by health/stats.
+std::string spec();
+
+/// Count a hit of `site` and report whether an installed rule fires.
+/// `kill` rules _Exit(137) directly and do not return. `ctx_a`/`ctx_b` are
+/// matched by `die` rules (pass the epoch / worker index, batch ordinal,
+/// etc. — -1 means "no context", which `die` never matches).
+bool should_fail(std::string_view site, std::int64_t ctx_a = -1,
+                 std::int64_t ctx_b = -1);
+
+/// should_fail + throw Error{kFaultInjected} naming the site.
+void maybe_fail(std::string_view site, std::int64_t ctx_a = -1,
+                std::int64_t ctx_b = -1);
+
+/// Lazily install from the process RuntimeConfig (SPTX_FAULT_SPEC /
+/// SPTX_FAULT_SEED) if install() has never been called. Called by the
+/// subsystems that host sites (Engine, trainer, streaming store) at entry
+/// so plain env-driven runs pick the spec up without code changes.
+void init_from_config();
+
+}  // namespace sptx::fault

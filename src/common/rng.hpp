@@ -6,6 +6,7 @@
 // (Appendix E averages 9 seeds).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace sptx {
@@ -59,6 +60,15 @@ class Rng {
 
   /// Derive an independent stream (e.g. one per worker thread).
   Rng split() { return Rng(next_u64() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+  /// Snapshot / restore the full generator state — what a training
+  /// checkpoint persists so a resumed run continues the exact stream.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

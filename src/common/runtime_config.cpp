@@ -69,6 +69,35 @@ constexpr ConfigSpec kSpecs[] = {
      "Override SessionOptions::max_cached_plans: resident-plan cap for the "
      "per-session candidate cache (each plan stages num_entities "
      "triplets)."},
+    {"SPTX_SERVE_QUEUE_LIMIT", ConfigType::kInt, "",
+     "Override SessionOptions::queue_limit: bounded micro-batch queue depth "
+     "in triplets; arrivals beyond it are rejected with kQueueFull "
+     "(0 = unbounded, the historical behavior)."},
+    {"SPTX_SERVE_CONCURRENCY", ConfigType::kInt, "",
+     "Override SessionOptions::max_concurrency: cap on simultaneous "
+     "underlying score() executions behind the micro-batch queue "
+     "(0 = unbounded)."},
+    {"SPTX_SERVE_DEADLINE_US", ConfigType::kInt, "",
+     "Override SessionOptions::deadline_us: default per-request deadline; "
+     "requests that cannot start scoring in time are shed with kDeadline "
+     "(0 = no deadline)."},
+    {"SPTX_CHECKPOINT_EVERY", ConfigType::kInt, "",
+     "Override TrainConfig/DdpConfig::checkpoint_every: write a crash-safe "
+     "training checkpoint every N epochs (0 = off)."},
+    {"SPTX_CHECKPOINT_KEEP", ConfigType::kInt, "",
+     "Override TrainConfig/DdpConfig::checkpoint_keep: retain the last N "
+     "rotated checkpoints (0 = keep all)."},
+    {"SPTX_DDP_RETRIES", ConfigType::kInt, "",
+     "Override DdpConfig::max_worker_retries: how many times a batch "
+     "re-runs a failed worker's shards before aborting with a checkpoint "
+     "flush."},
+    {"SPTX_FAULT_SPEC", ConfigType::kString, "",
+     "Deterministic fault-injection spec, comma-separated site:mode[@args] "
+     "rules (see src/common/fault.hpp), e.g. "
+     "'checkpoint_write:fail_once@3,ddp_worker:die@2:1,mmap_read:eio@0.01'."},
+    {"SPTX_FAULT_SEED", ConfigType::kInt, "",
+     "Seed for probabilistic (eio) fault-injection rules; the same spec + "
+     "seed faults the same hits in every run."},
 };
 
 bool iequals(std::string_view a, std::string_view b) {
@@ -109,6 +138,8 @@ bool validates(const ConfigSpec& spec, std::string_view text) {
       }
       return false;
     }
+    case ConfigType::kString:
+      return true;  // free-form; the consumer validates (fault::install)
   }
   return false;
 }
@@ -293,6 +324,16 @@ std::string RuntimeConfig::to_json() const {
         case ConfigType::kEnum:
           os << "\"" << to_lower(text) << "\"";
           break;
+        case ConfigType::kString: {
+          os << "\"";
+          for (char c : text)
+            if (c == '"' || c == '\\')
+              os << '\\' << c;
+            else
+              os << c;
+          os << "\"";
+          break;
+        }
       }
     }
     os << ", \"origin\": \"" << to_string(e.origin) << "\"}";

@@ -47,6 +47,7 @@ enum class ConfigType {
   kInt,     // integer (leading numeric prefix accepted, like strtol)
   kDouble,  // floating point
   kEnum,    // one of the spec's pipe-separated choices, case-insensitive
+  kString,  // free-form text (fault specs, paths); any value validates
 };
 
 /// One registered knob. The table is pure data — adding a knob means adding

@@ -5,13 +5,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/simd.hpp"
 #include "src/kg/negative_sampler.hpp"
+#include "src/models/checkpoint.hpp"
+#include "src/models/snapshot.hpp"
 #include "src/profiling/counters.hpp"
 #include "src/sparse/incidence.hpp"
 
@@ -145,6 +149,12 @@ DdpConfig resolve(const DdpConfig& config, const RuntimeConfig& rc) {
   resolved.shard_size = static_cast<index_t>(
       rc.int_or("SPTX_DDP_SHARD", config.shard_size));
   resolved.plan_cache = rc.flag_or("SPTX_DDP_PLAN_CACHE", config.plan_cache);
+  resolved.max_worker_retries = static_cast<int>(
+      rc.int_or("SPTX_DDP_RETRIES", config.max_worker_retries));
+  resolved.checkpoint_every = static_cast<int>(
+      rc.int_or("SPTX_CHECKPOINT_EVERY", config.checkpoint_every));
+  resolved.checkpoint_keep = static_cast<int>(
+      rc.int_or("SPTX_CHECKPOINT_KEEP", config.checkpoint_keep));
   return resolved;
 }
 
@@ -155,6 +165,9 @@ DdpResult train_ddp(
   const DdpConfig res = resolve(config, rc);
   SPTX_CHECK(data.valid() && !data.empty(), "empty training set");
   SPTX_CHECK(res.batch_size > 0 && res.epochs >= 0, "bad ddp config");
+  SPTX_CHECK(res.checkpoint_every <= 0 || !res.checkpoint_path.empty(),
+             "checkpoint_every > 0 needs a checkpoint_path");
+  fault::init_from_config();
   const int p = res.workers;
   SPTX_CHECK(p >= 1, "need at least one worker");
   index_t shard_size = res.shard_size;
@@ -205,6 +218,34 @@ DdpResult train_ddp(
   DdpResult result;
   result.workers = p;
   result.shard_size = shard_size;
+
+  // Resume: restore replica 0 from the checkpoint, broadcast to the other
+  // replicas, and skip the completed epochs. DDP epochs are self-contained
+  // (data_rng reseeds from config.seed + 1 every epoch), so parameters +
+  // epoch cursor reproduce the uninterrupted trajectory exactly.
+  int start_epoch = 0;
+  if (!res.resume_from.empty()) {
+    std::string path = res.resume_from;
+    if (!std::filesystem::exists(path)) {
+      const auto found = models::latest_checkpoint(res.resume_from);
+      SPTX_CHECK_CODE(found.has_value(), ErrorCode::kIo,
+                      "no checkpoint found at '" << res.resume_from
+                                                 << "' (or rotations "
+                                                 << res.resume_from
+                                                 << ".ep<N>)");
+      path = found->path;
+    }
+    models::TrainCheckpointState st =
+        models::load_train_checkpoint(*replicas[0], path);
+    for (int w = 1; w < p; ++w)
+      models::copy_parameters(*replicas[0],
+                              *replicas[static_cast<std::size_t>(w)]);
+    result.epoch_loss = std::move(st.epoch_loss);
+    start_epoch = st.next_epoch;
+    result.start_epoch = start_epoch;
+  }
+  // Worker-failure recovery budget for the whole run.
+  int retries_left = res.max_worker_retries;
   const profiling::CounterWindow shards_window(
       profiling::Counter::kDdpShards);
   const profiling::CounterWindow rows_window(
@@ -215,7 +256,7 @@ DdpResult train_ddp(
       profiling::Counter::kIncidenceBuilds);
   const auto t0 = profiling::clock::now();
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     const auto epoch_start = profiling::clock::now();
     // Re-seeding per epoch pins the negatives to the epoch-0 stream — the
     // paper's pregenerate-once protocol without an O(dataset) buffer, and
@@ -241,11 +282,16 @@ DdpResult train_ddp(
       // Workers: forward + backward per shard through the compiled-batch
       // pipeline, harvesting each shard's sparse gradient as they go.
       // Static round-robin assignment; the reduction below is ordered by
-      // shard index, so the assignment never affects the result.
-      auto run_worker = [&](int w) {
+      // shard index, so the assignment never affects the result — which is
+      // also what makes recovery exact: a failed worker's shards can re-run
+      // anywhere and reduce into the same positions.
+      auto run_shard = [&](int w, index_t s) {
         const auto wi = static_cast<std::size_t>(w);
+        // Injected worker death: `ddp_worker:die@<epoch>:<worker>` (or
+        // kill@N for a hard crash) fires here, before the shard computes.
+        fault::maybe_fail("ddp_worker", epoch, w);
         sparse::PlanCache* cache = use_cache ? caches[wi].get() : nullptr;
-        for (index_t s = w; s < num_shards; s += p) {
+        {
           const index_t s_begin = s * shard_size;
           const index_t n_s = std::min<index_t>(shard_size, count - s_begin);
           const std::span<const Triplet> pos =
@@ -301,10 +347,15 @@ DdpResult train_ddp(
           }
         }
       };
+      auto run_worker = [&](int w) {
+        for (index_t s = w; s < num_shards; s += p) run_shard(w, s);
+      };
       {
         // Worker exceptions (bad_alloc compiling a plan, a failed
-        // SPTX_CHECK) are captured and rethrown here so they surface like
-        // single-threaded errors instead of terminating the process.
+        // SPTX_CHECK, an injected ddp_worker fault) are captured at the
+        // join so they surface like single-threaded errors instead of
+        // terminating the process — or, while the retry budget lasts, get
+        // repaired in place.
         std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
         std::vector<std::thread> threads;
         threads.reserve(static_cast<std::size_t>(p - 1));
@@ -318,8 +369,66 @@ DdpResult train_ddp(
         for (int w = 1; w < p; ++w) threads.emplace_back(guarded, w);
         guarded(0);  // the driving thread is worker 0
         for (auto& t : threads) t.join();
-        for (const auto& err : errors)
-          if (err) std::rethrow_exception(err);
+
+        // Clean abort: flush the (consistent — a batch's update is
+        // all-or-nothing) parameters so nothing is lost, then raise the
+        // typed error. Never hangs: all threads are already joined.
+        auto abort_run = [&](const std::exception_ptr& cause) {
+          std::string why = "unknown error";
+          try {
+            std::rethrow_exception(cause);
+          } catch (const std::exception& e) {
+            why = e.what();
+          } catch (...) {
+          }
+          std::string flushed;
+          if (!res.checkpoint_path.empty()) {
+            flushed = res.checkpoint_path + ".abort";
+            models::save_checkpoint(*replicas[0], flushed);
+          }
+          throw_error(ErrorCode::kWorkerFailed,
+                      "ddp worker failed and the retry budget is exhausted"
+                      " — aborting epoch " +
+                          std::to_string(epoch) +
+                          (flushed.empty()
+                               ? std::string()
+                               : "; parameters flushed to " + flushed) +
+                          "; cause: " + why);
+        };
+
+        std::exception_ptr first_error;
+        int failed = 0;
+        for (int w = 0; w < p; ++w) {
+          if (!errors[static_cast<std::size_t>(w)]) continue;
+          ++failed;
+          if (!first_error) first_error = errors[static_cast<std::size_t>(w)];
+        }
+        if (failed > 0) {
+          result.worker_failures += failed;
+          if (retries_left <= 0) abort_run(first_error);
+          --retries_left;
+          // Scrub the dead workers' half-accumulated gradients — forward/
+          // backward never touches parameter VALUES, so a zeroed gradient
+          // buffer restores a pristine replica. Completed shards already
+          // moved their contribution out (harvest zeroes as it copies).
+          for (int w = 0; w < p; ++w) {
+            if (!errors[static_cast<std::size_t>(w)]) continue;
+            for (auto& param : all_params[static_cast<std::size_t>(w)])
+              param.grad().zero();
+          }
+          // Re-run the missing shards on the driving thread's replica.
+          // Reduction is shard-index-ordered, so the epoch's result is
+          // bit-identical to an undisturbed run.
+          try {
+            for (index_t s = 0; s < num_shards; ++s) {
+              if (!shard_grads[static_cast<std::size_t>(s)].empty()) continue;
+              run_shard(0, s);
+              ++result.shards_reassigned;
+            }
+          } catch (...) {
+            abort_run(std::current_exception());
+          }
+        }
       }
 
       // All-reduce, sparse-aware and deterministically ordered: shard
@@ -414,6 +523,23 @@ DdpResult train_ddp(
     result.epoch_loss.push_back(mean_loss);
     result.epoch_seconds.push_back(profiling::seconds_since(epoch_start));
     if (config.on_epoch) config.on_epoch(epoch, mean_loss);
+
+    // Crash safety: rotated atomic checkpoint at the epoch boundary. Only
+    // replica-0 parameters + the epoch cursor are needed — DDP epochs are
+    // self-contained (per-epoch reseeded data RNG, raw SGD with no slots).
+    if (res.checkpoint_every > 0 &&
+        (epoch + 1) % res.checkpoint_every == 0 &&
+        epoch + 1 < config.epochs) {
+      models::TrainCheckpointState st;
+      st.next_epoch = epoch + 1;
+      st.epoch_loss = result.epoch_loss;
+      const std::string path =
+          models::checkpoint_path_for_epoch(res.checkpoint_path, epoch + 1);
+      models::save_train_checkpoint(*replicas[0], st, path);
+      models::prune_checkpoints(res.checkpoint_path, res.checkpoint_keep);
+      ++result.checkpoints_written;
+      result.last_checkpoint = path;
+    }
   }
 
   result.total_seconds = profiling::seconds_since(t0);

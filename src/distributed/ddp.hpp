@@ -63,6 +63,26 @@ struct DdpConfig {
   bool plan_cache = true;
   /// Fires after every epoch with (epoch, mean_loss).
   std::function<void(int, float)> on_epoch;
+  /// Worker-failure recovery budget for the whole run: when a worker dies
+  /// (throws — including injected `ddp_worker` faults), its replica's
+  /// half-accumulated gradients are scrubbed and the missing shards re-run
+  /// on the driving thread; the epoch then completes bit-identically
+  /// (reduction is shard-index-ordered, so WHO ran a shard never matters).
+  /// Once the budget is exhausted the run aborts cleanly: parameters are
+  /// flushed to `<checkpoint_path>.abort` (they are consistent — a batch's
+  /// update is all-or-nothing) and Error{kWorkerFailed} is thrown. No
+  /// hang either way. SPTX_DDP_RETRIES overrides.
+  int max_worker_retries = 1;
+  /// Crash safety, mirroring train::TrainConfig: rotated atomic
+  /// checkpoints every N epochs (DDP epochs are self-contained — the data
+  /// RNG reseeds per epoch — so a checkpoint is just replica-0 parameters
+  /// + the epoch cursor, and resume is trivially bit-identical).
+  /// SPTX_CHECKPOINT_EVERY / SPTX_CHECKPOINT_KEEP override.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  int checkpoint_keep = 3;
+  /// Resume from a `.ep<N>` file or a base path (newest rotation wins).
+  std::string resume_from;
 };
 
 struct DdpResult {
@@ -82,6 +102,15 @@ struct DdpResult {
   /// Per-worker plan-cache traffic, and the aggregate over all workers.
   std::vector<sparse::PlanCache::Stats> worker_plan_stats;
   sparse::PlanCache::Stats plan_stats;
+  // ---- fault tolerance ---------------------------------------------------
+  /// First epoch this run executed (> 0 when resumed).
+  int start_epoch = 0;
+  /// Worker deaths detected and shards re-run on the driving thread.
+  int worker_failures = 0;
+  std::int64_t shards_reassigned = 0;
+  /// Crash-safety traffic: rotated checkpoints written, newest path.
+  int checkpoints_written = 0;
+  std::string last_checkpoint;
 };
 
 /// Thread-backed sharded data-parallel training of any KgeModel. The model

@@ -5,10 +5,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 
 #include "src/common/error.hpp"
+#include "src/common/fault.hpp"
 
 namespace sptx::kg {
 
@@ -23,6 +25,32 @@ struct FileHeader {
 
 static_assert(sizeof(Triplet) == 24, "streaming format assumes packed h,r,t");
 
+/// open(2) with EINTR retry — signal-heavy hosts (profilers, timers,
+/// checkpoint alarms) interrupt slow opens on networked filesystems.
+int open_retry(const char* path, int flags) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+/// Scoped unmap+close so every validation failure path below releases the
+/// mapping — a rejected file must not leak pages or descriptors.
+struct MapGuard {
+  void* mem = MAP_FAILED;
+  std::size_t bytes = 0;
+  int fd = -1;
+  ~MapGuard() {
+    if (mem != MAP_FAILED) ::munmap(mem, bytes);
+    if (fd >= 0) ::close(fd);
+  }
+  void disarm() {
+    mem = MAP_FAILED;
+    fd = -1;
+  }
+};
+
 }  // namespace
 
 void StreamingTripletStore::write_file(const std::string& path,
@@ -30,7 +58,7 @@ void StreamingTripletStore::write_file(const std::string& path,
                                        std::int64_t num_entities,
                                        std::int64_t num_relations) {
   std::ofstream os(path, std::ios::binary);
-  SPTX_CHECK(os.good(), "cannot create " << path);
+  SPTX_CHECK_CODE(os.good(), ErrorCode::kIo, "cannot create " << path);
   FileHeader header;
   header.count = static_cast<std::int64_t>(triplets.size());
   header.num_entities = num_entities;
@@ -38,37 +66,61 @@ void StreamingTripletStore::write_file(const std::string& path,
   os.write(reinterpret_cast<const char*>(&header), sizeof(header));
   os.write(reinterpret_cast<const char*>(triplets.data()),
            static_cast<std::streamsize>(triplets.size_bytes()));
-  SPTX_CHECK(os.good(), "write to " << path << " failed");
+  SPTX_CHECK_CODE(os.good(), ErrorCode::kIo, "write to " << path << " failed");
 }
 
 StreamingTripletStore StreamingTripletStore::open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  SPTX_CHECK(fd >= 0, "cannot open " << path);
+  fault::init_from_config();
+  fault::maybe_fail("mmap_read");
+  MapGuard guard;
+  guard.fd = open_retry(path.c_str(), O_RDONLY);
+  SPTX_CHECK_CODE(guard.fd >= 0, ErrorCode::kIo, "cannot open " << path);
   struct stat st {};
-  SPTX_CHECK(::fstat(fd, &st) == 0, "fstat failed for " << path);
-  SPTX_CHECK(static_cast<std::size_t>(st.st_size) >= sizeof(FileHeader),
-             path << " too small for a streaming store");
-  void* mem = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
-                     PROT_READ, MAP_PRIVATE, fd, 0);
-  SPTX_CHECK(mem != MAP_FAILED, "mmap failed for " << path);
-  const auto* header = static_cast<const FileHeader*>(mem);
+  SPTX_CHECK_CODE(::fstat(guard.fd, &st) == 0, ErrorCode::kIo,
+                  "fstat failed for " << path);
+  // Structural validation BEFORE touching any mapped byte: a zero-length,
+  // header-less, or ragged file is rejected with a typed error instead of
+  // reading past the mapping (SIGBUS territory).
+  SPTX_CHECK_CODE(st.st_size > 0, ErrorCode::kDataFormat,
+                  path << " is empty — not a streaming triplet file");
+  SPTX_CHECK_CODE(static_cast<std::size_t>(st.st_size) >= sizeof(FileHeader),
+                  ErrorCode::kDataFormat,
+                  path << " too small for a streaming store ("
+                       << st.st_size << " bytes)");
+  guard.bytes = static_cast<std::size_t>(st.st_size);
+  guard.mem =
+      ::mmap(nullptr, guard.bytes, PROT_READ, MAP_PRIVATE, guard.fd, 0);
+  SPTX_CHECK_CODE(guard.mem != MAP_FAILED, ErrorCode::kIo,
+                  "mmap failed for " << path);
+  // Epochs sweep the file front to back; tell the kernel so readahead
+  // stays aggressive even under memory pressure. Advisory only.
+  (void)::madvise(guard.mem, guard.bytes, MADV_SEQUENTIAL);
+  const auto* header = static_cast<const FileHeader*>(guard.mem);
   FileHeader expected;
-  if (header->magic != expected.magic) {
-    ::munmap(mem, static_cast<std::size_t>(st.st_size));
-    ::close(fd);
-    throw Error(path + " is not an sptx streaming triplet file");
-  }
-  const std::size_t payload =
-      static_cast<std::size_t>(st.st_size) - sizeof(FileHeader);
-  SPTX_CHECK(payload >=
-                 static_cast<std::size_t>(header->count) * sizeof(Triplet),
-             path << " truncated: header claims " << header->count
-                  << " triplets");
+  SPTX_CHECK_CODE(header->magic == expected.magic, ErrorCode::kDataFormat,
+                  path << " is not an sptx streaming triplet file");
+  SPTX_CHECK_CODE(header->count >= 0 && header->num_entities >= 0 &&
+                      header->num_relations >= 0,
+                  ErrorCode::kDataFormat,
+                  path << " header is corrupt (negative counts)");
+  const std::size_t payload = guard.bytes - sizeof(FileHeader);
+  const std::size_t expected_payload =
+      static_cast<std::size_t>(header->count) * sizeof(Triplet);
+  SPTX_CHECK_CODE(payload >= expected_payload, ErrorCode::kDataFormat,
+                  path << " truncated: header claims " << header->count
+                       << " triplets (" << expected_payload
+                       << " bytes) but the payload is " << payload);
+  SPTX_CHECK_CODE(payload == expected_payload, ErrorCode::kDataFormat,
+                  path << " is ragged: " << (payload - expected_payload)
+                       << " trailing bytes beyond " << header->count
+                       << " whole records");
   const auto* data = reinterpret_cast<const Triplet*>(
-      static_cast<const char*>(mem) + sizeof(FileHeader));
-  return StreamingTripletStore(fd, data, header->count, header->num_entities,
-                               header->num_relations,
-                               static_cast<std::size_t>(st.st_size));
+      static_cast<const char*>(guard.mem) + sizeof(FileHeader));
+  StreamingTripletStore store(guard.fd, data, header->count,
+                              header->num_entities, header->num_relations,
+                              guard.bytes);
+  guard.disarm();  // ownership transferred to the store
+  return store;
 }
 
 StreamingTripletStore::StreamingTripletStore(int fd, const Triplet* data,
@@ -134,6 +186,9 @@ std::span<const Triplet> StreamingTripletStore::slice(
     std::int64_t begin, std::int64_t count) const {
   SPTX_CHECK(begin >= 0 && count >= 0 && begin + count <= count_,
              "streaming slice out of range");
+  // Injected read faults (mmap_read:eio@P) model media errors surfacing as
+  // SIGBUS-grade failures on page touch; one relaxed load when inactive.
+  fault::maybe_fail("mmap_read");
   return {data_ + begin, static_cast<std::size_t>(count)};
 }
 

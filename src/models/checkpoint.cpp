@@ -1,68 +1,78 @@
 #include "src/models/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "src/common/atomic_file.hpp"
+#include "src/common/crc32.hpp"
 #include "src/tensor/serialize.hpp"
 
 namespace sptx::models {
 
 namespace {
 
-constexpr std::uint64_t kCheckpointMagic = 0x53505458434b5031ULL;  // SPTXCKP1
+constexpr std::uint64_t kMagicV1 = 0x53505458434b5031ULL;  // "SPTXCKP1"
+constexpr std::uint64_t kMagicV2 = 0x53505458434b5032ULL;  // "SPTXCKP2"
+constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kKindModel = 0;
+constexpr std::uint32_t kKindTrain = 1;
 
-void write_string(std::ofstream& os, const std::string& s) {
-  const std::uint64_t n = s.size();
-  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  os.write(s.data(), static_cast<std::streamsize>(n));
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-std::string read_string(std::ifstream& is) {
-  std::uint64_t n = 0;
-  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SPTX_CHECK_CODE(is.good(), ErrorCode::kCorruptCheckpoint,
+                  "checkpoint ends mid-record");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  SPTX_CHECK_CODE(n < (1u << 20), ErrorCode::kCorruptCheckpoint,
+                  "implausible string length " << n << " in checkpoint");
   std::string s(n, '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
+  SPTX_CHECK_CODE(is.good(), ErrorCode::kCorruptCheckpoint,
+                  "checkpoint ends mid-string");
   return s;
 }
 
-}  // namespace
+// ---- payloads -------------------------------------------------------------
 
-void save_checkpoint(KgeModel& model, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  SPTX_CHECK(os.good(), "cannot write checkpoint " << path);
-  const std::uint64_t magic = kCheckpointMagic;
-  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+void write_model_payload(std::ostream& os, KgeModel& model) {
   write_string(os, model.name());
-  const std::int64_t n = model.num_entities(), r = model.num_relations();
-  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  os.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  write_pod<std::int64_t>(os, model.num_entities());
+  write_pod<std::int64_t>(os, model.num_relations());
   auto params = model.params();
-  const std::uint64_t count = params.size();
-  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  write_pod<std::uint64_t>(os, params.size());
   for (auto& p : params) write_matrix(os, p.value());
-  SPTX_CHECK(os.good(), "checkpoint write failed: " << path);
 }
 
-void load_checkpoint(KgeModel& model, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  SPTX_CHECK(is.good(), "cannot read checkpoint " << path);
-  std::uint64_t magic = 0;
-  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  SPTX_CHECK(is.good() && magic == kCheckpointMagic,
-             path << " is not an sptx checkpoint");
+void read_model_payload(std::istream& is, KgeModel& model) {
   const std::string name = read_string(is);
   SPTX_CHECK(name == model.name(), "checkpoint holds " << name
                                                        << ", target model is "
                                                        << model.name());
-  std::int64_t n = 0, r = 0;
-  is.read(reinterpret_cast<char*>(&n), sizeof(n));
-  is.read(reinterpret_cast<char*>(&r), sizeof(r));
+  const auto n = read_pod<std::int64_t>(is);
+  const auto r = read_pod<std::int64_t>(is);
   SPTX_CHECK(n == model.num_entities() && r == model.num_relations(),
              "checkpoint vocab " << n << "/" << r << " vs model "
                                  << model.num_entities() << "/"
                                  << model.num_relations());
-  std::uint64_t count = 0;
-  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const auto count = read_pod<std::uint64_t>(is);
   auto params = model.params();
   SPTX_CHECK(count == params.size(), "checkpoint has " << count
                                                        << " tensors, model "
@@ -73,6 +83,208 @@ void load_checkpoint(KgeModel& model, const std::string& path) {
                "parameter shape " << loaded.shape_str() << " vs "
                                   << p.value().shape_str());
     p.mutable_value() = std::move(loaded);
+  }
+}
+
+void write_train_payload(std::ostream& os, KgeModel& model,
+                         const TrainCheckpointState& st) {
+  write_model_payload(os, model);
+  write_pod<std::int32_t>(os, st.next_epoch);
+  for (std::uint64_t word : st.rng_state) write_pod(os, word);
+  write_pod(os, st.best_loss);
+  write_pod<std::int32_t>(os, st.epochs_without_improvement);
+  write_string(os, st.optimizer);
+  write_pod<std::uint64_t>(os, st.optimizer_state.size());
+  for (const Matrix& m : st.optimizer_state) write_matrix(os, m);
+  write_pod<std::uint64_t>(os, st.negatives.size());
+  os.write(reinterpret_cast<const char*>(st.negatives.data()),
+           static_cast<std::streamsize>(st.negatives.size() *
+                                        sizeof(Triplet)));
+  write_pod<std::uint64_t>(os, st.positions.size());
+  os.write(reinterpret_cast<const char*>(st.positions.data()),
+           static_cast<std::streamsize>(st.positions.size() *
+                                        sizeof(index_t)));
+  write_pod<std::uint64_t>(os, st.epoch_loss.size());
+  os.write(reinterpret_cast<const char*>(st.epoch_loss.data()),
+           static_cast<std::streamsize>(st.epoch_loss.size() * sizeof(float)));
+}
+
+template <typename T>
+std::vector<T> read_pod_vector(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  SPTX_CHECK_CODE(n < (1ull << 32), ErrorCode::kCorruptCheckpoint,
+                  "implausible vector length " << n << " in checkpoint");
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  SPTX_CHECK_CODE(is.good() || n == 0, ErrorCode::kCorruptCheckpoint,
+                  "checkpoint ends mid-vector");
+  return v;
+}
+
+TrainCheckpointState read_train_payload(std::istream& is, KgeModel& model) {
+  read_model_payload(is, model);
+  TrainCheckpointState st;
+  st.next_epoch = read_pod<std::int32_t>(is);
+  for (std::uint64_t& word : st.rng_state) word = read_pod<std::uint64_t>(is);
+  st.best_loss = read_pod<float>(is);
+  st.epochs_without_improvement = read_pod<std::int32_t>(is);
+  st.optimizer = read_string(is);
+  const auto slots = read_pod<std::uint64_t>(is);
+  SPTX_CHECK_CODE(slots < (1u << 16), ErrorCode::kCorruptCheckpoint,
+                  "implausible optimizer-slot count " << slots);
+  st.optimizer_state.reserve(slots);
+  for (std::uint64_t i = 0; i < slots; ++i)
+    st.optimizer_state.push_back(read_matrix(is));
+  st.negatives = read_pod_vector<Triplet>(is);
+  st.positions = read_pod_vector<index_t>(is);
+  st.epoch_loss = read_pod_vector<float>(is);
+  return st;
+}
+
+// ---- file framing ---------------------------------------------------------
+
+void write_file(const std::string& path, std::uint32_t kind,
+                const std::string& payload) {
+  AtomicFileWriter writer(path);
+  std::ostream& os = writer.stream();
+  write_pod(os, kMagicV2);
+  write_pod(os, kFormatVersion);
+  write_pod(os, kind);
+  write_pod<std::uint64_t>(os, payload.size());
+  write_pod(os, crc32(payload));
+  write_pod<std::uint32_t>(os, 0);  // reserved
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  writer.commit();
+}
+
+/// Opens `path`, validates the v2 frame (magic, version, kind, length,
+/// CRC), and returns the verified payload. A v1 file returns the remainder
+/// of the stream un-checksummed (legacy model checkpoints predate the CRC).
+std::string read_file(const std::string& path, std::uint32_t expected_kind) {
+  std::ifstream is(path, std::ios::binary);
+  SPTX_CHECK_CODE(is.good(), ErrorCode::kIo,
+                  "cannot read checkpoint " << path);
+  std::uint64_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SPTX_CHECK_CODE(is.good() && (magic == kMagicV1 || magic == kMagicV2),
+                  ErrorCode::kCorruptCheckpoint,
+                  path << " is not an sptx checkpoint");
+  if (magic == kMagicV1) {
+    SPTX_CHECK_CODE(expected_kind == kKindModel,
+                    ErrorCode::kCorruptCheckpoint,
+                    path << " is a legacy v1 model checkpoint, not a "
+                            "training checkpoint");
+    std::ostringstream rest;
+    rest << is.rdbuf();
+    return rest.str();
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  SPTX_CHECK_CODE(version == kFormatVersion, ErrorCode::kCorruptCheckpoint,
+                  path << " has unsupported checkpoint format version "
+                       << version);
+  const auto kind = read_pod<std::uint32_t>(is);
+  SPTX_CHECK_CODE(kind == expected_kind, ErrorCode::kCorruptCheckpoint,
+                  path << " holds kind " << kind << ", expected "
+                       << expected_kind
+                       << " (0 = model, 1 = training state)");
+  const auto payload_bytes = read_pod<std::uint64_t>(is);
+  const auto expected_crc = read_pod<std::uint32_t>(is);
+  read_pod<std::uint32_t>(is);  // reserved
+  std::string payload(payload_bytes, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  SPTX_CHECK_CODE(static_cast<std::uint64_t>(is.gcount()) == payload_bytes,
+                  ErrorCode::kCorruptCheckpoint,
+                  path << " is truncated: header promises " << payload_bytes
+                       << " payload bytes, file holds " << is.gcount());
+  SPTX_CHECK_CODE(crc32(payload) == expected_crc,
+                  ErrorCode::kCorruptCheckpoint,
+                  path << " failed its CRC-32 check — the file is corrupt");
+  return payload;
+}
+
+}  // namespace
+
+void save_checkpoint(KgeModel& model, const std::string& path) {
+  std::ostringstream payload;
+  write_model_payload(payload, model);
+  SPTX_CHECK_CODE(payload.good(), ErrorCode::kIo,
+                  "checkpoint serialisation failed for " << path);
+  write_file(path, kKindModel, payload.str());
+}
+
+void load_checkpoint(KgeModel& model, const std::string& path) {
+  std::istringstream payload(read_file(path, kKindModel));
+  read_model_payload(payload, model);
+}
+
+void save_train_checkpoint(KgeModel& model, const TrainCheckpointState& state,
+                           const std::string& path) {
+  std::ostringstream payload;
+  write_train_payload(payload, model, state);
+  SPTX_CHECK_CODE(payload.good(), ErrorCode::kIo,
+                  "checkpoint serialisation failed for " << path);
+  write_file(path, kKindTrain, payload.str());
+}
+
+TrainCheckpointState load_train_checkpoint(KgeModel& model,
+                                           const std::string& path) {
+  std::istringstream payload(read_file(path, kKindTrain));
+  return read_train_payload(payload, model);
+}
+
+// ---- rotation -------------------------------------------------------------
+
+std::string checkpoint_path_for_epoch(const std::string& base, int epoch) {
+  return base + ".ep" + std::to_string(epoch);
+}
+
+namespace {
+
+/// All `<base>.ep<N>` files, unsorted.
+std::vector<FoundCheckpoint> rotated_checkpoints(const std::string& base) {
+  namespace fs = std::filesystem;
+  const fs::path base_path(base);
+  const std::string prefix = base_path.filename().string() + ".ep";
+  fs::path dir = base_path.parent_path();
+  if (dir.empty()) dir = ".";
+  std::vector<FoundCheckpoint> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(prefix)) continue;
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    found.push_back({entry.path().string(), std::stoi(suffix)});
+  }
+  return found;
+}
+
+}  // namespace
+
+std::optional<FoundCheckpoint> latest_checkpoint(const std::string& base) {
+  auto found = rotated_checkpoints(base);
+  if (found.empty()) return std::nullopt;
+  return *std::max_element(found.begin(), found.end(),
+                           [](const FoundCheckpoint& a,
+                              const FoundCheckpoint& b) {
+                             return a.epoch < b.epoch;
+                           });
+}
+
+void prune_checkpoints(const std::string& base, int keep) {
+  if (keep <= 0) return;
+  auto found = rotated_checkpoints(base);
+  if (found.size() <= static_cast<std::size_t>(keep)) return;
+  std::sort(found.begin(), found.end(),
+            [](const FoundCheckpoint& a, const FoundCheckpoint& b) {
+              return a.epoch > b.epoch;  // newest first
+            });
+  for (std::size_t i = keep; i < found.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(found[i].path, ec);  // best-effort
   }
 }
 

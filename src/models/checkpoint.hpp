@@ -1,22 +1,94 @@
-// Model checkpointing: persist and restore all parameter tables.
+// Crash-safe model & training-state checkpointing.
 //
-// A checkpoint records the model name, vocabulary sizes, and every
-// parameter matrix in params() order. Restoring validates that the target
-// model has the same architecture (name, sizes, per-parameter shapes), so
-// a TransR checkpoint cannot be silently loaded into a TransE model.
+// Format v2 ("SPTXCKP2"): a fixed header {magic, format version, kind,
+// payload byte count, payload CRC-32} followed by the payload. Writes are
+// atomic (temp file + fsync + rename via AtomicFileWriter) so a crash at
+// any instant leaves either the previous complete checkpoint or the new
+// one; loads verify the CRC and reject truncated or bit-flipped files with
+// Error{kCorruptCheckpoint} instead of reading garbage. Legacy v1 model
+// checkpoints (no CRC) are still readable.
+//
+// Two payload kinds:
+//  * model — the v1 body: model name, vocabulary sizes, every parameter
+//    matrix in params() order. Restoring validates the target architecture.
+//  * train — the model payload plus everything the trainer needs to resume
+//    bit-identically: epoch cursor, RNG state, optimizer slot state,
+//    the in-flight negative/permutation buffers, and the early-stop
+//    bookkeeping. See train::TrainConfig::checkpoint_every.
+//
+// Rotation: periodic checkpoints are written to `<base>.ep<epoch>`;
+// latest_checkpoint() finds the newest one to resume from and
+// prune_checkpoints() keeps the last N.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "src/kg/triplet.hpp"
 #include "src/models/model.hpp"
 
 namespace sptx::models {
 
-/// Write `model`'s parameters to `path`.
+/// Write `model`'s parameters to `path` atomically (never truncates an
+/// existing good checkpoint on failure).
 void save_checkpoint(KgeModel& model, const std::string& path);
 
-/// Load parameters from `path` into `model`. Throws on any mismatch
-/// (model name, entity/relation counts, parameter shapes).
+/// Load parameters from `path` into `model`. Throws Error on any mismatch
+/// (model name, entity/relation counts, parameter shapes) and
+/// Error{kCorruptCheckpoint} on truncation / CRC mismatch / bad magic.
 void load_checkpoint(KgeModel& model, const std::string& path);
+
+/// Everything beyond the parameters that a resumed training run needs to
+/// continue the exact trajectory of the uninterrupted run.
+struct TrainCheckpointState {
+  /// First epoch the resumed run executes (the checkpoint was taken after
+  /// epoch next_epoch - 1 finished).
+  int next_epoch = 0;
+  /// The trainer RNG, captured after all derivations for next_epoch.
+  std::array<std::uint64_t, 4> rng_state{};
+  /// Early-stop bookkeeping.
+  float best_loss = std::numeric_limits<float>::infinity();
+  int epochs_without_improvement = 0;
+  /// Optimizer kind ("sgd", "adagrad"; empty = DDP's raw SGD, no slots)
+  /// and its exported slot state.
+  std::string optimizer;
+  std::vector<Matrix> optimizer_state;
+  /// In-flight sampling buffers: the negatives and shuffled positions the
+  /// next epoch will consume (empty for paths that re-derive them).
+  std::vector<Triplet> negatives;
+  std::vector<index_t> positions;
+  /// Loss curve of completed epochs, for continuity of TrainResult.
+  std::vector<float> epoch_loss;
+};
+
+/// Write model parameters + training state to `path` atomically.
+void save_train_checkpoint(KgeModel& model, const TrainCheckpointState& state,
+                           const std::string& path);
+
+/// Restore parameters into `model` and return the training state. Same
+/// validation and corruption handling as load_checkpoint.
+TrainCheckpointState load_train_checkpoint(KgeModel& model,
+                                           const std::string& path);
+
+// ---- rotation -------------------------------------------------------------
+
+/// The rotated path for one epoch's checkpoint: `<base>.ep<epoch>`.
+std::string checkpoint_path_for_epoch(const std::string& base, int epoch);
+
+struct FoundCheckpoint {
+  std::string path;
+  int epoch = -1;  // the suffix N of .ep<N>
+};
+
+/// The highest-epoch `<base>.ep<N>` on disk, or nullopt when none exists.
+std::optional<FoundCheckpoint> latest_checkpoint(const std::string& base);
+
+/// Delete all but the newest `keep` rotated checkpoints (keep <= 0 keeps
+/// everything). Best-effort: unlink failures are ignored.
+void prune_checkpoints(const std::string& base, int keep);
 
 }  // namespace sptx::models

@@ -2,9 +2,29 @@
 
 #include <cmath>
 
+#include "src/common/error.hpp"
 #include "src/profiling/flops.hpp"
 
 namespace sptx::nn {
+
+namespace {
+
+/// Shared import validation: state must be empty (no slots yet) or one
+/// matrix per parameter with matching shapes.
+void check_slot_state(const std::vector<autograd::Variable>& params,
+                      const std::vector<Matrix>& state, const char* kind) {
+  if (state.empty()) return;
+  SPTX_CHECK_CODE(state.size() == params.size(), ErrorCode::kCorruptCheckpoint,
+                  kind << " state has " << state.size() << " slots, model has "
+                       << params.size() << " parameters");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    SPTX_CHECK_CODE(state[i].same_shape(params[i].value()),
+                    ErrorCode::kCorruptCheckpoint,
+                    kind << " slot " << i << " shape " << state[i].shape_str()
+                         << " vs parameter " << params[i].value().shape_str());
+}
+
+}  // namespace
 
 void Optimizer::apply_constraints() {
   if (grad_clip_norm_ > 0.0f) {
@@ -50,6 +70,11 @@ void Sgd::step() {
   }
 }
 
+void Sgd::import_state(std::vector<Matrix> state) {
+  check_slot_state(params_, state, "sgd");
+  velocity_ = std::move(state);
+}
+
 Adagrad::Adagrad(std::vector<autograd::Variable> params, float lr, float eps)
     : Optimizer(std::move(params), lr), eps_(eps) {
   accum_.reserve(params_.size());
@@ -72,6 +97,13 @@ void Adagrad::step() {
       w.data()[k] -= lr_ * gk / (std::sqrt(acc.data()[k]) + eps_);
     }
   }
+}
+
+void Adagrad::import_state(std::vector<Matrix> state) {
+  check_slot_state(params_, state, "adagrad");
+  // Adagrad allocates its accumulators eagerly, so empty state (a
+  // checkpoint taken before any step) keeps the zero-initialised slots.
+  if (!state.empty()) accum_ = std::move(state);
 }
 
 void StepLr::on_epoch(int epoch) {

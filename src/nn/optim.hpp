@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/autograd/variable.hpp"
@@ -23,6 +24,19 @@ class Optimizer {
 
   /// Apply one update from the accumulated gradients.
   virtual void step() = 0;
+
+  /// Stable identifier for checkpointing ("sgd", "adagrad").
+  virtual std::string kind() const = 0;
+
+  /// Per-parameter slot state (momentum velocity, Adagrad accumulators) for
+  /// checkpointing. May be empty when slots are lazily allocated and no
+  /// step has run yet.
+  virtual std::vector<Matrix> export_state() const { return {}; }
+
+  /// Restore slot state captured by export_state on an identically
+  /// configured optimizer. Throws Error{kCorruptCheckpoint} on a
+  /// shape/count mismatch.
+  virtual void import_state(std::vector<Matrix> state) = 0;
 
   /// Clear gradients (call between batches).
   void zero_grad() {
@@ -53,6 +67,9 @@ class Sgd final : public Optimizer {
  public:
   Sgd(std::vector<autograd::Variable> params, float lr, float momentum = 0.0f);
   void step() override;
+  std::string kind() const override { return "sgd"; }
+  std::vector<Matrix> export_state() const override { return velocity_; }
+  void import_state(std::vector<Matrix> state) override;
 
  private:
   float momentum_;
@@ -65,6 +82,9 @@ class Adagrad final : public Optimizer {
   Adagrad(std::vector<autograd::Variable> params, float lr,
           float eps = 1e-10f);
   void step() override;
+  std::string kind() const override { return "adagrad"; }
+  std::vector<Matrix> export_state() const override { return accum_; }
+  void import_state(std::vector<Matrix> state) override;
 
  private:
   float eps_;

@@ -30,27 +30,63 @@
 
 namespace sptx::serve {
 
+/// Typed load-shedding outcome for the degradation-aware serving paths.
+enum class RejectReason {
+  kNone,       // accepted and scored
+  kDeadline,   // the request could not START scoring before its deadline
+  kQueueFull,  // the bounded queue was at capacity on arrival
+};
+
+const char* to_string(RejectReason reason);
+
 class MicroBatcher {
  public:
   using ScoreFn = std::function<std::vector<float>(std::span<const Triplet>)>;
+  using Deadline = std::chrono::steady_clock::time_point;
+
+  /// "No deadline": the request lingers until served.
+  static constexpr Deadline kNoDeadline = Deadline::max();
 
   struct Stats {
     std::int64_t requests = 0;            // execute() calls served
     std::int64_t triplets = 0;            // triplets scored through the queue
     std::int64_t batches_executed = 0;    // underlying score() invocations
     std::int64_t coalesced_requests = 0;  // requests that shared a batch
+    // ---- graceful degradation -------------------------------------------
+    std::int64_t rejected_queue_full = 0;  // bounced at arrival (bounded queue)
+    std::int64_t rejected_deadline = 0;    // all deadline rejections
+    std::int64_t shed_expired = 0;         // of those, shed by a draining
+                                           // leader (queued too long)
   };
 
   /// `score` is the underlying batch scorer (thread-safe, element-pure).
   /// `max_batch` caps one coalesced execution; `window` is how long a
   /// leader waits for followers before executing (0 = drain-what's-queued
-  /// continuous batching, the default posture).
+  /// continuous batching, the default posture). `queue_limit` bounds the
+  /// queue in triplets — arrivals that would exceed it are rejected with
+  /// kQueueFull instead of lingering unboundedly (0 = unbounded, the
+  /// historical behavior). `max_concurrent` caps simultaneous underlying
+  /// score() executions — the "worker pool" the queue feeds. 0 = unbounded
+  /// (every caller thread may execute, the historical behavior); bounding
+  /// it is what makes the queue, and therefore deadlines and the queue
+  /// limit, meaningful under overload.
   MicroBatcher(ScoreFn score, index_t max_batch,
-               std::chrono::microseconds window);
+               std::chrono::microseconds window, index_t queue_limit = 0,
+               int max_concurrent = 0);
 
   /// Score `triplets` into out[0..triplets.size()). Blocks until the
   /// result is ready; concurrent callers may share one underlying batch.
+  /// Throws Error{kQueueFull} when a configured queue_limit (or an
+  /// injected serve_queue fault) rejects the request — use try_execute for
+  /// the non-throwing path.
   void execute(std::span<const Triplet> triplets, float* out);
+
+  /// Deadline-aware variant: returns kNone with out[] filled, or the
+  /// typed rejection. A request rejected for deadline never started
+  /// scoring (load shedding — no work is wasted on a result nobody can
+  /// use); once a leader takes a request, it is guaranteed to execute.
+  RejectReason try_execute(std::span<const Triplet> triplets, float* out,
+                           Deadline deadline = kNoDeadline);
 
   Stats stats() const;
 
@@ -58,18 +94,29 @@ class MicroBatcher {
   struct Request {
     std::span<const Triplet> triplets;
     float* out = nullptr;
+    Deadline deadline = kNoDeadline;
     bool done = false;
+    bool taken = false;  // claimed by a draining leader: will execute
+    RejectReason reject = RejectReason::kNone;
   };
+
+  /// True when a new leader may start an execution (call with mu_ held).
+  bool slot_free() const {
+    return max_concurrent_ == 0 || executing_ < max_concurrent_;
+  }
 
   ScoreFn score_;
   const index_t max_batch_;
   const std::chrono::microseconds window_;
+  const index_t queue_limit_;
+  const int max_concurrent_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request*> queue_;
   index_t queued_triplets_ = 0;
   bool leader_active_ = false;
+  int executing_ = 0;  // in-flight score() calls (bounded by max_concurrent_)
   Stats stats_;
 };
 

@@ -1,7 +1,10 @@
 #include "src/serve/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "src/common/fault.hpp"
 
 namespace sptx::serve {
 
@@ -17,6 +20,12 @@ SessionOptions resolve(const SessionOptions& options,
   resolved.plan_cache = rc.flag_or("SPTX_SERVE_PLAN_CACHE", options.plan_cache);
   resolved.max_cached_plans = static_cast<index_t>(
       rc.int_or("SPTX_SERVE_MAX_PLANS", options.max_cached_plans));
+  resolved.queue_limit = static_cast<index_t>(
+      rc.int_or("SPTX_SERVE_QUEUE_LIMIT", options.queue_limit));
+  resolved.deadline_us = rc.int_or("SPTX_SERVE_DEADLINE_US",
+                                   options.deadline_us);
+  resolved.max_concurrency = static_cast<int>(
+      rc.int_or("SPTX_SERVE_CONCURRENCY", options.max_concurrency));
   return resolved;
 }
 
@@ -30,7 +39,9 @@ InferenceSession::InferenceSession(
             return m->score(batch);
           },
           std::max<index_t>(options.max_batch, 1),
-          std::chrono::microseconds(std::max(options.window_us, 0))) {
+          std::chrono::microseconds(std::max(options.window_us, 0)),
+          std::max<index_t>(options.queue_limit, 0),
+          std::max(options.max_concurrency, 0)) {
   SPTX_CHECK(model_ != nullptr, "InferenceSession needs a model snapshot");
   if (options_.filter != nullptr) {
     known_.reserve(static_cast<std::size_t>(options_.filter->size()) * 2);
@@ -66,6 +77,53 @@ std::vector<float> InferenceSession::score(
 
 float InferenceSession::score_one(const Triplet& t) const {
   return score(std::span<const Triplet>(&t, 1))[0];
+}
+
+ScoreResult InferenceSession::try_score(std::span<const Triplet> batch,
+                                        std::int64_t deadline_us) const {
+  // Resolve the deadline FIRST: admission control is measured from arrival,
+  // before validation or queueing costs anything.
+  if (deadline_us <= 0) deadline_us = options_.deadline_us;
+  const MicroBatcher::Deadline deadline =
+      deadline_us > 0 ? std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(deadline_us)
+                      : MicroBatcher::kNoDeadline;
+
+  for (const Triplet& t : batch) check_triplet(t);
+  ScoreResult result;
+  if (batch.empty()) return result;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // SpMM-sized requests and micro-batch-off sessions score directly — there
+  // is no queue to wait in, so only a dead-on-arrival deadline (or an
+  // injected serve_queue fault) can shed them.
+  if (!options_.micro_batch ||
+      static_cast<index_t>(batch.size()) >= options_.max_batch) {
+    if (fault::should_fail("serve_queue")) {
+      result.rejected = RejectReason::kQueueFull;
+    } else if (deadline != MicroBatcher::kNoDeadline &&
+               std::chrono::steady_clock::now() >= deadline) {
+      result.rejected = RejectReason::kDeadline;
+    } else {
+      result.scores = model_->score(batch);
+      triplets_scored_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                                 std::memory_order_relaxed);
+      return result;
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  std::vector<float> out(batch.size());
+  result.rejected = batcher_.try_execute(batch, out.data(), deadline);
+  if (result.rejected == RejectReason::kNone) {
+    result.scores = std::move(out);
+    triplets_scored_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                               std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
 }
 
 std::optional<sparse::PlanCache::Key> InferenceSession::candidate_key(
@@ -220,6 +278,7 @@ SessionStats InferenceSession::stats() const {
   SessionStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.triplets_scored = triplets_scored_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   s.batcher = batcher_.stats();
   s.plans = plans_.stats();
   return s;

@@ -67,6 +67,24 @@ struct SessionOptions {
   /// (the evaluator's "filtered" protocol). Copied at session open — the
   /// store need not outlive the session. Null = unfiltered.
   const TripletStore* filter = nullptr;
+  /// Bounded-queue admission control for the micro-batcher, in queued
+  /// triplets. Arrivals that would exceed the bound are rejected with
+  /// RejectReason::kQueueFull instead of growing the queue (and the tail
+  /// latency of everyone behind them) without limit. 0 = unbounded.
+  /// SPTX_SERVE_QUEUE_LIMIT overrides.
+  index_t queue_limit = 0;
+  /// Default per-request deadline for try_score(), in microseconds from
+  /// arrival. A request that cannot START scoring before its deadline is
+  /// shed with RejectReason::kDeadline — no work is spent on a result the
+  /// caller can no longer use. 0 = no deadline. Callers can override per
+  /// request. SPTX_SERVE_DEADLINE_US overrides.
+  std::int64_t deadline_us = 0;
+  /// Cap on simultaneous underlying score() executions — the worker pool
+  /// the micro-batch queue feeds. 0 = unbounded (every caller thread may
+  /// execute). Bounding it is what lets overload actually queue, so the
+  /// deadline and queue-limit degradation engage instead of oversubscribing
+  /// the CPU. SPTX_SERVE_CONCURRENCY overrides.
+  int max_concurrency = 0;
 };
 
 /// Apply the registry's SPTX_SERVE_* overrides to `options`.
@@ -80,8 +98,17 @@ struct Prediction {
 struct SessionStats {
   std::int64_t queries = 0;          // public API calls answered
   std::int64_t triplets_scored = 0;  // total candidate/query triplets scored
+  std::int64_t rejected = 0;         // try_score() loads shed (all reasons)
   MicroBatcher::Stats batcher;       // micro-batch queue traffic
   sparse::PlanCache::Stats plans;    // candidate-plan cache traffic
+};
+
+/// Outcome of a deadline-aware try_score(): either accepted (scores filled,
+/// reason kNone) or a typed rejection with empty scores.
+struct ScoreResult {
+  RejectReason rejected = RejectReason::kNone;
+  std::vector<float> scores;
+  bool ok() const { return rejected == RejectReason::kNone; }
 };
 
 class InferenceSession {
@@ -101,6 +128,15 @@ class InferenceSession {
   /// concurrent callers; results are identical either way.
   std::vector<float> score(std::span<const Triplet> batch) const;
   float score_one(const Triplet& t) const;
+
+  /// Graceful-degradation scoring: like score(), but load shedding reports
+  /// a typed rejection instead of throwing. `deadline_us` microseconds from
+  /// now bounds how long the request may wait to START scoring (0 = the
+  /// session's options.deadline_us; both 0 = no deadline). Accepted
+  /// requests return bit-identical scores to score() — degradation changes
+  /// WHO gets served under overload, never the answer the served get.
+  ScoreResult try_score(std::span<const Triplet> batch,
+                        std::int64_t deadline_us = 0) const;
 
   /// The k most plausible completions of (head, relation, ?) — entities
   /// ranked by the model's score, known positives excluded when the
@@ -148,6 +184,7 @@ class InferenceSession {
   mutable MicroBatcher batcher_;
   mutable std::atomic<std::int64_t> queries_{0};
   mutable std::atomic<std::int64_t> triplets_scored_{0};
+  mutable std::atomic<std::int64_t> rejected_{0};
 };
 
 }  // namespace sptx::serve

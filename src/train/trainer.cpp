@@ -5,12 +5,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "src/common/fault.hpp"
+#include "src/models/checkpoint.hpp"
 #include "src/profiling/counters.hpp"
 #include "src/profiling/flops.hpp"
 #include "src/tensor/memory_tracker.hpp"
@@ -55,6 +58,12 @@ struct TrainLoop {
 
   float best_loss = std::numeric_limits<float>::infinity();
   int epochs_without_improvement = 0;
+
+  /// Resume state: the first epoch to execute and the permutation the
+  /// checkpoint left in flight (consumed by the pipelines' first epoch).
+  int start_epoch = 0;
+  bool resumed = false;
+  std::vector<index_t> restored_positions;
 
   TrainLoop(models::KgeModel& m, const TripletStore& d, const TrainConfig& c,
             const std::function<void(int, float)>& cb)
@@ -109,6 +118,69 @@ struct TrainLoop {
       model.post_step();
     }
     return loss.value().at(0, 0);
+  }
+
+  /// Periodic-checkpoint cadence: after epoch `epoch` completes.
+  bool should_checkpoint(int epoch) const {
+    return config.checkpoint_every > 0 &&
+           (epoch + 1) % config.checkpoint_every == 0 &&
+           epoch + 1 < config.epochs;  // the final state is the result
+  }
+
+  /// Write the rotated crash-safe checkpoint for the just-completed epoch.
+  /// `positions` is the permutation the NEXT epoch consumes (the planned
+  /// pipeline checkpoints after adopting epoch e+1's inputs; the legacy
+  /// pipeline re-derives at each epoch top, so "current" is right there
+  /// too).
+  void write_checkpoint(int epoch, const std::vector<index_t>& positions) {
+    models::TrainCheckpointState st;
+    st.next_epoch = epoch + 1;
+    st.rng_state = rng.state();
+    st.best_loss = best_loss;
+    st.epochs_without_improvement = epochs_without_improvement;
+    st.optimizer = opt->kind();
+    st.optimizer_state = opt->export_state();
+    st.negatives = negatives;
+    st.positions = positions;
+    st.epoch_loss = result.epoch_loss;
+    const std::string path =
+        models::checkpoint_path_for_epoch(config.checkpoint_path, epoch + 1);
+    models::save_train_checkpoint(model, st, path);
+    models::prune_checkpoints(config.checkpoint_path,
+                              config.checkpoint_keep);
+    ++result.checkpoints_written;
+    result.last_checkpoint = path;
+  }
+
+  /// Restore trajectory state from `source` (an explicit .ep file or a
+  /// base path whose newest rotation is used). Parameters load into the
+  /// model; everything else overwrites the freshly constructed loop state.
+  void restore(const std::string& source) {
+    std::string path = source;
+    if (!std::filesystem::exists(path)) {
+      const auto found = models::latest_checkpoint(source);
+      SPTX_CHECK_CODE(found.has_value(), ErrorCode::kIo,
+                      "no checkpoint found at '" << source
+                                                 << "' (or rotations "
+                                                 << source << ".ep<N>)");
+      path = found->path;
+    }
+    models::TrainCheckpointState st =
+        models::load_train_checkpoint(model, path);
+    SPTX_CHECK(st.optimizer == opt->kind(),
+               "checkpoint was written with optimizer '"
+                   << st.optimizer << "', this run uses '" << opt->kind()
+                   << "'");
+    opt->import_state(std::move(st.optimizer_state));
+    rng.set_state(st.rng_state);
+    negatives = std::move(st.negatives);
+    restored_positions = std::move(st.positions);
+    best_loss = st.best_loss;
+    epochs_without_improvement = st.epochs_without_improvement;
+    result.epoch_loss = std::move(st.epoch_loss);
+    start_epoch = st.next_epoch;
+    result.start_epoch = start_epoch;
+    resumed = true;
   }
 
   /// Epoch-end bookkeeping; returns true when early stopping fires.
@@ -170,11 +242,23 @@ void run_planned(TrainLoop& loop) {
     return src;
   };
 
-  // Stage 1 for epoch 0: the schedule's first compilation.
+  // Stage 1 for the first epoch: the schedule's first compilation. A
+  // resumed run adopts the checkpoint's in-flight permutation instead of
+  // drawing a fresh shuffle — the interrupted run already consumed that
+  // RNG when it derived this epoch's inputs.
   std::vector<BatchPlan> plans;
   double initial_compile_s = 0.0;
-  if (config.epochs > 0) {
-    if (config.shuffle) shuffle_positions(positions, loop.rng);
+  if (config.epochs > loop.start_epoch) {
+    if (config.shuffle) {
+      if (loop.resumed) {
+        SPTX_CHECK(loop.restored_positions.size() == positions.size(),
+                   "checkpoint has no shuffle permutation — it was written "
+                   "by a run with shuffle off");
+        positions = loop.restored_positions;
+      } else {
+        shuffle_positions(positions, loop.rng);
+      }
+    }
     profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
     const auto t0 = profiling::clock::now();
     plans = compile_epoch_plans(make_source(loop.negatives, positions), recipe,
@@ -182,7 +266,7 @@ void run_planned(TrainLoop& loop) {
     initial_compile_s = profiling::seconds_since(t0);
   }
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = loop.start_epoch; epoch < config.epochs; ++epoch) {
     const auto epoch_start = profiling::clock::now();
     loop.apply_schedule(epoch);
 
@@ -239,7 +323,7 @@ void run_planned(TrainLoop& loop) {
         compile_next();
         overlap_compile_s = profiling::seconds_since(t0);
       }
-    } else if (!variant && epoch > 0) {
+    } else if (!variant && epoch > loop.start_epoch) {
       // Epoch-invariant schedule: re-resolve through the cache (all hits —
       // the zero-rebuild property the tests assert).
       profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
@@ -261,22 +345,29 @@ void run_planned(TrainLoop& loop) {
 
     const bool stop = loop.finish_epoch(
         epoch, loss_sum, batches, epoch_start,
-        (epoch == 0 ? initial_compile_s : 0.0) - overlap_compile_s);
+        (epoch == loop.start_epoch ? initial_compile_s : 0.0) -
+            overlap_compile_s);
 
     // Stage 3: adopt the prefetched schedule (join waits count as plan
     // time — they are the pipeline bubble prefetch exists to hide).
+    // Adoption runs even when early stopping fires so a checkpoint taken
+    // here captures the state a resumed run continues from.
     if (worker.t.joinable()) {
       profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
       worker.t.join();
     }
     if (prefetch_error) std::rethrow_exception(prefetch_error);
-    if (stop) break;
     if (have_next) {
       if (config.resample_negatives)
         loop.negatives = std::move(next_negatives);
       if (config.shuffle) positions = std::move(next_positions);
       plans = std::move(next_plans);
     }
+    // Crash safety: checkpoint after the epoch's update is fully applied
+    // and epoch e+1's inputs are adopted — the exact cut a resumed run
+    // continues from bit-identically.
+    if (loop.should_checkpoint(epoch)) loop.write_checkpoint(epoch, positions);
+    if (stop) break;
   }
 
   loop.result.plan_stats = cache.stats();
@@ -294,8 +385,17 @@ void run_legacy(TrainLoop& loop) {
   std::vector<index_t> positions(static_cast<std::size_t>(m));
   for (std::size_t i = 0; i < positions.size(); ++i)
     positions[i] = static_cast<index_t>(i);
+  // A resumed run starts from the permutation the checkpointing epoch left
+  // behind: this loop shuffles in place at each epoch top, so the next
+  // shuffle must act on the same array state the uninterrupted run had.
+  if (loop.resumed && config.shuffle) {
+    SPTX_CHECK(loop.restored_positions.size() == positions.size(),
+               "checkpoint has no shuffle permutation — it was written by a "
+               "run with shuffle off");
+    positions = loop.restored_positions;
+  }
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = loop.start_epoch; epoch < config.epochs; ++epoch) {
     const auto epoch_start = profiling::clock::now();
     loop.apply_schedule(epoch);
 
@@ -340,7 +440,10 @@ void run_legacy(TrainLoop& loop) {
       ++batches;
     }
 
-    if (loop.finish_epoch(epoch, loss_sum, batches, epoch_start, 0.0)) break;
+    const bool stop = loop.finish_epoch(epoch, loss_sum, batches, epoch_start,
+                                        0.0);
+    if (loop.should_checkpoint(epoch)) loop.write_checkpoint(epoch, positions);
+    if (stop) break;
   }
 }
 
@@ -350,6 +453,10 @@ TrainConfig resolve(const TrainConfig& config, const RuntimeConfig& rc) {
   TrainConfig resolved = config;
   resolved.plan_cache = rc.flag_or("SPTX_PLAN_CACHE", config.plan_cache);
   resolved.prefetch = rc.flag_or("SPTX_PREFETCH", config.prefetch);
+  resolved.checkpoint_every = static_cast<int>(
+      rc.int_or("SPTX_CHECKPOINT_EVERY", config.checkpoint_every));
+  resolved.checkpoint_keep = static_cast<int>(
+      rc.int_or("SPTX_CHECKPOINT_KEEP", config.checkpoint_keep));
   return resolved;
 }
 
@@ -361,8 +468,13 @@ TrainResult train(models::KgeModel& model, const TripletStore& data,
   SPTX_CHECK(resolved.batch_size > 0 && resolved.epochs >= 0,
              "bad train config");
   SPTX_CHECK(resolved.negatives_per_positive >= 1, "need k >= 1 negatives");
+  SPTX_CHECK(resolved.checkpoint_every <= 0 ||
+                 !resolved.checkpoint_path.empty(),
+             "checkpoint_every > 0 needs a checkpoint_path");
+  fault::init_from_config();
 
   TrainLoop loop(model, data, resolved, on_epoch);
+  if (!resolved.resume_from.empty()) loop.restore(resolved.resume_from);
 
   ScopedPeakWindow memory_window;
   profiling::FlopWindow flop_window;

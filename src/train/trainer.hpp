@@ -80,6 +80,25 @@ struct TrainConfig {
   /// plans every epoch (otherwise the cache already serves them).
   /// SPTX_PREFETCH=0|1 overrides.
   bool prefetch = true;
+  /// Crash safety: when > 0, write an atomic CRC-checksummed training
+  /// checkpoint (model + optimizer + RNG + epoch cursor + sampling
+  /// buffers) to `<checkpoint_path>.ep<N>` after every `checkpoint_every`
+  /// completed epochs. A run resumed from such a checkpoint continues the
+  /// exact trajectory — final parameters are bit-identical to the
+  /// uninterrupted run (given the same plan_cache setting; the two
+  /// pipelines stage their RNG differently). SPTX_CHECKPOINT_EVERY
+  /// overrides.
+  int checkpoint_every = 0;
+  /// Base path for rotated checkpoints; required when checkpoint_every > 0.
+  std::string checkpoint_path;
+  /// Retain the last N rotated checkpoints (0 = keep all).
+  /// SPTX_CHECKPOINT_KEEP overrides.
+  int checkpoint_keep = 3;
+  /// Resume from a checkpoint: either an explicit `.ep<N>` file or a base
+  /// path, in which case the highest-epoch rotation is used. Empty = fresh
+  /// run. The model/optimizer/seed configuration must match the
+  /// checkpointing run.
+  std::string resume_from;
 };
 
 struct TrainResult {
@@ -99,6 +118,13 @@ struct TrainResult {
   /// Incidence-matrix builder invocations inside the run; with an
   /// epoch-invariant schedule everything after epoch 0 must be zero.
   std::int64_t incidence_builds = 0;
+  /// First epoch this run executed (> 0 when resumed from a checkpoint).
+  /// epoch_loss still covers the full trajectory; phases / epoch_seconds /
+  /// total_seconds cover only this process's share.
+  int start_epoch = 0;
+  /// Crash-safety traffic: checkpoints written and the newest one's path.
+  int checkpoints_written = 0;
+  std::string last_checkpoint;
 };
 
 /// Apply the registry's training overrides (SPTX_PLAN_CACHE, SPTX_PREFETCH)

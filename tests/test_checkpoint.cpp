@@ -2,8 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <string>
 
+#include "src/common/error.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/rng.hpp"
 #include "src/kg/synthetic.hpp"
 #include "src/models/checkpoint.hpp"
@@ -137,6 +142,172 @@ TEST(Checkpoint, GarbageFileRejected) {
   auto model = models::make_sparse_model("TransE", 10, 2, cfg, rng);
   EXPECT_THROW(models::load_checkpoint(*model, path), Error);
   std::remove(path.c_str());
+}
+
+// ---- corruption & crash safety --------------------------------------------
+
+std::unique_ptr<models::KgeModel> small_model(std::uint64_t seed) {
+  models::ModelConfig cfg;
+  cfg.dim = 8;
+  Rng rng(seed);
+  return models::make_sparse_model("TransE", 10, 2, cfg, rng);
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << is.rdbuf();
+  return bytes.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointCorruption, TruncatedFileRejectedTyped) {
+  auto model = small_model(7);
+  const std::string path = temp_path("ckpt_truncated.sptxc");
+  models::save_checkpoint(*model, path);
+  const std::string bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+  // Cut the payload short: the header promises more bytes than exist.
+  write_bytes(path, bytes.substr(0, bytes.size() - 7));
+  try {
+    models::load_checkpoint(*model, path);
+    FAIL() << "truncated checkpoint must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptCheckpoint);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, BitFlipFailsTheCrc) {
+  auto model = small_model(7);
+  const std::string path = temp_path("ckpt_bitflip.sptxc");
+  models::save_checkpoint(*model, path);
+  std::string bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[bytes.size() / 2] ^= 0x40;  // one flipped bit mid-payload
+  write_bytes(path, bytes);
+  try {
+    models::load_checkpoint(*model, path);
+    FAIL() << "bit-flipped checkpoint must fail the CRC";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptCheckpoint);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, FailedRewriteNeverTruncatesTheGoodCheckpoint) {
+  // Write a good checkpoint, then make the NEXT write fail mid-commit: the
+  // destination must keep the previous complete content byte for byte, and
+  // no orphaned temp file may linger.
+  auto model = small_model(7);
+  const std::string path = temp_path("ckpt_preserved.sptxc");
+  models::save_checkpoint(*model, path);
+  const std::string good = read_bytes(path);
+
+  auto newer = small_model(99);
+  fault::install("checkpoint_write:fail_once@1");
+  try {
+    models::save_checkpoint(*newer, path);
+    fault::clear();
+    FAIL() << "the injected commit fault must surface";
+  } catch (const Error& e) {
+    fault::clear();
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+  }
+
+  EXPECT_EQ(read_bytes(path), good);  // old checkpoint untouched
+  int leftovers = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir()))
+    if (entry.path().filename().string().starts_with(
+            "ckpt_preserved.sptxc.tmp"))
+      ++leftovers;
+  EXPECT_EQ(leftovers, 0);  // failed commit cleaned up its temp file
+
+  // The survivor still loads, and a retry (fault cleared) goes through.
+  EXPECT_NO_THROW(models::load_checkpoint(*newer, path));
+  models::save_checkpoint(*newer, path);
+  EXPECT_NO_THROW(models::load_checkpoint(*model, path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, TrainStateRoundTripsExactly) {
+  auto model = small_model(7);
+  const std::string path = temp_path("ckpt_trainstate.sptxc");
+  models::TrainCheckpointState st;
+  st.next_epoch = 5;
+  st.rng_state = {1u, 2u, 3u, 4u};
+  st.best_loss = 0.25f;
+  st.epochs_without_improvement = 2;
+  st.optimizer = "sgd";
+  st.negatives = {{0, 1, 2}, {3, 0, 4}};
+  st.positions = {4, 2, 0, 1, 3};
+  st.epoch_loss = {1.5f, 1.0f, 0.5f, 0.3f, 0.25f};
+  models::save_train_checkpoint(*model, st, path);
+
+  auto other = small_model(99);
+  const auto back = models::load_train_checkpoint(*other, path);
+  EXPECT_EQ(back.next_epoch, st.next_epoch);
+  EXPECT_EQ(back.rng_state, st.rng_state);
+  EXPECT_FLOAT_EQ(back.best_loss, st.best_loss);
+  EXPECT_EQ(back.epochs_without_improvement, st.epochs_without_improvement);
+  EXPECT_EQ(back.optimizer, st.optimizer);
+  ASSERT_EQ(back.negatives.size(), st.negatives.size());
+  for (std::size_t i = 0; i < st.negatives.size(); ++i) {
+    EXPECT_EQ(back.negatives[i].head, st.negatives[i].head);
+    EXPECT_EQ(back.negatives[i].relation, st.negatives[i].relation);
+    EXPECT_EQ(back.negatives[i].tail, st.negatives[i].tail);
+  }
+  EXPECT_EQ(back.positions, st.positions);
+  EXPECT_EQ(back.epoch_loss, st.epoch_loss);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, ModelLoadRejectsTrainKindTyped) {
+  // A train checkpoint fed to the model-only loader (and vice versa) is a
+  // kind mismatch, not a crash.
+  auto model = small_model(7);
+  const std::string path = temp_path("ckpt_kind.sptxc");
+  models::save_train_checkpoint(*model, {}, path);
+  EXPECT_THROW(models::load_checkpoint(*model, path), Error);
+  models::save_checkpoint(*model, path);
+  EXPECT_THROW(models::load_train_checkpoint(*model, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRotation, LatestFindsHighestEpochAndPrunes) {
+  const std::string base = temp_path("rotbase");
+  auto model = small_model(7);
+  for (int epoch : {2, 4, 10}) {
+    models::save_checkpoint(*model,
+                            models::checkpoint_path_for_epoch(base, epoch));
+  }
+  // A kill-orphaned temp file must never be mistaken for a rotation.
+  write_bytes(base + ".ep12.tmp.1234", "torn");
+
+  auto found = models::latest_checkpoint(base);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->epoch, 10);
+  // Path equality modulo slash normalisation (TempDir ends in '/').
+  EXPECT_TRUE(std::filesystem::equivalent(
+      found->path, models::checkpoint_path_for_epoch(base, 10)));
+
+  models::prune_checkpoints(base, 2);
+  EXPECT_FALSE(
+      std::filesystem::exists(models::checkpoint_path_for_epoch(base, 2)));
+  EXPECT_TRUE(
+      std::filesystem::exists(models::checkpoint_path_for_epoch(base, 4)));
+  EXPECT_TRUE(
+      std::filesystem::exists(models::checkpoint_path_for_epoch(base, 10)));
+
+  for (int epoch : {4, 10})
+    std::remove(models::checkpoint_path_for_epoch(base, epoch).c_str());
+  std::remove((base + ".ep12.tmp.1234").c_str());
+  EXPECT_FALSE(models::latest_checkpoint(base).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Tests for the deterministic fault-injection harness (common/fault.hpp):
+// spec parsing, the per-mode firing rules, determinism of the eio decision,
+// context matching for die rules, and the typed error the sites throw.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/fault.hpp"
+
+namespace sptx {
+namespace {
+
+/// Every test leaves the process-global harness clean.
+struct FaultGuard {
+  ~FaultGuard() { fault::clear(); }
+};
+
+TEST(Fault, InactiveByDefaultAndAfterClear) {
+  FaultGuard guard;
+  fault::clear();
+  EXPECT_FALSE(fault::active());
+  EXPECT_EQ(fault::spec(), "");
+  EXPECT_FALSE(fault::should_fail("checkpoint_write"));
+  EXPECT_NO_THROW(fault::maybe_fail("anything"));
+}
+
+TEST(Fault, MalformedSpecsRejected) {
+  FaultGuard guard;
+  EXPECT_THROW(fault::install("nocolon"), Error);
+  EXPECT_THROW(fault::install(":fail"), Error);
+  EXPECT_THROW(fault::install("site:unknown_mode"), Error);
+  EXPECT_THROW(fault::install("site:fail@zero"), Error);
+  EXPECT_THROW(fault::install("site:fail@0"), Error);     // hits are 1-based
+  EXPECT_THROW(fault::install("site:eio"), Error);        // needs @P
+  EXPECT_THROW(fault::install("site:eio@1.5"), Error);    // P outside [0,1]
+  EXPECT_THROW(fault::install("site:die"), Error);        // needs @A
+  // A failed install never leaves a half-built harness behind.
+  EXPECT_THROW(fault::install("a:fail_once,b:bogus"), Error);
+}
+
+TEST(Fault, FailOnceFiresExactlyOnceAtTheNthHit) {
+  FaultGuard guard;
+  fault::install("s:fail_once@3");
+  EXPECT_TRUE(fault::active());
+  EXPECT_EQ(fault::spec(), "s:fail_once@3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fault::should_fail("s"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+}
+
+TEST(Fault, FailFiresFromTheNthHitOn) {
+  FaultGuard guard;
+  fault::install("s:fail@2");
+  EXPECT_FALSE(fault::should_fail("s"));
+  EXPECT_TRUE(fault::should_fail("s"));
+  EXPECT_TRUE(fault::should_fail("s"));
+}
+
+TEST(Fault, SitesAreIndependent) {
+  FaultGuard guard;
+  fault::install("a:fail@1,b:fail_once@2");
+  EXPECT_FALSE(fault::should_fail("c"));  // unknown site never fires
+  EXPECT_TRUE(fault::should_fail("a"));
+  EXPECT_FALSE(fault::should_fail("b"));
+  EXPECT_TRUE(fault::should_fail("b"));
+}
+
+TEST(Fault, EioIsDeterministicPerSeedAndHit) {
+  FaultGuard guard;
+  const auto run = [](std::uint64_t seed) {
+    fault::install("s:eio@0.3", seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(fault::should_fail("s"));
+    return out;
+  };
+  const auto a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);  // same seed → identical fault pattern
+  EXPECT_NE(a, c);  // different seed → different pattern
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);   // p=0.3 over 64 hits: some fire…
+  EXPECT_LT(fires, 64);  // …but not all
+}
+
+TEST(Fault, EioExtremesNeverAndAlways) {
+  FaultGuard guard;
+  fault::install("s:eio@0");
+  for (int i = 0; i < 32; ++i) EXPECT_FALSE(fault::should_fail("s"));
+  fault::install("s:eio@1");
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(fault::should_fail("s"));
+}
+
+TEST(Fault, DieMatchesContext) {
+  FaultGuard guard;
+  fault::install("w:die@2:1");
+  EXPECT_FALSE(fault::should_fail("w", 1, 1));  // wrong epoch
+  EXPECT_FALSE(fault::should_fail("w", 2, 0));  // wrong worker
+  EXPECT_FALSE(fault::should_fail("w"));        // no context at all
+  EXPECT_TRUE(fault::should_fail("w", 2, 1));
+  // ctx_b omitted in the rule matches any worker.
+  fault::install("w:die@3");
+  EXPECT_TRUE(fault::should_fail("w", 3, 0));
+  EXPECT_TRUE(fault::should_fail("w", 3, 5));
+  EXPECT_FALSE(fault::should_fail("w", 4, 3));
+}
+
+TEST(Fault, MaybeFailThrowsTypedError) {
+  FaultGuard guard;
+  fault::install("s:fail@1");
+  try {
+    fault::maybe_fail("s");
+    FAIL() << "expected an injected fault";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+    EXPECT_NE(std::string(e.what()).find("s"), std::string::npos);
+  }
+}
+
+TEST(Fault, ReinstallResetsCounters) {
+  FaultGuard guard;
+  fault::install("s:fail_once@1");
+  EXPECT_TRUE(fault::should_fail("s"));
+  EXPECT_FALSE(fault::should_fail("s"));  // consumed
+  fault::install("s:fail_once@1");        // fresh counters
+  EXPECT_TRUE(fault::should_fail("s"));
+}
+
+}  // namespace
+}  // namespace sptx

@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "src/api/engine.hpp"
+#include "src/common/fault.hpp"
 #include "src/kg/synthetic.hpp"
 #include "src/serve/micro_batcher.hpp"
 
@@ -335,6 +340,263 @@ TEST(MicroBatcherUnit, OversizedRequestStillExecutes) {
   EXPECT_EQ(batcher.stats().batches_executed, 1);
   batcher.execute({}, nullptr);  // empty request is a no-op
   EXPECT_EQ(batcher.stats().requests, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: bounded queue, per-request deadlines, typed
+// rejections. The contract under overload: nobody hangs, every request gets
+// either its exact scores or a typed rejection, and shedding never changes
+// the answers of the requests that are served.
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatcherDegrade, PastDeadlineRejectedOnArrival) {
+  std::atomic<int> calls{0};
+  const auto scorer = [&](std::span<const Triplet> batch) {
+    ++calls;
+    return std::vector<float>(batch.size(), 0.0f);
+  };
+  serve::MicroBatcher batcher(scorer, 4, std::chrono::microseconds(0));
+  Triplet t{1, 0, 2};
+  float out = -1.0f;
+  const auto expired =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(batcher.try_execute({&t, 1}, &out, expired),
+            serve::RejectReason::kDeadline);
+  EXPECT_EQ(calls.load(), 0);  // shed before any work
+  EXPECT_EQ(batcher.stats().rejected_deadline, 1);
+  // The same request without a deadline executes normally.
+  EXPECT_EQ(batcher.try_execute({&t, 1}, &out),
+            serve::RejectReason::kNone);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+/// Scorer that blocks until released — lets a test pin the single
+/// concurrency slot and observe the queue deterministically.
+struct BlockingScorer {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<int> started{0};
+  std::atomic<int> scored_triplets{0};
+
+  serve::MicroBatcher::ScoreFn fn() {
+    return [this](std::span<const Triplet> batch) {
+      ++started;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return released; });
+      }
+      scored_triplets += static_cast<int>(batch.size());
+      std::vector<float> out(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        out[i] = static_cast<float>(batch[i].head) * 0.5f;
+      return out;
+    };
+  }
+  void release() {
+    std::lock_guard<std::mutex> lk(mu);
+    released = true;
+    cv.notify_all();
+  }
+  void wait_started() {
+    while (started.load() == 0) std::this_thread::yield();
+  }
+};
+
+TEST(MicroBatcherDegrade, BoundedQueueBouncesExcessLoadTyped) {
+  BlockingScorer scorer;
+  // One execution slot, queue bounded at 2 triplets.
+  serve::MicroBatcher batcher(scorer.fn(), /*max_batch=*/1,
+                              std::chrono::microseconds(0),
+                              /*queue_limit=*/2, /*max_concurrent=*/1);
+  Triplet a{2, 0, 0}, b{4, 0, 0}, c{6, 0, 0}, d{8, 0, 0};
+  float oa = -1, ob = -1, oc = -1, od = -1;
+  // Occupy the slot, then fill the queue behind it.
+  std::thread ta([&] {
+    EXPECT_EQ(batcher.try_execute({&a, 1}, &oa), serve::RejectReason::kNone);
+  });
+  scorer.wait_started();
+  std::thread tb([&] {
+    EXPECT_EQ(batcher.try_execute({&b, 1}, &ob), serve::RejectReason::kNone);
+  });
+  std::thread tc([&] {
+    EXPECT_EQ(batcher.try_execute({&c, 1}, &oc), serve::RejectReason::kNone);
+  });
+  // b and c are queued (the slot is pinned); give them time to enqueue.
+  while (batcher.stats().requests < 3) std::this_thread::yield();
+  // The queue holds 2 triplets — the bound; the next arrival bounces, and
+  // the typed path throws nothing while execute() raises the typed Error.
+  EXPECT_EQ(batcher.try_execute({&d, 1}, &od),
+            serve::RejectReason::kQueueFull);
+  try {
+    batcher.execute({&d, 1}, &od);
+    FAIL() << "bounded queue should reject";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kQueueFull);
+  }
+  scorer.release();
+  ta.join();
+  tb.join();
+  tc.join();
+  // Everyone admitted was served exactly; the bounced request never ran.
+  EXPECT_EQ(oa, 1.0f);
+  EXPECT_EQ(ob, 2.0f);
+  EXPECT_EQ(oc, 3.0f);
+  EXPECT_EQ(od, -1.0f);
+  EXPECT_EQ(batcher.stats().rejected_queue_full, 2);
+  EXPECT_EQ(scorer.scored_triplets.load(), 3);
+}
+
+TEST(MicroBatcherDegrade, ExpiredWhileQueuedShedsWithoutExecuting) {
+  BlockingScorer scorer;
+  serve::MicroBatcher batcher(scorer.fn(), /*max_batch=*/4,
+                              std::chrono::microseconds(0),
+                              /*queue_limit=*/0, /*max_concurrent=*/1);
+  Triplet a{2, 0, 0}, b{100, 0, 0};
+  float oa = -1, ob = -1;
+  std::thread ta([&] {
+    EXPECT_EQ(batcher.try_execute({&a, 1}, &oa), serve::RejectReason::kNone);
+  });
+  scorer.wait_started();
+  // The slot is pinned; a queued request whose deadline passes must shed
+  // itself and return — no hang, no execution.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(batcher.try_execute({&b, 1}, &ob, deadline),
+            serve::RejectReason::kDeadline);
+  EXPECT_EQ(ob, -1.0f);
+  scorer.release();
+  ta.join();
+  EXPECT_EQ(oa, 1.0f);
+  EXPECT_EQ(scorer.scored_triplets.load(), 1);  // b never reached the scorer
+  EXPECT_GE(batcher.stats().rejected_deadline, 1);
+}
+
+/// Minimal model whose score() costs real wall time — the "service
+/// capacity" the oversubscription test saturates.
+class SlowModel : public models::KgeModel {
+ public:
+  SlowModel(index_t entities, index_t relations)
+      : KgeModel(entities, relations, models::ModelConfig{}) {}
+  std::string name() const override { return "SlowModel"; }
+  autograd::Variable loss(std::span<const Triplet>,
+                          std::span<const Triplet>) override {
+    throw Error("SlowModel is serve-only");
+  }
+  std::vector<float> score(std::span<const Triplet> batch) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::vector<float> out(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      out[i] = static_cast<float>(batch[i].head * 3 - batch[i].tail);
+    return out;
+  }
+  std::vector<autograd::Variable> params() override { return {}; }
+};
+
+TEST(Serve, OversubscribedSessionShedsTypedAndServesExactly) {
+  // Service capacity: one slot, 1 ms per execution, up to 4 triplets per
+  // batch. Load: 8 threads issuing back-to-back 2-triplet requests — 4x
+  // more outstanding triplets than the queue bound admits on a burst.
+  auto model = std::make_shared<SlowModel>(100, 4);
+  serve::SessionOptions so;
+  so.micro_batch = true;
+  so.max_batch = 4;
+  so.queue_limit = 8;
+  so.max_concurrency = 1;
+  serve::InferenceSession session(model, so);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  constexpr std::int64_t kDeadlineUs = 300'000;  // generous: 300 ms
+  std::atomic<std::int64_t> accepted{0}, queue_full{0}, deadline{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<double> latencies[kThreads];
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int i = 0; i < kRounds; ++i) {
+        const Triplet q[2] = {{w, 0, i % 50}, {i % 100, 1, w}};
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = session.try_score({q, 2}, kDeadlineUs);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        switch (result.rejected) {
+          case serve::RejectReason::kNone: {
+            ++accepted;
+            latencies[w].push_back(ms);
+            const auto expect = model->score({q, 2});
+            if (result.scores != expect) mismatch = true;
+            break;
+          }
+          case serve::RejectReason::kQueueFull:
+            ++queue_full;
+            break;
+          case serve::RejectReason::kDeadline:
+            ++deadline;
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  // Typed accounting is complete: every request was served or shed.
+  EXPECT_EQ(accepted + queue_full + deadline,
+            static_cast<std::int64_t>(kThreads) * kRounds);
+  // The burst exceeds slot + queue capacity, so the bounded queue sheds.
+  EXPECT_GE(queue_full.load(), 1);
+  // Somebody was served, and every served answer was bit-exact.
+  EXPECT_GE(accepted.load(), 1);
+  EXPECT_FALSE(mismatch.load());
+  // Accepted requests met their deadline at p99.
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    const double p99 = all[static_cast<std::size_t>(
+        0.99 * static_cast<double>(all.size() - 1))];
+    EXPECT_LT(p99, static_cast<double>(kDeadlineUs) / 1000.0);
+  }
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.rejected, queue_full + deadline);
+  EXPECT_EQ(stats.batcher.rejected_queue_full, queue_full);
+  EXPECT_EQ(stats.batcher.rejected_deadline, deadline);
+}
+
+TEST(Serve, TryScoreMatchesScoreWhenUnloaded) {
+  Fixture fx;
+  auto session = fx.session();
+  const auto queries = random_queries(fx.ds, 32, 9);
+  const auto direct = session->score(queries);
+  const auto result = session->try_score(queries, /*deadline_us=*/0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.scores, direct);
+  // Out-of-range ids still throw (validation is not "degradation").
+  const Triplet bad{fx.ds.num_entities(), 0, 0};
+  EXPECT_THROW(session->try_score({&bad, 1}, 0), Error);
+}
+
+TEST(Serve, EngineHealthSurfacesDegradation) {
+  Fixture fx;
+  auto session = fx.session();
+  session->score_one({1, 0, 2});
+  std::string health = fx.engine.health_json();
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"sessions_open\": 1"), std::string::npos);
+  EXPECT_NE(health.find("\"loaded\": true"), std::string::npos);
+
+  // Injected serve_queue faults shed typed rejections; health flips.
+  fault::install("serve_queue:fail@1");
+  const Triplet probe{1, 0, 2};
+  const auto rejected = session->try_score({&probe, 1}, 0);
+  EXPECT_EQ(rejected.rejected, serve::RejectReason::kQueueFull);
+  health = fx.engine.health_json();
+  EXPECT_NE(health.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(health.find("\"rejected\": 1"), std::string::npos);
+  fault::clear();
 }
 
 }  // namespace

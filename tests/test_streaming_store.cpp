@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "src/common/error.hpp"
+#include "src/common/fault.hpp"
 #include "src/kg/streaming_store.hpp"
 #include "src/kg/synthetic.hpp"
 
@@ -126,6 +130,100 @@ TEST(StreamingStore, EmptyStoreIsValid) {
   auto store = kg::StreamingTripletStore::open(path);
   EXPECT_EQ(store.size(), 0);
   EXPECT_EQ(store.slice(0, 0).size(), 0u);
+  std::remove(path.c_str());
+}
+
+// ---- file validation & fault injection -------------------------------------
+
+/// A valid store file to corrupt, returned as its raw bytes.
+std::string valid_store_bytes(const std::string& path) {
+  std::vector<Triplet> t = {{0, 0, 1}, {1, 1, 2}, {2, 0, 0}};
+  kg::StreamingTripletStore::write_file(path, t, 3, 2);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::string bytes;
+  char buf[256];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+TEST(StreamingStoreValidation, ZeroLengthFileRejectedTyped) {
+  const std::string path = temp_path("stream_zero.sptxs");
+  std::fclose(std::fopen(path.c_str(), "wb"));  // 0 bytes on disk
+  try {
+    kg::StreamingTripletStore::open(path);
+    FAIL() << "a zero-length file must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDataFormat);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStoreValidation, TruncatedPayloadRejectedTyped) {
+  const std::string path = temp_path("stream_trunc.sptxs");
+  const std::string bytes = valid_store_bytes(path);
+  // The header promises 3 records; deliver 7 bytes less than that.
+  write_raw(path, bytes.substr(0, bytes.size() - 7));
+  try {
+    kg::StreamingTripletStore::open(path);
+    FAIL() << "a truncated store must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDataFormat);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStoreValidation, RaggedTrailingBytesRejectedTyped) {
+  const std::string path = temp_path("stream_ragged.sptxs");
+  std::string bytes = valid_store_bytes(path);
+  bytes.append("extra", 5);  // not a whole record
+  write_raw(path, bytes);
+  try {
+    kg::StreamingTripletStore::open(path);
+    FAIL() << "trailing partial records must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDataFormat);
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingStoreValidation, InjectedMmapFaultSurfacesTyped) {
+  const std::string path = temp_path("stream_fault.sptxs");
+  valid_store_bytes(path);
+
+  // Fault on open.
+  fault::install("mmap_read:fail_once@1");
+  try {
+    kg::StreamingTripletStore::open(path);
+    fault::clear();
+    FAIL() << "the injected open fault must surface";
+  } catch (const Error& e) {
+    fault::clear();
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+  }
+
+  // Fault on a read: open consumes hit 1, the slice consumes hit 2.
+  fault::install("mmap_read:fail@2");
+  auto store = kg::StreamingTripletStore::open(path);
+  try {
+    store.slice(0, 1);
+    fault::clear();
+    FAIL() << "the injected read fault must surface";
+  } catch (const Error& e) {
+    fault::clear();
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+  }
+  // With the harness cleared the same store serves reads again.
+  EXPECT_EQ(store.slice(0, 1).size(), 1u);
   std::remove(path.c_str());
 }
 

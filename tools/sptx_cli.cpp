@@ -123,6 +123,14 @@ int cmd_train(const Args& args) {
   tc.grad_clip_norm = static_cast<float>(args.num("clip-norm", 0.0));
   tc.patience = static_cast<int>(args.num("patience", 0));
   tc.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  // Crash safety: --checkpoint <base> rotates atomic training checkpoints
+  // every --checkpoint-every epochs; --resume continues a trajectory
+  // bit-identically from a base path (newest rotation) or explicit file.
+  tc.checkpoint_path = args.get("checkpoint", "");
+  tc.checkpoint_every = static_cast<int>(
+      args.num("checkpoint-every", tc.checkpoint_path.empty() ? 0 : 10));
+  tc.checkpoint_keep = static_cast<int>(args.num("checkpoint-keep", 3));
+  tc.resume_from = args.get("resume", "");
   const int log_every = std::max(tc.epochs / 10, 1);
 
   const auto result =
@@ -130,6 +138,12 @@ int cmd_train(const Args& args) {
         if (epoch % log_every == 0)
           std::printf("  epoch %4d  loss %.6f\n", epoch, loss);
       });
+  if (result.start_epoch > 0)
+    std::printf("resumed from epoch %d (%s)\n", result.start_epoch,
+                tc.resume_from.c_str());
+  if (result.checkpoints_written > 0)
+    std::printf("wrote %d checkpoint(s), newest %s\n",
+                result.checkpoints_written, result.last_checkpoint.c_str());
   std::printf("trained %s in %.2fs (fwd %.2fs, bwd %.2fs, step %.2fs); "
               "peak %.1f MB, %.2f GFLOP\n",
               engine.model().name().c_str(), result.total_seconds,
@@ -182,6 +196,8 @@ const char* type_name(ConfigType type) {
       return "double";
     case ConfigType::kEnum:
       return "enum";
+    case ConfigType::kString:
+      return "string";
   }
   return "?";
 }
@@ -281,6 +297,9 @@ int cmd_serve(const Args& args) {
   serve::SessionOptions so;
   so.micro_batch = args.num("microbatch", 1) != 0;
   so.window_us = static_cast<int>(args.num("window-us", 0));
+  so.queue_limit = static_cast<index_t>(args.num("queue-limit", 0));
+  so.deadline_us = static_cast<std::int64_t>(args.num("deadline-us", 0));
+  so.max_concurrency = static_cast<int>(args.num("concurrency", 0));
   auto session = engine.open_session(so);
 
   const int threads = static_cast<int>(args.num("threads", 4));
@@ -290,6 +309,7 @@ int cmd_serve(const Args& args) {
   SPTX_CHECK(threads >= 1 && queries >= 1, "bad serve load shape");
 
   std::atomic<std::int64_t> scored{0};
+  std::atomic<std::int64_t> shed_queue{0}, shed_deadline{0};
   const auto t0 = profiling::clock::now();
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
@@ -305,6 +325,7 @@ int cmd_serve(const Args& args) {
           const auto r = static_cast<std::int64_t>(
               rng.next_below(static_cast<std::uint64_t>(ds.num_relations())));
           session->top_tails(h, r, top_k);
+          scored.fetch_add(1, std::memory_order_relaxed);
         } else {
           for (auto& t : q) {
             t.head = static_cast<std::int64_t>(rng.next_below(
@@ -314,9 +335,20 @@ int cmd_serve(const Args& args) {
             t.tail = static_cast<std::int64_t>(rng.next_below(
                 static_cast<std::uint64_t>(ds.num_entities())));
           }
-          session->score(q);
+          // Deadline-aware path: overload (or injected serve_queue faults)
+          // sheds with a typed rejection instead of throwing mid-thread.
+          switch (session->try_score(q).rejected) {
+            case serve::RejectReason::kNone:
+              scored.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case serve::RejectReason::kQueueFull:
+              shed_queue.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case serve::RejectReason::kDeadline:
+              shed_deadline.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
         }
-        scored.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -327,6 +359,10 @@ int cmd_serve(const Args& args) {
   std::printf("served %lld queries on %d threads in %.3fs — %.0f queries/s\n",
               static_cast<long long>(scored.load()), threads, seconds,
               static_cast<double>(scored.load()) / seconds);
+  if (shed_queue.load() > 0 || shed_deadline.load() > 0)
+    std::printf("  degraded: %lld shed queue-full, %lld shed past-deadline\n",
+                static_cast<long long>(shed_queue.load()),
+                static_cast<long long>(shed_deadline.load()));
   std::printf("  micro-batch: %s — %lld requests in %lld executions "
               "(%lld coalesced), %lld triplets\n",
               so.micro_batch ? "on" : "off",
@@ -338,6 +374,44 @@ int cmd_serve(const Args& args) {
               static_cast<long long>(stats.plans.hits),
               static_cast<long long>(stats.plans.misses),
               static_cast<long long>(stats.plans.entries));
+  return 0;
+}
+
+/// Operational health as JSON. Bare `sptx health` reports the process
+/// surface (config + fault harness, no model); with a data source and
+/// --load it also reports the loaded model, and --selftest N drives N
+/// scoring queries through a session so the serving counters are live.
+int cmd_health(const Args& args) {
+  Engine engine;
+  if (args.has("data") || args.has("profile")) {
+    const kg::Dataset ds = load_dataset(args);
+    const ModelSpec spec = build_spec(args);
+    if (args.has("load")) {
+      engine.load_model(spec, ds.num_entities(), ds.num_relations(),
+                        args.get("load", ""));
+    } else {
+      engine.create_model(spec, ds.num_entities(), ds.num_relations());
+    }
+    const auto selftest = static_cast<std::int64_t>(args.num("selftest", 0));
+    if (selftest > 0) {
+      auto session = engine.open_session({});
+      Rng rng(7);
+      for (std::int64_t i = 0; i < selftest; ++i) {
+        const Triplet t{
+            static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(ds.num_entities()))),
+            static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(ds.num_relations()))),
+            static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(ds.num_entities())))};
+        session->try_score(std::span<const Triplet>(&t, 1),
+                           args.num("deadline-us", 0));
+      }
+      std::printf("%s\n", engine.health_json().c_str());
+      return 0;
+    }
+  }
+  std::printf("%s\n", engine.health_json().c_str());
   return 0;
 }
 
@@ -372,7 +446,7 @@ int cmd_profiles() {
 
 void usage() {
   std::printf(
-      "usage: sptx <train|eval|query|serve|config|info|profiles> "
+      "usage: sptx <train|eval|query|serve|health|config|info|profiles> "
       "[--option value ...]\n"
       "  data:   --data file.{tsv,csv,sptx} | --profile NAME --scale S\n"
       "  model:  --model TransE|TransR|TransH|TorusE|TransD|TransA|TransC|\n"
@@ -383,16 +457,21 @@ void usage() {
       "          --negatives K --resample-negatives 0|1\n"
       "          --corruption uniform|bernoulli --save ckpt --load ckpt\n"
       "          --shuffle 0|1 --weight-decay L --clip-norm C --patience P\n"
+      "          --checkpoint base --checkpoint-every N --checkpoint-keep K\n"
+      "          --resume base|file.epN   (crash-safe rotated checkpoints)\n"
       "  eval:   --load ckpt --max-queries Q --filtered 0|1 --by-category 1\n"
       "  query:  --load ckpt --relation R [--head H] [--tail T] --top K\n"
       "  serve:  [--load ckpt] --threads T --queries N --microbatch 0|1\n"
-      "          --window-us U --query-batch B\n"
+      "          --window-us U --query-batch B --queue-limit Q\n"
+      "          --deadline-us D --concurrency C  (graceful degradation)\n"
+      "  health: [--data|--profile ... --load ckpt --selftest N]\n"
+      "          print the engine health surface as JSON\n"
       "  config: [--json 1]   print the SPTX_* runtime-config registry\n");
 }
 
-constexpr std::string_view kCommands[] = {"train", "eval",     "query",
-                                          "serve", "config",   "info",
-                                          "profiles", "help"};
+constexpr std::string_view kCommands[] = {"train",  "eval",     "query",
+                                          "serve",  "health",   "config",
+                                          "info",   "profiles", "help"};
 
 }  // namespace
 
@@ -413,6 +492,7 @@ int main(int argc, char** argv) {
     if (args.command == "eval") return cmd_eval(args);
     if (args.command == "query") return cmd_query(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "health") return cmd_health(args);
     if (args.command == "config") return cmd_config(args);
     if (args.command == "info") return cmd_info(args);
     if (args.command == "profiles") return cmd_profiles();
