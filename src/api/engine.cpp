@@ -123,13 +123,32 @@ std::shared_ptr<const models::KgeModel> Engine::freeze() {
 
 std::shared_ptr<serve::InferenceSession> Engine::open_session(
     const serve::SessionOptions& options) {
-  auto session = std::make_shared<serve::InferenceSession>(
-      freeze(), serve::resolve(options, config_));
+  const serve::SessionOptions resolved = serve::resolve(options, config_);
+  auto snapshot = serve::make_serving_snapshot(
+      freeze(), resolved.ann, resolved.ann_min_entities,
+      models::next_snapshot_version());
+  auto session =
+      std::make_shared<serve::InferenceSession>(std::move(snapshot), resolved);
   sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
                                  [](const auto& w) { return w.expired(); }),
                   sessions_.end());
   sessions_.push_back(session);
   return session;
+}
+
+std::uint64_t Engine::publish(const serve::SessionOptions& options) {
+  const serve::SessionOptions resolved = serve::resolve(options, config_);
+  // Freeze + index build happen HERE, on the publisher's thread — live
+  // sessions keep answering from the old snapshot the whole time. Only the
+  // final pointer flip is visible to them.
+  const models::VersionedModel frozen = models::freeze_versioned(model(), spec_);
+  auto snapshot = serve::make_serving_snapshot(
+      frozen.model, resolved.ann, resolved.ann_min_entities, frozen.version);
+  for (const auto& weak : sessions_)
+    if (auto session = weak.lock()) session->install(snapshot);
+  published_version_ = frozen.version;
+  ++publishes_;
+  return frozen.version;
 }
 
 namespace {
@@ -154,6 +173,10 @@ std::string Engine::health_json() const {
       total.queries += s.queries;
       total.triplets_scored += s.triplets_scored;
       total.rejected += s.rejected;
+      total.topk_ann += s.topk_ann;
+      total.topk_brute += s.topk_brute;
+      total.ann_candidates += s.ann_candidates;
+      total.installs += s.installs;
       total.batcher.rejected_queue_full += s.batcher.rejected_queue_full;
       total.batcher.rejected_deadline += s.batcher.rejected_deadline;
       total.batcher.shed_expired += s.batcher.shed_expired;
@@ -191,7 +214,12 @@ std::string Engine::health_json() const {
       << ", \"shed_expired\": " << total.batcher.shed_expired
       << ", \"batches_executed\": " << total.batcher.batches_executed
       << ", \"coalesced_requests\": " << total.batcher.coalesced_requests
-      << "}\n}";
+      << ", \"topk_ann\": " << total.topk_ann
+      << ", \"topk_brute\": " << total.topk_brute
+      << ", \"ann_candidates\": " << total.ann_candidates
+      << ", \"installs\": " << total.installs
+      << ", \"published_version\": " << published_version_
+      << ", \"publishes\": " << publishes_ << "}\n}";
   return out.str();
 }
 

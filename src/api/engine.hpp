@@ -115,13 +115,29 @@ class Engine {
   // ---- serving ------------------------------------------------------------
   /// Freeze the current model and open a thread-safe inference session
   /// over the frozen replica. `options` is resolved against the engine
-  /// snapshot (SPTX_SERVE_* knobs).
+  /// snapshot (SPTX_SERVE_* / SPTX_ANN_* knobs); the session's clustered
+  /// ANN index (serve/ann_index.hpp) is built here, once, per those knobs.
   std::shared_ptr<serve::InferenceSession> open_session(
       const serve::SessionOptions& options = {});
 
   /// The frozen replica alone (no session) — for callers composing their
   /// own serving layer.
   std::shared_ptr<const models::KgeModel> freeze();
+
+  /// Zero-downtime snapshot publication: freeze the engine's CURRENT model
+  /// weights, build the new serving snapshot (ANN index included) off the
+  /// serving threads, then atomically hot-swap it into every live session
+  /// this engine opened. In-flight requests drain on the version they
+  /// started with; no request is dropped or answered from torn state. The
+  /// vocabulary must match what the sessions are serving (hot-swap
+  /// publishes refreshed weights, not a re-sized graph). Returns the new
+  /// snapshot version. `options` resolves the ANN knobs exactly as
+  /// open_session does; sessions opened later also start from the newest
+  /// weights (they freeze on open).
+  std::uint64_t publish(const serve::SessionOptions& options = {});
+
+  /// Version stamped by the most recent publish() (0 = never published).
+  std::uint64_t published_version() const { return published_version_; }
 
   // ---- health -------------------------------------------------------------
   /// One-call operational health surface as JSON: model state, the fault-
@@ -143,10 +159,12 @@ class Engine {
   /// triplets) — evaluating a different or mutated dataset drops the cache.
   std::unique_ptr<sparse::PlanCache> eval_plans_;
   std::uint64_t eval_fingerprint_ = 0;
-  /// Sessions opened by this engine, for the health surface. Weak — the
-  /// engine never extends a session's lifetime; dead entries are pruned on
-  /// the next open_session().
+  /// Sessions opened by this engine, for the health surface and for
+  /// publish() fan-out. Weak — the engine never extends a session's
+  /// lifetime; dead entries are pruned on the next open_session().
   mutable std::vector<std::weak_ptr<serve::InferenceSession>> sessions_;
+  std::uint64_t published_version_ = 0;
+  std::int64_t publishes_ = 0;
 };
 
 }  // namespace sptx

@@ -81,6 +81,22 @@ constexpr ConfigSpec kSpecs[] = {
      "Override SessionOptions::deadline_us: default per-request deadline; "
      "requests that cannot start scoring in time are shed with kDeadline "
      "(0 = no deadline)."},
+    {"SPTX_ANN", ConfigType::kEnum, "",
+     "Override SessionOptions::ann: clustered ANN acceleration for top-k "
+     "serving. auto builds+uses the IVF index when the model family has a "
+     "probe transform and the vocabulary has at least SPTX_ANN_MIN_ENTITIES "
+     "entities, on forces it for any size, off always brute-forces. "
+     "Returned scores are exact either way (candidates re-rank through the "
+     "model's score path).",
+     "auto|on|off"},
+    {"SPTX_ANN_NPROBE", ConfigType::kInt, "",
+     "Override SessionOptions::ann_nprobe: centroid lists scanned per ANN "
+     "top-k query — the recall/latency dial (0 = auto: max(4, "
+     "k_lists/10))."},
+    {"SPTX_ANN_MIN_ENTITIES", ConfigType::kInt, "",
+     "Override SessionOptions::ann_min_entities: below this entity count "
+     "SPTX_ANN=auto stays brute-force (the index build + probe overhead "
+     "beats the scan it saves on small vocabularies)."},
     {"SPTX_CHECKPOINT_EVERY", ConfigType::kInt, "",
      "Override TrainConfig/DdpConfig::checkpoint_every: write a crash-safe "
      "training checkpoint every N epochs (0 = off)."},

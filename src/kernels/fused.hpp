@@ -33,6 +33,8 @@
 // shared_ptr in the autograd node.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <span>
 
 #include "src/common/runtime_config.hpp"
@@ -52,6 +54,25 @@ enum class Norm { kL1, kL2 };
 /// semiring families are already single fused autograd ops, so they are
 /// unaffected either way).
 bool fused_enabled();
+
+// ---- ANN candidate re-rank -------------------------------------------------
+
+/// Exact scorer for one cache-resident block of staged candidate triplets:
+/// writes block.size() scores into the output pointer. Typically a
+/// KgeModel::score wrapper (the kernels layer cannot depend on models).
+using ScoreBlockFn = std::function<void(std::span<const Triplet>, float*)>;
+
+/// Batched exact re-rank of an ANN candidate set: stages the candidate
+/// triplets — (anchor, relation, candidates[i]) when `corrupt_tail`,
+/// (candidates[i], relation, anchor) otherwise — in fixed-size stack blocks
+/// and streams them through `score_block`, writing scores[i] for
+/// candidates[i]. Because every family's score() is element-pure per row,
+/// the result is bit-identical to scoring the full N-entity candidate batch
+/// and gathering the same rows, without ever materializing it.
+void rerank_candidates(bool corrupt_tail, std::int64_t anchor,
+                       std::int64_t relation,
+                       std::span<const index_t> candidates,
+                       const ScoreBlockFn& score_block, float* scores);
 
 // ---- Stacked-table families ------------------------------------------------
 // table is the [entities; relations] stack ((N+R) × d, relations offset by

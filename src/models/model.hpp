@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -90,6 +91,29 @@ enum class ParamIndexSpace {
   kDense,                   // anything else: all-reduce the whole matrix
 };
 
+/// Probe geometry for ANN-accelerated top-k serving (serve/ann_index.hpp):
+/// which matrix holds the entity points (rows [0, num_entities) are the
+/// candidates) and how a composed query row ranks against them. The
+/// contract is *rank-preserving*, not score-preserving — ordering entities
+/// by the probe metric against ann_query()'s row must equal ordering them
+/// by score() for the same (anchor, relation) — because returned scores
+/// always come from an exact re-rank through score(); the probe only
+/// selects candidates.
+struct AnnSupport {
+  /// Entity point table. Rows [0, num_entities) are the candidate points;
+  /// families with stacked [entities; relations] tables expose the whole
+  /// stack and the index builder reads only the entity prefix.
+  const Matrix* table = nullptr;
+  /// Distance families: candidates rank by ||q − x|| under this norm
+  /// (lower = better).
+  kernels::Norm norm = kernels::Norm::kL2;
+  /// Similarity families rank by ⟨q, x⟩ (higher = better) instead.
+  bool inner_product = false;
+  /// Optional R×d per-relation diagonal metric (TransA): the probe distance
+  /// is Σ_j w_rj (q_j − x_j)². Null for unweighted families.
+  const Matrix* probe_weights = nullptr;
+};
+
 class KgeModel {
  public:
   virtual ~KgeModel() = default;
@@ -118,6 +142,21 @@ class KgeModel {
 
   /// Apply model constraints after an optimizer step.
   virtual void post_step() {}
+
+  /// Probe geometry for the ANN serving path, or nullopt when no
+  /// rank-preserving single-table transform exists for the family (TorusE's
+  /// wraparound metric, the relation-dependent candidate projections of
+  /// TransH/TransR/TransD, the dense baselines) — serving then brute-forces
+  /// the candidate scan, which is always correct.
+  virtual std::optional<AnnSupport> ann_support() const { return std::nullopt; }
+
+  /// Compose the probe query row for (anchor, relation) into `q`
+  /// (ann_support()->table->cols() floats): the point whose probe-metric
+  /// neighborhood holds the best-scoring candidates for (anchor, relation, ?)
+  /// when `corrupt_tail`, (?, relation, anchor) otherwise. Only meaningful —
+  /// and only called — when ann_support() is engaged.
+  virtual void ann_query(bool corrupt_tail, std::int64_t anchor,
+                         std::int64_t relation, float* q) const;
 
   index_t num_entities() const { return num_entities_; }
   index_t num_relations() const { return num_relations_; }

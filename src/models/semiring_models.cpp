@@ -51,6 +51,22 @@ std::vector<float> SpDistMult::score(std::span<const Triplet> batch) const {
   return out;
 }
 
+std::optional<AnnSupport> SpDistMult::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), kernels::Norm::kL2,
+                    /*inner_product=*/true, /*probe_weights=*/nullptr};
+}
+
+void SpDistMult::ann_query(bool corrupt_tail, std::int64_t anchor,
+                           std::int64_t relation, float* q) const {
+  const Matrix& e = ent_rel_.weights();
+  const float* a = e.row(anchor);
+  const float* r = e.row(num_entities_ + relation);
+  const index_t d = e.cols();
+  // ⊙ commutes, so both sides compose the same way: q = anchor ⊙ r.
+  (void)corrupt_tail;
+  for (index_t j = 0; j < d; ++j) q[j] = a[j] * r[j];
+}
+
 std::vector<autograd::Variable> SpDistMult::params() {
   return {ent_rel_.var()};
 }
@@ -89,6 +105,33 @@ std::vector<float> SpComplEx::score(std::span<const Triplet> batch) const {
     out[i] = acc;
   }
   return out;
+}
+
+std::optional<AnnSupport> SpComplEx::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), kernels::Norm::kL2,
+                    /*inner_product=*/true, /*probe_weights=*/nullptr};
+}
+
+void SpComplEx::ann_query(bool corrupt_tail, std::int64_t anchor,
+                          std::int64_t relation, float* q) const {
+  const Matrix& e = ent_rel_.weights();
+  const float* a = e.row(anchor);
+  const float* r = e.row(num_entities_ + relation);
+  const index_t dc = e.cols() / 2;
+  for (index_t j = 0; j < dc; ++j) {
+    const float are = a[2 * j], aim = a[2 * j + 1];
+    const float rre = r[2 * j], rim = r[2 * j + 1];
+    if (corrupt_tail) {
+      // score(t) = ⟨h⊛r, t⟩ over real 2k-vectors.
+      q[2 * j] = are * rre - aim * rim;
+      q[2 * j + 1] = are * rim + aim * rre;
+    } else {
+      // score(h) = ⟨conj(r)⊛t, h⟩: collect h's coefficients from the
+      // expanded Re(h·r·conj(t)) sum.
+      q[2 * j] = rre * are + rim * aim;
+      q[2 * j + 1] = rre * aim - rim * are;
+    }
+  }
 }
 
 std::vector<autograd::Variable> SpComplEx::params() {
@@ -133,6 +176,35 @@ std::vector<float> SpRotatE::score(std::span<const Triplet> batch) const {
     out[i] = std::sqrt(acc);
   }
   return out;
+}
+
+std::optional<AnnSupport> SpRotatE::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), kernels::Norm::kL2,
+                    /*inner_product=*/false, /*probe_weights=*/nullptr};
+}
+
+void SpRotatE::ann_query(bool corrupt_tail, std::int64_t anchor,
+                         std::int64_t relation, float* q) const {
+  const Matrix& e = ent_rel_.weights();
+  const float* a = e.row(anchor);
+  const float* r = e.row(num_entities_ + relation);
+  const index_t dc = e.cols() / 2;
+  for (index_t j = 0; j < dc; ++j) {
+    // Same normalization (and 1e-12 clamp) as score().
+    const float mag = std::max(
+        std::sqrt(r[2 * j] * r[2 * j] + r[2 * j + 1] * r[2 * j + 1]), 1e-12f);
+    const float rre = r[2 * j] / mag, rim = r[2 * j + 1] / mag;
+    const float are = a[2 * j], aim = a[2 * j + 1];
+    if (corrupt_tail) {
+      // Tails sit near h⊛r̂.
+      q[2 * j] = are * rre - aim * rim;
+      q[2 * j + 1] = are * rim + aim * rre;
+    } else {
+      // |h⊛r̂ − t| = |h − conj(r̂)⊛t| for unit r̂: heads sit near conj(r̂)⊛t.
+      q[2 * j] = rre * are + rim * aim;
+      q[2 * j + 1] = rre * aim - rim * are;
+    }
+  }
 }
 
 std::vector<autograd::Variable> SpRotatE::params() {

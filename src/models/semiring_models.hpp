@@ -27,6 +27,12 @@ class SpDistMult final : public ScoringCoreModel {
   bool higher_is_better() const override { return true; }
   std::vector<autograd::Variable> params() override;
 
+  /// Score is bilinear: tails rank by ⟨h⊙r, t⟩, heads by ⟨r⊙t, h⟩ — an
+  /// exact inner-product probe either side.
+  std::optional<AnnSupport> ann_support() const override;
+  void ann_query(bool corrupt_tail, std::int64_t anchor, std::int64_t relation,
+                 float* q) const override;
+
  private:
   nn::EmbeddingTable ent_rel_;
 };
@@ -42,6 +48,13 @@ class SpComplEx final : public ScoringCoreModel {
   bool higher_is_better() const override { return true; }
   std::vector<autograd::Variable> params() override;
 
+  /// Re⟨h⊙r, conj(t)⟩ is bilinear over the interleaved real layout: tails
+  /// rank by ⟨h⊛r, t⟩, heads by ⟨conj(r)⊛t, h⟩ (real 2k-vectors) — exact
+  /// inner-product probes.
+  std::optional<AnnSupport> ann_support() const override;
+  void ann_query(bool corrupt_tail, std::int64_t anchor, std::int64_t relation,
+                 float* q) const override;
+
  private:
   nn::EmbeddingTable ent_rel_;  // interleaved (re, im): cols = 2·(dim/2)
 };
@@ -55,6 +68,12 @@ class SpRotatE final : public ScoringCoreModel {
   autograd::Variable forward(const sparse::CompiledBatch& batch) override;
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
+
+  /// Per-pair rotation by the unit-normalized relation is an L2 isometry:
+  /// tails rank by ||h⊛r̂ − t||, heads equivalently by ||conj(r̂)⊛t − h||.
+  std::optional<AnnSupport> ann_support() const override;
+  void ann_query(bool corrupt_tail, std::int64_t anchor, std::int64_t relation,
+                 float* q) const override;
 
  private:
   nn::EmbeddingTable ent_rel_;

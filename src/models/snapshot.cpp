@@ -1,5 +1,6 @@
 #include "src/models/snapshot.hpp"
 
+#include <atomic>
 #include <utility>
 
 namespace sptx::models {
@@ -31,6 +32,15 @@ void copy_parameters(KgeModel& src, KgeModel& dst) {
                             << dst_params[i].value().shape_str());
     dst_params[i].mutable_value() = src_params[i].value();
   }
+}
+
+std::uint64_t next_snapshot_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+VersionedModel freeze_versioned(KgeModel& src, const ModelSpec& spec) {
+  return {next_snapshot_version(), freeze(src, spec)};
 }
 
 std::shared_ptr<const KgeModel> freeze(KgeModel& src, const ModelSpec& spec) {

@@ -48,4 +48,20 @@ void copy_parameters(KgeModel& src, KgeModel& dst);
 /// threads and is unaffected by further training of `src`.
 std::shared_ptr<const KgeModel> freeze(KgeModel& src, const ModelSpec& spec);
 
+/// Process-wide monotonic snapshot version, starting at 1. Every serving
+/// snapshot (Engine::open_session, Engine::publish, a direct
+/// serve::make_serving_snapshot) stamps the next value, so "which version
+/// answered this query" is unambiguous across engines and sessions.
+std::uint64_t next_snapshot_version();
+
+/// A frozen replica tagged with its version — the publishable unit the
+/// serving layer wraps into a serve::ServingSnapshot.
+struct VersionedModel {
+  std::uint64_t version = 0;
+  std::shared_ptr<const KgeModel> model;
+};
+
+/// freeze() + next_snapshot_version() in one step.
+VersionedModel freeze_versioned(KgeModel& src, const ModelSpec& spec);
+
 }  // namespace sptx::models

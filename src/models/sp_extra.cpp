@@ -21,6 +21,21 @@ void clamp_nonnegative(Matrix& m, float floor_at = 1e-4f) {
   }
 }
 
+/// Shared hrt-family probe query over a stacked [entities; relations]
+/// table: tails look for t near h + r, heads for h near t − r.
+void stacked_translation_query(const Matrix& table, index_t num_entities,
+                               bool corrupt_tail, std::int64_t anchor,
+                               std::int64_t relation, float* q) {
+  const float* a = table.row(anchor);
+  const float* r = table.row(num_entities + relation);
+  const index_t d = table.cols();
+  if (corrupt_tail) {
+    for (index_t j = 0; j < d; ++j) q[j] = a[j] + r[j];
+  } else {
+    for (index_t j = 0; j < d; ++j) q[j] = a[j] - r[j];
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- SpTransD
@@ -217,6 +232,17 @@ std::vector<float> SpTransA::score(std::span<const Triplet> batch) const {
   return out;
 }
 
+std::optional<AnnSupport> SpTransA::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), kernels::Norm::kL2,
+                    /*inner_product=*/false, &metric_.weights()};
+}
+
+void SpTransA::ann_query(bool corrupt_tail, std::int64_t anchor,
+                         std::int64_t relation, float* q) const {
+  stacked_translation_query(ent_rel_.weights(), num_entities_, corrupt_tail,
+                            anchor, relation, q);
+}
+
 std::vector<autograd::Variable> SpTransA::params() {
   return {ent_rel_.var(), metric_.var()};
 }
@@ -288,6 +314,17 @@ std::vector<float> SpTransC::score(std::span<const Triplet> batch) const {
     out[i] = acc;
   }
   return out;
+}
+
+std::optional<AnnSupport> SpTransC::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), kernels::Norm::kL2,
+                    /*inner_product=*/false, /*probe_weights=*/nullptr};
+}
+
+void SpTransC::ann_query(bool corrupt_tail, std::int64_t anchor,
+                         std::int64_t relation, float* q) const {
+  stacked_translation_query(ent_rel_.weights(), num_entities_, corrupt_tail,
+                            anchor, relation, q);
 }
 
 std::vector<autograd::Variable> SpTransC::params() {
@@ -376,6 +413,17 @@ std::vector<float> SpTransM::score(std::span<const Triplet> batch) const {
     out[i] = w.at(t.relation, 0) * acc;
   }
   return out;
+}
+
+std::optional<AnnSupport> SpTransM::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), fused_norm(config_.dissimilarity),
+                    /*inner_product=*/false, /*probe_weights=*/nullptr};
+}
+
+void SpTransM::ann_query(bool corrupt_tail, std::int64_t anchor,
+                         std::int64_t relation, float* q) const {
+  stacked_translation_query(ent_rel_.weights(), num_entities_, corrupt_tail,
+                            anchor, relation, q);
 }
 
 std::vector<autograd::Variable> SpTransM::params() {

@@ -60,6 +60,12 @@ class SpTransA final : public ScoringCoreModel {
   std::vector<autograd::Variable> params() override;
   void post_step() override;
 
+  /// Candidates rank by the score itself: Σ_j w_rj (q − x)_j² with the
+  /// per-relation diagonal metric as probe weights (w ≥ 0 via post_step).
+  std::optional<AnnSupport> ann_support() const override;
+  void ann_query(bool corrupt_tail, std::int64_t anchor, std::int64_t relation,
+                 float* q) const override;
+
  private:
   nn::EmbeddingTable ent_rel_;  // stacked [entities; relations]
   nn::EmbeddingTable metric_;   // R × d diagonal metric weights (≥ 0)
@@ -77,6 +83,11 @@ class SpTransC final : public ScoringCoreModel {
   std::vector<autograd::Variable> params() override;
   void post_step() override;
 
+  /// Score is ||q − x||₂² — monotone in L2, so an L2 probe is exact.
+  std::optional<AnnSupport> ann_support() const override;
+  void ann_query(bool corrupt_tail, std::int64_t anchor, std::int64_t relation,
+                 float* q) const override;
+
  private:
   nn::EmbeddingTable ent_rel_;
 };
@@ -92,6 +103,12 @@ class SpTransM final : public ScoringCoreModel {
   std::vector<float> score(std::span<const Triplet> batch) const override;
   std::vector<autograd::Variable> params() override;
   void post_step() override;
+
+  /// Score is w_r·||q − x|| with w_r ≥ 0 constant across one query's
+  /// candidates — rank-preserved by the unweighted config-norm probe.
+  std::optional<AnnSupport> ann_support() const override;
+  void ann_query(bool corrupt_tail, std::int64_t anchor, std::int64_t relation,
+                 float* q) const override;
 
  private:
   nn::EmbeddingTable ent_rel_;

@@ -74,6 +74,24 @@ std::vector<float> SpTransE::score(std::span<const Triplet> batch) const {
   return out;
 }
 
+std::optional<AnnSupport> SpTransE::ann_support() const {
+  return AnnSupport{&ent_rel_.weights(), fused_norm(config_.dissimilarity),
+                    /*inner_product=*/false, /*probe_weights=*/nullptr};
+}
+
+void SpTransE::ann_query(bool corrupt_tail, std::int64_t anchor,
+                         std::int64_t relation, float* q) const {
+  const Matrix& e = ent_rel_.weights();
+  const float* a = e.row(anchor);
+  const float* r = e.row(num_entities_ + relation);
+  const index_t d = e.cols();
+  if (corrupt_tail) {
+    for (index_t j = 0; j < d; ++j) q[j] = a[j] + r[j];
+  } else {
+    for (index_t j = 0; j < d; ++j) q[j] = a[j] - r[j];
+  }
+}
+
 std::vector<autograd::Variable> SpTransE::params() {
   return {ent_rel_.var()};
 }

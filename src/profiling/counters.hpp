@@ -24,6 +24,10 @@ enum class Counter : int {
   kDdpAllReduceRows,      // embedding rows moved through the sparse all-reduce
   kDdpDenseReduces,       // parameters that fell back to a dense all-reduce
   kFusedBatches,          // forwards served by the fused kernel layer
+  kAnnIndexBuilds,        // IVF clustered-index constructions (serve/ann)
+  kAnnTopkQueries,        // top-k queries answered through the ANN index
+  kAnnBruteTopkQueries,   // top-k queries answered by the brute-force scan
+  kAnnCandidates,         // exact-re-rank candidates scored by ANN queries
   kNumCounters,
 };
 

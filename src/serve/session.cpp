@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/fault.hpp"
+#include "src/models/snapshot.hpp"
+#include "src/profiling/counters.hpp"
 
 namespace sptx::serve {
 
@@ -26,23 +28,43 @@ SessionOptions resolve(const SessionOptions& options,
                                    options.deadline_us);
   resolved.max_concurrency = static_cast<int>(
       rc.int_or("SPTX_SERVE_CONCURRENCY", options.max_concurrency));
+  const std::string ann = rc.value_or("SPTX_ANN", "");
+  if (!ann.empty()) resolved.ann = parse_ann_mode(ann);
+  resolved.ann_nprobe = static_cast<int>(
+      rc.int_or("SPTX_ANN_NPROBE", options.ann_nprobe));
+  resolved.ann_min_entities = static_cast<index_t>(
+      rc.int_or("SPTX_ANN_MIN_ENTITIES", options.ann_min_entities));
   return resolved;
 }
 
 InferenceSession::InferenceSession(
     std::shared_ptr<const models::KgeModel> model,
     const SessionOptions& options)
-    : model_(std::move(model)),
-      options_(options),
+    : InferenceSession(
+          make_serving_snapshot(std::move(model), options.ann,
+                                options.ann_min_entities,
+                                models::next_snapshot_version()),
+          options) {}
+
+InferenceSession::InferenceSession(
+    std::shared_ptr<const ServingSnapshot> snapshot,
+    const SessionOptions& options)
+    : options_(options),
+      snapshot_(std::move(snapshot)),
       batcher_(
-          [m = model_.get()](std::span<const Triplet> batch) {
-            return m->score(batch);
+          // Resolved at EXECUTION time, not capture time: a coalesced batch
+          // scores against exactly one snapshot — the one current when the
+          // leader executes — never half-old, half-new.
+          [this](std::span<const Triplet> batch) {
+            return cell_load()->model->score(batch);
           },
           std::max<index_t>(options.max_batch, 1),
           std::chrono::microseconds(std::max(options.window_us, 0)),
           std::max<index_t>(options.queue_limit, 0),
           std::max(options.max_concurrency, 0)) {
-  SPTX_CHECK(model_ != nullptr, "InferenceSession needs a model snapshot");
+  const auto snap = cell_load();
+  SPTX_CHECK(snap != nullptr && snap->model != nullptr,
+             "InferenceSession needs a model snapshot");
   if (options_.filter != nullptr) {
     known_.reserve(static_cast<std::size_t>(options_.filter->size()) * 2);
     for (const Triplet& t : options_.filter->triplets()) known_.insert(t);
@@ -50,26 +72,67 @@ InferenceSession::InferenceSession(
   }
 }
 
-void InferenceSession::check_triplet(const Triplet& t) const {
-  SPTX_CHECK(t.head >= 0 && t.head < num_entities() && t.tail >= 0 &&
-                 t.tail < num_entities() && t.relation >= 0 &&
-                 t.relation < num_relations(),
+std::shared_ptr<const ServingSnapshot> InferenceSession::cell_load() const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+  return snapshot_.load(std::memory_order_acquire);
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+#endif
+}
+
+void InferenceSession::cell_store(
+    std::shared_ptr<const ServingSnapshot> snapshot) const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+#endif
+}
+
+void InferenceSession::install(
+    std::shared_ptr<const ServingSnapshot> snapshot) const {
+  SPTX_CHECK(snapshot != nullptr && snapshot->model != nullptr,
+             "install() needs a model snapshot");
+  const auto current = cell_load();
+  SPTX_CHECK(snapshot->model->num_entities() ==
+                     current->model->num_entities() &&
+                 snapshot->model->num_relations() ==
+                     current->model->num_relations(),
+             "hot-swap must preserve the vocabulary: serving "
+                 << current->model->num_entities() << "x"
+                 << current->model->num_relations() << ", installing "
+                 << snapshot->model->num_entities() << "x"
+                 << snapshot->model->num_relations());
+  cell_store(std::move(snapshot));
+  installs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void InferenceSession::check_triplet(const Triplet& t, index_t num_entities,
+                                     index_t num_relations) const {
+  SPTX_CHECK(t.head >= 0 && t.head < num_entities && t.tail >= 0 &&
+                 t.tail < num_entities && t.relation >= 0 &&
+                 t.relation < num_relations,
              "triplet out of range: (" << t.head << ", " << t.relation
                                        << ", " << t.tail << ") vs "
-                                       << num_entities() << " entities / "
-                                       << num_relations() << " relations");
+                                       << num_entities << " entities / "
+                                       << num_relations << " relations");
 }
 
 std::vector<float> InferenceSession::score(
     std::span<const Triplet> batch) const {
-  for (const Triplet& t : batch) check_triplet(t);
+  const auto snap = cell_load();
+  const index_t n = snap->model->num_entities();
+  const index_t r = snap->model->num_relations();
+  for (const Triplet& t : batch) check_triplet(t, n, r);
   queries_.fetch_add(1, std::memory_order_relaxed);
   triplets_scored_.fetch_add(static_cast<std::int64_t>(batch.size()),
                              std::memory_order_relaxed);
   // SpMM-sized requests gain nothing from coalescing; score them directly.
   if (!options_.micro_batch ||
       static_cast<index_t>(batch.size()) >= options_.max_batch)
-    return model_->score(batch);
+    return snap->model->score(batch);
   std::vector<float> out(batch.size());
   batcher_.execute(batch, out.data());
   return out;
@@ -89,7 +152,10 @@ ScoreResult InferenceSession::try_score(std::span<const Triplet> batch,
                             std::chrono::microseconds(deadline_us)
                       : MicroBatcher::kNoDeadline;
 
-  for (const Triplet& t : batch) check_triplet(t);
+  const auto snap = cell_load();
+  const index_t n = snap->model->num_entities();
+  const index_t r = snap->model->num_relations();
+  for (const Triplet& t : batch) check_triplet(t, n, r);
   ScoreResult result;
   if (batch.empty()) return result;
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -105,7 +171,7 @@ ScoreResult InferenceSession::try_score(std::span<const Triplet> batch,
                std::chrono::steady_clock::now() >= deadline) {
       result.rejected = RejectReason::kDeadline;
     } else {
-      result.scores = model_->score(batch);
+      result.scores = snap->model->score(batch);
       triplets_scored_.fetch_add(static_cast<std::int64_t>(batch.size()),
                                  std::memory_order_relaxed);
       return result;
@@ -141,11 +207,13 @@ std::optional<sparse::PlanCache::Key> InferenceSession::candidate_key(
 }
 
 std::vector<float> InferenceSession::candidate_scores(
-    bool corrupt_tail, std::int64_t anchor, std::int64_t relation) const {
-  const index_t n = model_->num_entities();
+    const ServingSnapshot& snap, bool corrupt_tail, std::int64_t anchor,
+    std::int64_t relation) const {
+  const models::KgeModel& model = *snap.model;
+  const index_t n = model.num_entities();
   SPTX_CHECK(anchor >= 0 && anchor < n, "entity id " << anchor
                                                      << " out of range");
-  SPTX_CHECK(relation >= 0 && relation < model_->num_relations(),
+  SPTX_CHECK(relation >= 0 && relation < model.num_relations(),
              "relation id " << relation << " out of range");
 
   const auto fill = [&](std::vector<Triplet>& out) {
@@ -169,7 +237,7 @@ std::vector<float> InferenceSession::candidate_scores(
       fill(staged);
       plan = sparse::CompiledBatch::compile_owned(
           std::move(staged), sparse::ScoringRecipe{}, n,
-          model_->num_relations());
+          model.num_relations());
       // The cap bounds resident memory, not correctness: over the cap the
       // plan serves this query and is dropped.
       if (plans_.stats().entries < options_.max_cached_plans)
@@ -181,13 +249,15 @@ std::vector<float> InferenceSession::candidate_scores(
     candidates = local;
   }
   triplets_scored_.fetch_add(n, std::memory_order_relaxed);
-  return model_->score(candidates);
+  return model.score(candidates);
 }
 
 namespace {
 
 /// Top-k selection with a deterministic order: score direction per the
-/// model, entity id as the tie-break.
+/// model, entity id as the tie-break. Input order never matters, which is
+/// what makes the ANN path (candidates in probe order) and the brute path
+/// (candidates in id order) agree exactly on identical candidate sets.
 std::vector<Prediction> select_top_k(std::vector<Prediction>& candidates,
                                      int k, bool higher_is_better) {
   const auto better = [higher_is_better](const Prediction& a,
@@ -208,43 +278,104 @@ std::vector<Prediction> select_top_k(std::vector<Prediction>& candidates,
 
 }  // namespace
 
+std::vector<Prediction> InferenceSession::top_impl(bool corrupt_tail,
+                                                   std::int64_t anchor,
+                                                   std::int64_t relation,
+                                                   int k) const {
+  // One snapshot resolution per request: everything below — probe, re-rank
+  // or brute scan, stats — sees exactly this version.
+  const auto snap = cell_load();
+  const models::KgeModel& model = *snap->model;
+  SPTX_CHECK(anchor >= 0 && anchor < model.num_entities(),
+             "entity id " << anchor << " out of range");
+  SPTX_CHECK(relation >= 0 && relation < model.num_relations(),
+             "relation id " << relation << " out of range");
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Prediction> candidates;
+  const auto support =
+      (options_.ann != AnnMode::kOff && snap->ann) ? model.ann_support()
+                                                   : std::nullopt;
+  if (support) {
+    // ANN path: compose the probe query, scan the top-nprobe centroid
+    // lists, exact-re-rank the candidate union through score().
+    const AnnIndex& ann = *snap->ann;
+    std::vector<float> q(static_cast<std::size_t>(support->table->cols()));
+    model.ann_query(corrupt_tail, anchor, relation, q.data());
+    const AnnIndex::Probe probe{
+        support->norm, support->inner_product,
+        support->probe_weights != nullptr ? support->probe_weights->row(relation)
+                                          : nullptr};
+    const int nprobe = options_.ann_nprobe > 0
+                           ? options_.ann_nprobe
+                           : AnnIndex::auto_nprobe(ann.k_lists());
+    std::vector<index_t> ids;
+    ann.probe(q.data(), probe, nprobe,
+              static_cast<index_t>(std::max(k, 0)), ids);
+    std::vector<float> scores(ids.size());
+    kernels::rerank_candidates(
+        corrupt_tail, anchor, relation, ids,
+        [&model](std::span<const Triplet> block, float* out) {
+          const std::vector<float> s = model.score(block);
+          std::copy(s.begin(), s.end(), out);
+        },
+        scores.data());
+    triplets_scored_.fetch_add(static_cast<std::int64_t>(ids.size()),
+                               std::memory_order_relaxed);
+    ann_candidates_.fetch_add(static_cast<std::int64_t>(ids.size()),
+                              std::memory_order_relaxed);
+    topk_ann_.fetch_add(1, std::memory_order_relaxed);
+    profiling::count_event(profiling::Counter::kAnnTopkQueries);
+    profiling::count_event(profiling::Counter::kAnnCandidates,
+                           static_cast<std::int64_t>(ids.size()));
+    candidates.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const index_t e = ids[i];
+      const Triplet t = corrupt_tail ? Triplet{anchor, relation, e}
+                                     : Triplet{e, relation, anchor};
+      if (filtered_out(t)) continue;
+      candidates.push_back({e, scores[i]});
+    }
+  } else {
+    const std::vector<float> scores =
+        candidate_scores(*snap, corrupt_tail, anchor, relation);
+    topk_brute_.fetch_add(1, std::memory_order_relaxed);
+    profiling::count_event(profiling::Counter::kAnnBruteTopkQueries);
+    candidates.reserve(scores.size());
+    for (index_t e = 0; e < static_cast<index_t>(scores.size()); ++e) {
+      const Triplet t = corrupt_tail ? Triplet{anchor, relation, e}
+                                     : Triplet{e, relation, anchor};
+      if (filtered_out(t)) continue;
+      candidates.push_back({e, scores[static_cast<std::size_t>(e)]});
+    }
+  }
+  return select_top_k(candidates, k, model.higher_is_better());
+}
+
 std::vector<Prediction> InferenceSession::top_tails(std::int64_t head,
                                                     std::int64_t relation,
                                                     int k) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const std::vector<float> scores = candidate_scores(true, head, relation);
-  std::vector<Prediction> candidates;
-  candidates.reserve(scores.size());
-  for (index_t e = 0; e < static_cast<index_t>(scores.size()); ++e) {
-    if (filtered_out({head, relation, e})) continue;
-    candidates.push_back({e, scores[static_cast<std::size_t>(e)]});
-  }
-  return select_top_k(candidates, k, model_->higher_is_better());
+  return top_impl(true, head, relation, k);
 }
 
 std::vector<Prediction> InferenceSession::top_heads(std::int64_t relation,
                                                     std::int64_t tail,
                                                     int k) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const std::vector<float> scores = candidate_scores(false, tail, relation);
-  std::vector<Prediction> candidates;
-  candidates.reserve(scores.size());
-  for (index_t e = 0; e < static_cast<index_t>(scores.size()); ++e) {
-    if (filtered_out({e, relation, tail})) continue;
-    candidates.push_back({e, scores[static_cast<std::size_t>(e)]});
-  }
-  return select_top_k(candidates, k, model_->higher_is_better());
+  return top_impl(false, tail, relation, k);
 }
 
 double InferenceSession::rank(const Triplet& truth, bool corrupt_tail) const {
-  check_triplet(truth);  // both sides index into the candidate scores
+  const auto snap = cell_load();
+  // Both sides index into the candidate scores.
+  check_triplet(truth, snap->model->num_entities(),
+                snap->model->num_relations());
   queries_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t anchor = corrupt_tail ? truth.head : truth.tail;
   const std::int64_t truth_entity = corrupt_tail ? truth.tail : truth.head;
   const std::vector<float> scores =
-      candidate_scores(corrupt_tail, anchor, truth.relation);
+      candidate_scores(*snap, corrupt_tail, anchor, truth.relation);
   const float truth_score = scores[static_cast<std::size_t>(truth_entity)];
-  const bool higher = model_->higher_is_better();
+  const bool higher = snap->model->higher_is_better();
 
   // Optimistic-average tie handling, filtered competitors excluded — the
   // evaluator's exact protocol (eval/link_prediction.cpp).
@@ -279,6 +410,11 @@ SessionStats InferenceSession::stats() const {
   s.queries = queries_.load(std::memory_order_relaxed);
   s.triplets_scored = triplets_scored_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.topk_ann = topk_ann_.load(std::memory_order_relaxed);
+  s.topk_brute = topk_brute_.load(std::memory_order_relaxed);
+  s.ann_candidates = ann_candidates_.load(std::memory_order_relaxed);
+  s.installs = installs_.load(std::memory_order_relaxed);
+  s.snapshot_version = cell_load()->version;
   s.batcher = batcher_.stats();
   s.plans = plans_.stats();
   return s;

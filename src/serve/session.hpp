@@ -1,36 +1,48 @@
 // Thread-safe inference serving over an immutable model snapshot.
 //
 // An InferenceSession is the query-side half of the Engine facade: it owns
-// a frozen KgeModel replica (models/snapshot.hpp) and answers
+// a frozen serving snapshot (a versioned model replica plus its optional
+// clustered ANN index, serve/ann_index.hpp) and answers
 //
 //  * triple scoring      — score()/score_one(), routed through a
 //    micro-batching queue that coalesces concurrent small queries into one
 //    SpMM-sized batch (micro_batcher.hpp);
 //  * top-k prediction    — top_tails()/top_heads(): rank every entity as
 //    the missing slot of (h, r, ?) / (?, r, t), optionally filtering known
-//    positives;
+//    positives. With the ANN index engaged the candidate scan shrinks to
+//    the probed centroid lists; scores stay exact (bit-identical to brute
+//    force) because candidates re-rank through the model's score path.
 //  * rank queries        — rank()/rank_batch(): the evaluator's filtered
 //    optimistic-average rank of a truth triplet against all entities.
 //
-// Candidate batches for top-k/rank queries reuse the PR 2 CompiledBatch
-// machinery the same way EvalConfig::plan_cache does: the staged
-// N-candidate batch for a (side, anchor, relation) query is compiled once
-// into a per-session sparse::PlanCache and served from the plan on every
-// later hit. What is reused is the candidate *staging* (score() is the
-// models' dense fast path, so the plans carry no incidence), so the win is
-// the O(N) fill per repeated query — and each resident plan pins N staged
-// triplets, which is why max_cached_plans defaults low and caps residency.
+// Candidate batches for brute-force top-k/rank queries reuse the PR 2
+// CompiledBatch machinery the same way EvalConfig::plan_cache does: the
+// staged N-candidate batch for a (side, anchor, relation) query is compiled
+// once into a per-session sparse::PlanCache and served from the plan on
+// every later hit.
+//
+// Hot-swap: the snapshot lives behind an RCU-style atomic shared_ptr cell.
+// install() flips the cell; each in-flight request resolved the pointer
+// once at entry and drains on the version it started with, every new
+// request sees the new version, and the old snapshot frees itself when its
+// last in-flight reference drops — no locks on the read path, no torn
+// state, no dropped requests. Publishing is Engine::publish()'s job (build
+// the new index off the serving threads, then install everywhere).
+// Hot-swap preserves the vocabulary: install() rejects a snapshot whose
+// entity/relation counts differ, which is what keeps request validation
+// and cached candidate plans valid across the flip.
 //
 // Thread-safety contract: every public method is const and safe to call
-// from any number of threads concurrently. The model snapshot is immutable;
-// mutable internals (plan cache, micro-batch queue, stats) are internally
-// synchronized. Results are independent of concurrency — a query returns
-// bit-identical results whether executed alone, coalesced into a shared
-// micro-batch, or raced against a thousand others.
+// from any number of threads concurrently (install() included). Results
+// are independent of concurrency — a query returns bit-identical results
+// whether executed alone, coalesced into a shared micro-batch, or raced
+// against a thousand others; during a swap every result is consistent with
+// exactly one installed version.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_set>
@@ -39,6 +51,7 @@
 #include "src/common/runtime_config.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/models/model.hpp"
+#include "src/serve/ann_index.hpp"
 #include "src/serve/micro_batcher.hpp"
 #include "src/sparse/plan_cache.hpp"
 
@@ -85,9 +98,22 @@ struct SessionOptions {
   /// deadline and queue-limit degradation engage instead of oversubscribing
   /// the CPU. SPTX_SERVE_CONCURRENCY overrides.
   int max_concurrency = 0;
+  /// Clustered ANN acceleration for top_tails/top_heads: kAuto builds and
+  /// uses the IVF index when the model family has a probe transform AND
+  /// the vocabulary has at least ann_min_entities entities; kOn for any
+  /// size (still brute-force when no transform exists); kOff never.
+  /// Returned scores are exact in every mode. SPTX_ANN overrides.
+  AnnMode ann = AnnMode::kAuto;
+  /// Centroid lists probed per ANN query — the recall/latency dial.
+  /// 0 = auto (AnnIndex::auto_nprobe). SPTX_ANN_NPROBE overrides.
+  int ann_nprobe = 0;
+  /// kAuto threshold: below this entity count the brute-force scan wins
+  /// (index build + probe overhead beats the scan it saves).
+  /// SPTX_ANN_MIN_ENTITIES overrides.
+  index_t ann_min_entities = 4096;
 };
 
-/// Apply the registry's SPTX_SERVE_* overrides to `options`.
+/// Apply the registry's SPTX_SERVE_* / SPTX_ANN_* overrides to `options`.
 SessionOptions resolve(const SessionOptions& options, const RuntimeConfig& rc);
 
 struct Prediction {
@@ -99,6 +125,11 @@ struct SessionStats {
   std::int64_t queries = 0;          // public API calls answered
   std::int64_t triplets_scored = 0;  // total candidate/query triplets scored
   std::int64_t rejected = 0;         // try_score() loads shed (all reasons)
+  std::int64_t topk_ann = 0;         // top-k queries served via the ANN index
+  std::int64_t topk_brute = 0;       // top-k queries served brute-force
+  std::int64_t ann_candidates = 0;   // exact-re-rank candidates scanned
+  std::int64_t installs = 0;         // hot-swaps applied (install() calls)
+  std::uint64_t snapshot_version = 0;  // currently serving version
   MicroBatcher::Stats batcher;       // micro-batch queue traffic
   sparse::PlanCache::Stats plans;    // candidate-plan cache traffic
 };
@@ -114,13 +145,38 @@ struct ScoreResult {
 class InferenceSession {
  public:
   /// `model` must be a frozen snapshot (models::freeze) or otherwise
-  /// guaranteed immutable for the session's lifetime.
+  /// guaranteed immutable for the session's lifetime. Builds the ANN index
+  /// per `options` (version stamped from models::next_snapshot_version).
   InferenceSession(std::shared_ptr<const models::KgeModel> model,
                    const SessionOptions& options);
 
-  const models::KgeModel& model() const { return *model_; }
-  index_t num_entities() const { return model_->num_entities(); }
-  index_t num_relations() const { return model_->num_relations(); }
+  /// Serve an already-assembled snapshot (Engine::open_session's path —
+  /// the engine stamps the version and builds the index once).
+  InferenceSession(std::shared_ptr<const ServingSnapshot> snapshot,
+                   const SessionOptions& options);
+
+  /// The snapshot current at this instant (RCU read). Hold the returned
+  /// pointer while using anything reached through it.
+  std::shared_ptr<const ServingSnapshot> snapshot() const {
+    return cell_load();
+  }
+
+  /// The current snapshot's model. The reference stays valid only while
+  /// the snapshot remains installed — callers that may race a publish
+  /// should hold snapshot() instead.
+  const models::KgeModel& model() const { return *cell_load()->model; }
+  index_t num_entities() const { return cell_load()->model->num_entities(); }
+  index_t num_relations() const {
+    return cell_load()->model->num_relations();
+  }
+  std::uint64_t snapshot_version() const { return cell_load()->version; }
+
+  /// RCU-style hot-swap: atomically replace the serving snapshot. Requests
+  /// already in flight finish (and drain the old snapshot) on the version
+  /// they started with; every subsequent request sees `snapshot`. The new
+  /// snapshot must preserve the vocabulary (same entity/relation counts) —
+  /// hot-swap publishes refreshed weights, not a re-sized graph.
+  void install(std::shared_ptr<const ServingSnapshot> snapshot) const;
 
   /// Model-native scores for a batch of triplets (lower = more plausible
   /// for translational families, higher for semiring ones — see
@@ -140,7 +196,9 @@ class InferenceSession {
 
   /// The k most plausible completions of (head, relation, ?) — entities
   /// ranked by the model's score, known positives excluded when the
-  /// session was opened with a filter.
+  /// session was opened with a filter. Served through the ANN index when
+  /// engaged (exact scores, approximate candidate set), brute-force
+  /// otherwise.
   std::vector<Prediction> top_tails(std::int64_t head, std::int64_t relation,
                                     int k) const;
   /// The k most plausible completions of (?, relation, tail).
@@ -149,7 +207,8 @@ class InferenceSession {
 
   /// Filtered optimistic-average rank of `truth` against all entities on
   /// one side (the evaluator's protocol: rank = 1 + #strictly-better +
-  /// #ties/2, filtered competitors excluded).
+  /// #ties/2, filtered competitors excluded). Always brute-force — ranks
+  /// are exact by definition.
   double rank(const Triplet& truth, bool corrupt_tail = true) const;
   std::vector<double> rank_batch(std::span<const Triplet> truths,
                                  bool corrupt_tail = true) const;
@@ -157,10 +216,14 @@ class InferenceSession {
   SessionStats stats() const;
 
  private:
+  std::vector<Prediction> top_impl(bool corrupt_tail, std::int64_t anchor,
+                                   std::int64_t relation, int k) const;
+
   /// Scores for the N-entity candidate batch of (side, anchor, relation),
   /// staged through the candidate-plan cache when enabled. Candidate
   /// batches are already SpMM-sized, so they bypass the micro-batcher.
-  std::vector<float> candidate_scores(bool corrupt_tail, std::int64_t anchor,
+  std::vector<float> candidate_scores(const ServingSnapshot& snap,
+                                      bool corrupt_tail, std::int64_t anchor,
                                       std::int64_t relation) const;
 
   /// Collision-free cache key for (side, anchor, relation), or nullopt when
@@ -174,17 +237,34 @@ class InferenceSession {
   }
 
   /// Serving inputs are user-controlled; ids are range-checked before they
-  /// reach the models' unchecked embedding-row arithmetic.
-  void check_triplet(const Triplet& t) const;
+  /// reach the models' unchecked embedding-row arithmetic. The vocabulary
+  /// is install-invariant, so validation against any snapshot holds for
+  /// all of them.
+  void check_triplet(const Triplet& t, index_t num_entities,
+                     index_t num_relations) const;
 
-  std::shared_ptr<const models::KgeModel> model_;
+  std::shared_ptr<const ServingSnapshot> cell_load() const;
+  void cell_store(std::shared_ptr<const ServingSnapshot> snapshot) const;
+
   SessionOptions options_;
   std::unordered_set<Triplet, TripletHash> known_;
+  // The RCU cell. libstdc++ ≥ 12 provides the lock-free-ish atomic
+  // specialization; the mutex fallback keeps older toolchains correct.
+#if defined(__cpp_lib_atomic_shared_ptr)
+  mutable std::atomic<std::shared_ptr<const ServingSnapshot>> snapshot_;
+#else
+  mutable std::mutex snapshot_mu_;
+  mutable std::shared_ptr<const ServingSnapshot> snapshot_;
+#endif
   mutable sparse::PlanCache plans_;
   mutable MicroBatcher batcher_;
   mutable std::atomic<std::int64_t> queries_{0};
   mutable std::atomic<std::int64_t> triplets_scored_{0};
   mutable std::atomic<std::int64_t> rejected_{0};
+  mutable std::atomic<std::int64_t> topk_ann_{0};
+  mutable std::atomic<std::int64_t> topk_brute_{0};
+  mutable std::atomic<std::int64_t> ann_candidates_{0};
+  mutable std::atomic<std::int64_t> installs_{0};
 };
 
 }  // namespace sptx::serve

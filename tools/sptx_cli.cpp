@@ -17,6 +17,7 @@
 // (format by extension); --profile <NAME> [--scale s] generates the
 // synthetic equivalent of a Table 3 dataset.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -77,9 +78,20 @@ ModelSpec build_spec(const Args& args) {
 }
 
 /// Engine with the model the args describe, checkpoint-restored when
-/// --load was given.
+/// --load was given. --ann / --nprobe / --ann-min-entities become registry
+/// overrides so every session the engine opens resolves them uniformly
+/// (and `sptx config` run under the same env shows identical values).
 Engine make_engine(const Args& args, const kg::Dataset& ds) {
-  Engine engine;
+  Engine::Options eo;
+  if (args.has("ann"))
+    eo.config_overrides.emplace_back("SPTX_ANN", args.get("ann", "auto"));
+  if (args.has("nprobe"))
+    eo.config_overrides.emplace_back("SPTX_ANN_NPROBE",
+                                     args.get("nprobe", "0"));
+  if (args.has("ann-min-entities"))
+    eo.config_overrides.emplace_back("SPTX_ANN_MIN_ENTITIES",
+                                     args.get("ann-min-entities", "4096"));
+  Engine engine(eo);
   const ModelSpec spec = build_spec(args);
   if (args.has("load")) {
     engine.load_model(spec, ds.num_entities(), ds.num_relations(),
@@ -306,11 +318,26 @@ int cmd_serve(const Args& args) {
   const auto queries = static_cast<std::int64_t>(args.num("queries", 2000));
   const auto batch = static_cast<std::size_t>(args.num("query-batch", 8));
   const int top_k = static_cast<int>(args.num("top", 10));
+  const int publishes = static_cast<int>(args.num("publishes", 0));
   SPTX_CHECK(threads >= 1 && queries >= 1, "bad serve load shape");
 
   std::atomic<std::int64_t> scored{0};
   std::atomic<std::int64_t> shed_queue{0}, shed_deadline{0};
+  std::atomic<bool> done{false};
   const auto t0 = profiling::clock::now();
+
+  // --publishes N: hot-swap N fresh snapshots into the live session while
+  // the query threads hammer it — the zero-downtime publication drill.
+  std::thread publisher;
+  if (publishes > 0) {
+    publisher = std::thread([&] {
+      for (int p = 0; p < publishes && !done.load(); ++p) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        engine.publish();
+      }
+    });
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
@@ -353,6 +380,8 @@ int cmd_serve(const Args& args) {
     });
   }
   for (auto& t : pool) t.join();
+  done.store(true);
+  if (publisher.joinable()) publisher.join();
   const double seconds = profiling::seconds_since(t0);
 
   const auto stats = session->stats();
@@ -374,6 +403,15 @@ int cmd_serve(const Args& args) {
               static_cast<long long>(stats.plans.hits),
               static_cast<long long>(stats.plans.misses),
               static_cast<long long>(stats.plans.entries));
+  std::printf("  top-k: %lld via ANN (%lld candidates re-ranked), "
+              "%lld brute-force\n",
+              static_cast<long long>(stats.topk_ann),
+              static_cast<long long>(stats.ann_candidates),
+              static_cast<long long>(stats.topk_brute));
+  if (publishes > 0)
+    std::printf("  hot-swap: %lld installs, serving snapshot version %llu\n",
+                static_cast<long long>(stats.installs),
+                static_cast<unsigned long long>(stats.snapshot_version));
   return 0;
 }
 
@@ -464,6 +502,9 @@ void usage() {
       "  serve:  [--load ckpt] --threads T --queries N --microbatch 0|1\n"
       "          --window-us U --query-batch B --queue-limit Q\n"
       "          --deadline-us D --concurrency C  (graceful degradation)\n"
+      "          --publishes N  (hot-swap N snapshots mid-run)\n"
+      "  ann:    --ann auto|on|off --nprobe P --ann-min-entities N\n"
+      "          (clustered top-k for query/serve; scores stay exact)\n"
       "  health: [--data|--profile ... --load ckpt --selftest N]\n"
       "          print the engine health surface as JSON\n"
       "  config: [--json 1]   print the SPTX_* runtime-config registry\n");
