@@ -6,6 +6,7 @@
 
 #include "src/common/fault.hpp"
 #include "src/models/checkpoint.hpp"
+#include "src/profiling/counters.hpp"
 
 namespace sptx {
 
@@ -129,6 +130,7 @@ std::shared_ptr<serve::InferenceSession> Engine::open_session(
       models::next_snapshot_version());
   auto session =
       std::make_shared<serve::InferenceSession>(std::move(snapshot), resolved);
+  MutexLock lock(sessions_mu_);
   sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
                                  [](const auto& w) { return w.expired(); }),
                   sessions_.end());
@@ -144,6 +146,10 @@ std::uint64_t Engine::publish(const serve::SessionOptions& options) {
   const models::VersionedModel frozen = models::freeze_versioned(model(), spec_);
   auto snapshot = serve::make_serving_snapshot(
       frozen.model, resolved.ann, resolved.ann_min_entities, frozen.version);
+  // Fan-out holds the registry lock so a session opened concurrently either
+  // registers before the sweep (and receives this snapshot) or opens after
+  // (and freezes the same newest weights on open).
+  MutexLock lock(sessions_mu_);
   for (const auto& weak : sessions_)
     if (auto session = weak.lock()) session->install(snapshot);
   published_version_ = frozen.version;
@@ -163,26 +169,40 @@ void json_escape_into(std::ostringstream& out, const std::string& s) {
 }  // namespace
 
 std::string Engine::health_json() const {
-  // Aggregate serving traffic over the sessions still alive.
+  // Aggregate serving traffic over the sessions still alive. The registry
+  // is snapshotted under its lock; the sessions themselves are queried
+  // outside it (they are independently thread-safe, and holding the
+  // registry lock across their stats() calls would serialize the health
+  // probe against publish() for no benefit).
+  std::vector<std::shared_ptr<serve::InferenceSession>> live_sessions;
+  std::uint64_t published_version = 0;
+  std::int64_t publishes = 0;
+  {
+    MutexLock lock(sessions_mu_);
+    live_sessions.reserve(sessions_.size());
+    for (const auto& weak : sessions_)
+      if (auto session = weak.lock())
+        live_sessions.push_back(std::move(session));
+    published_version = published_version_;
+    publishes = publishes_;
+  }
   int live = 0;
   serve::SessionStats total;
-  for (const auto& weak : sessions_) {
-    if (auto session = weak.lock()) {
-      ++live;
-      const serve::SessionStats s = session->stats();
-      total.queries += s.queries;
-      total.triplets_scored += s.triplets_scored;
-      total.rejected += s.rejected;
-      total.topk_ann += s.topk_ann;
-      total.topk_brute += s.topk_brute;
-      total.ann_candidates += s.ann_candidates;
-      total.installs += s.installs;
-      total.batcher.rejected_queue_full += s.batcher.rejected_queue_full;
-      total.batcher.rejected_deadline += s.batcher.rejected_deadline;
-      total.batcher.shed_expired += s.batcher.shed_expired;
-      total.batcher.batches_executed += s.batcher.batches_executed;
-      total.batcher.coalesced_requests += s.batcher.coalesced_requests;
-    }
+  for (const auto& session : live_sessions) {
+    ++live;
+    const serve::SessionStats s = session->stats();
+    total.queries += s.queries;
+    total.triplets_scored += s.triplets_scored;
+    total.rejected += s.rejected;
+    total.topk_ann += s.topk_ann;
+    total.topk_brute += s.topk_brute;
+    total.ann_candidates += s.ann_candidates;
+    total.installs += s.installs;
+    total.batcher.rejected_queue_full += s.batcher.rejected_queue_full;
+    total.batcher.rejected_deadline += s.batcher.rejected_deadline;
+    total.batcher.shed_expired += s.batcher.shed_expired;
+    total.batcher.batches_executed += s.batcher.batches_executed;
+    total.batcher.coalesced_requests += s.batcher.coalesced_requests;
   }
   const bool faults = fault::active();
   const bool degraded =
@@ -218,8 +238,20 @@ std::string Engine::health_json() const {
       << ", \"topk_brute\": " << total.topk_brute
       << ", \"ann_candidates\": " << total.ann_candidates
       << ", \"installs\": " << total.installs
-      << ", \"published_version\": " << published_version_
-      << ", \"publishes\": " << publishes_ << "}\n}";
+      << ", \"published_version\": " << published_version
+      << ", \"publishes\": " << publishes << "},\n";
+  // Process-wide structural-event counters, printed under their stable
+  // names (profiling::kCounterNames — the lint keeps enum and table
+  // aligned).
+  out << "  \"counters\": {";
+  for (int c = 0; c < static_cast<int>(profiling::Counter::kNumCounters);
+       ++c) {
+    const auto counter = static_cast<profiling::Counter>(c);
+    if (c > 0) out << ", ";
+    out << '"' << profiling::counter_name(counter)
+        << "\": " << profiling::counter_value(counter);
+  }
+  out << "}\n}";
   return out.str();
 }
 

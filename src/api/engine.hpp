@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/common/runtime_config.hpp"
+#include "src/common/thread_annotations.hpp"
 #include "src/distributed/ddp.hpp"
 #include "src/eval/link_prediction.hpp"
 #include "src/kg/dataset.hpp"
@@ -118,7 +119,7 @@ class Engine {
   /// snapshot (SPTX_SERVE_* / SPTX_ANN_* knobs); the session's clustered
   /// ANN index (serve/ann_index.hpp) is built here, once, per those knobs.
   std::shared_ptr<serve::InferenceSession> open_session(
-      const serve::SessionOptions& options = {});
+      const serve::SessionOptions& options = {}) SPTX_EXCLUDES(sessions_mu_);
 
   /// The frozen replica alone (no session) — for callers composing their
   /// own serving layer.
@@ -134,10 +135,14 @@ class Engine {
   /// snapshot version. `options` resolves the ANN knobs exactly as
   /// open_session does; sessions opened later also start from the newest
   /// weights (they freeze on open).
-  std::uint64_t publish(const serve::SessionOptions& options = {});
+  std::uint64_t publish(const serve::SessionOptions& options = {})
+      SPTX_EXCLUDES(sessions_mu_);
 
   /// Version stamped by the most recent publish() (0 = never published).
-  std::uint64_t published_version() const { return published_version_; }
+  std::uint64_t published_version() const SPTX_EXCLUDES(sessions_mu_) {
+    MutexLock lock(sessions_mu_);
+    return published_version_;
+  }
 
   // ---- health -------------------------------------------------------------
   /// One-call operational health surface as JSON: model state, the fault-
@@ -146,7 +151,7 @@ class Engine {
   /// the graceful-degradation counters — queue-full and deadline
   /// rejections). `status` is "ok", or "degraded" once load has been shed
   /// or a fault spec is installed. The `sptx health` CLI prints this.
-  std::string health_json() const;
+  std::string health_json() const SPTX_EXCLUDES(sessions_mu_);
 
  private:
   RuntimeConfig config_;
@@ -159,12 +164,22 @@ class Engine {
   /// triplets) — evaluating a different or mutated dataset drops the cache.
   std::unique_ptr<sparse::PlanCache> eval_plans_;
   std::uint64_t eval_fingerprint_ = 0;
+  /// Guards the session registry and the publish counters. The serving
+  /// surface — open_session(), publish(), published_version(),
+  /// health_json() — is safe to call concurrently (a health-probe thread
+  /// racing a publisher racing request threads opening sessions); the
+  /// model-mutation surface (create/load/train*) stays single-threaded by
+  /// contract. The historical unguarded vector let open_session()'s
+  /// prune-and-push race publish()/health_json() iteration — flagged by
+  /// the thread-safety annotation pass.
+  mutable Mutex sessions_mu_;
   /// Sessions opened by this engine, for the health surface and for
   /// publish() fan-out. Weak — the engine never extends a session's
   /// lifetime; dead entries are pruned on the next open_session().
-  mutable std::vector<std::weak_ptr<serve::InferenceSession>> sessions_;
-  std::uint64_t published_version_ = 0;
-  std::int64_t publishes_ = 0;
+  mutable std::vector<std::weak_ptr<serve::InferenceSession>> sessions_
+      SPTX_GUARDED_BY(sessions_mu_);
+  std::uint64_t published_version_ SPTX_GUARDED_BY(sessions_mu_) = 0;
+  std::int64_t publishes_ SPTX_GUARDED_BY(sessions_mu_) = 0;
 };
 
 }  // namespace sptx

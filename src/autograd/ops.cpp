@@ -119,14 +119,14 @@ Variable gather(const Variable& x,
         // this step both slow and memory-hungry in dense frameworks.
         Matrix& dx = parent_grad(n, 0);
         const Matrix& g = n.grad();
-        const index_t d = g.cols();
+        const index_t gd = g.cols();
         Matrix scatter_buffer(dx.rows(), dx.cols());  // the zero matrix
         profiling::count_flops(g.size() + dx.size());
         for (index_t i = 0; i < g.rows(); ++i) {
           float* drow =
               scatter_buffer.row((*idx)[static_cast<std::size_t>(i)]);
           const float* grow = g.row(i);
-          for (index_t j = 0; j < d; ++j) drow[j] += grow[j];
+          for (index_t j = 0; j < gd; ++j) drow[j] += grow[j];
         }
         dx.add_(scatter_buffer);
       },
@@ -240,14 +240,14 @@ Variable row_squared_l2_torus(const Variable& x) {
       [](Node& n) {
         if (!parent_needs_grad(n, 0)) return;
         Matrix& dx = parent_grad(n, 0);
-        const Matrix& xv = parent_value(n, 0);
+        const Matrix& xb = parent_value(n, 0);
         const Matrix& g = n.grad();
-        profiling::count_flops(4 * xv.size());
-        for (index_t i = 0; i < xv.rows(); ++i) {
+        profiling::count_flops(4 * xb.size());
+        for (index_t i = 0; i < xb.rows(); ++i) {
           const float gi = g.at(i, 0);
-          const float* xrow = xv.row(i);
+          const float* xrow = xb.row(i);
           float* drow = dx.row(i);
-          for (index_t j = 0; j < xv.cols(); ++j) {
+          for (index_t j = 0; j < xb.cols(); ++j) {
             float m, s;
             torus_component(xrow[j], m, s);
             drow[j] += gi * 2.0f * m * s;
@@ -277,13 +277,13 @@ Variable row_l1_torus(const Variable& x) {
       [](Node& n) {
         if (!parent_needs_grad(n, 0)) return;
         Matrix& dx = parent_grad(n, 0);
-        const Matrix& xv = parent_value(n, 0);
+        const Matrix& xb = parent_value(n, 0);
         const Matrix& g = n.grad();
-        for (index_t i = 0; i < xv.rows(); ++i) {
+        for (index_t i = 0; i < xb.rows(); ++i) {
           const float gi = g.at(i, 0);
-          const float* xrow = xv.row(i);
+          const float* xrow = xb.row(i);
           float* drow = dx.row(i);
-          for (index_t j = 0; j < xv.cols(); ++j) {
+          for (index_t j = 0; j < xb.cols(); ++j) {
             float m, s;
             torus_component(xrow[j], m, s);
             drow[j] += gi * s;
@@ -391,10 +391,10 @@ Variable relation_project(const Variable& proj, const Variable& x,
       std::move(out), {proj, x},
       [rel, dr](Node& n) {
         const Matrix& g = n.grad();
-        const Matrix& mv = parent_value(n, 0);
+        const Matrix& mb = parent_value(n, 0);
         const Matrix& xv = parent_value(n, 1);
-        const index_t de = xv.cols();
-        profiling::count_flops(4 * g.rows() * dr * de);
+        const index_t db = xv.cols();
+        profiling::count_flops(4 * g.rows() * dr * db);
         if (parent_needs_grad(n, 0)) {
           Matrix& dm = parent_grad(n, 0);
           // dM_{rel_i} += g_i · x_iᵀ (outer product per triplet).
@@ -405,7 +405,7 @@ Variable relation_project(const Variable& proj, const Variable& x,
             for (index_t p = 0; p < dr; ++p) {
               float* mrow = dm.row(r * dr + p);
               const float gp = grow[p];
-              for (index_t q = 0; q < de; ++q) mrow[q] += gp * xrow[q];
+              for (index_t q = 0; q < db; ++q) mrow[q] += gp * xrow[q];
             }
           }
         }
@@ -417,9 +417,9 @@ Variable relation_project(const Variable& proj, const Variable& x,
             const float* grow = g.row(i);
             float* drow = dx.row(i);
             for (index_t p = 0; p < dr; ++p) {
-              const float* mrow = mv.row(r * dr + p);
+              const float* mrow = mb.row(r * dr + p);
               const float gp = grow[p];
-              for (index_t q = 0; q < de; ++q) drow[q] += gp * mrow[q];
+              for (index_t q = 0; q < db; ++q) drow[q] += gp * mrow[q];
             }
           }
         }
@@ -451,10 +451,10 @@ Variable margin_ranking_loss(const Variable& pos, const Variable& neg,
       std::move(out), {pos, neg},
       [margin, m](Node& n) {
         const float g = n.grad().at(0, 0) / static_cast<float>(m);
-        const Matrix& pv = parent_value(n, 0);
-        const Matrix& nv = parent_value(n, 1);
+        const Matrix& pb = parent_value(n, 0);
+        const Matrix& nb = parent_value(n, 1);
         for (index_t i = 0; i < m; ++i) {
-          const float v = margin + pv.at(i, 0) - nv.at(i, 0);
+          const float v = margin + pb.at(i, 0) - nb.at(i, 0);
           if (v <= 0.0f) continue;
           if (parent_needs_grad(n, 0)) parent_grad(n, 0).at(i, 0) += g;
           if (parent_needs_grad(n, 1)) parent_grad(n, 1).at(i, 0) -= g;
@@ -488,10 +488,10 @@ Variable logistic_ranking_loss(const Variable& pos, const Variable& neg,
       std::move(out), {pos, neg},
       [margin, m](Node& n) {
         const float g = n.grad().at(0, 0) / static_cast<float>(m);
-        const Matrix& pv = parent_value(n, 0);
-        const Matrix& nv = parent_value(n, 1);
+        const Matrix& pb = parent_value(n, 0);
+        const Matrix& nb = parent_value(n, 1);
         for (index_t i = 0; i < m; ++i) {
-          const float z = margin + pv.at(i, 0) - nv.at(i, 0);
+          const float z = margin + pb.at(i, 0) - nb.at(i, 0);
           const float sig = 1.0f / (1.0f + std::exp(-z));
           if (parent_needs_grad(n, 0)) parent_grad(n, 0).at(i, 0) += g * sig;
           if (parent_needs_grad(n, 1)) parent_grad(n, 1).at(i, 0) -= g * sig;
@@ -554,21 +554,21 @@ Variable distmult_score(const Variable& ent_rel,
       std::move(out), {ent_rel},
       [batch, num_entities](Node& n) {
         if (!parent_needs_grad(n, 0)) return;
-        const Matrix& e = parent_value(n, 0);
+        const Matrix& ev = parent_value(n, 0);
         Matrix& de = parent_grad(n, 0);
         const Matrix& g = n.grad();
-        const index_t d = e.cols();
-        profiling::count_flops(9 * g.rows() * d);
+        const index_t gd = ev.cols();
+        profiling::count_flops(9 * g.rows() * gd);
         for (index_t i = 0; i < g.rows(); ++i) {
           const Triplet& t = (*batch)[static_cast<std::size_t>(i)];
           const float gi = g.at(i, 0);
-          const float* h = e.row(t.head);
-          const float* r = e.row(num_entities + t.relation);
-          const float* tl = e.row(t.tail);
+          const float* h = ev.row(t.head);
+          const float* r = ev.row(num_entities + t.relation);
+          const float* tl = ev.row(t.tail);
           float* dh = de.row(t.head);
           float* dr = de.row(num_entities + t.relation);
           float* dt = de.row(t.tail);
-          for (index_t j = 0; j < d; ++j) {
+          for (index_t j = 0; j < gd; ++j) {
             dh[j] += gi * r[j] * tl[j];
             dr[j] += gi * h[j] * tl[j];
             dt[j] += gi * h[j] * r[j];
@@ -608,21 +608,21 @@ Variable complex_score(const Variable& ent_rel,
       std::move(out), {ent_rel},
       [batch, num_entities](Node& n) {
         if (!parent_needs_grad(n, 0)) return;
-        const Matrix& e = parent_value(n, 0);
+        const Matrix& ev = parent_value(n, 0);
         Matrix& de = parent_grad(n, 0);
         const Matrix& g = n.grad();
-        const index_t dc = e.cols() / 2;
-        profiling::count_flops(30 * g.rows() * dc);
+        const index_t gdc = ev.cols() / 2;
+        profiling::count_flops(30 * g.rows() * gdc);
         for (index_t i = 0; i < g.rows(); ++i) {
           const Triplet& t = (*batch)[static_cast<std::size_t>(i)];
           const float gi = g.at(i, 0);
-          const float* h = e.row(t.head);
-          const float* r = e.row(num_entities + t.relation);
-          const float* tl = e.row(t.tail);
+          const float* h = ev.row(t.head);
+          const float* r = ev.row(num_entities + t.relation);
+          const float* tl = ev.row(t.tail);
           float* dh = de.row(t.head);
           float* dr = de.row(num_entities + t.relation);
           float* dt = de.row(t.tail);
-          for (index_t j = 0; j < dc; ++j) {
+          for (index_t j = 0; j < gdc; ++j) {
             const float hre = h[2 * j], him = h[2 * j + 1];
             const float rre = r[2 * j], rim = r[2 * j + 1];
             const float tre = tl[2 * j], tim = tl[2 * j + 1];
@@ -679,11 +679,11 @@ Variable rotate_score(const Variable& ent_rel,
       std::move(out), {ent_rel},
       [batch, num_entities, diffs, scores](Node& n) {
         if (!parent_needs_grad(n, 0)) return;
-        const Matrix& e = parent_value(n, 0);
+        const Matrix& ev = parent_value(n, 0);
         Matrix& de = parent_grad(n, 0);
         const Matrix& g = n.grad();
-        const index_t dc = e.cols() / 2;
-        profiling::count_flops(24 * g.rows() * dc);
+        const index_t gdc = ev.cols() / 2;
+        profiling::count_flops(24 * g.rows() * gdc);
         // d||v||/dv = v/||v||; then chain through the rotation. The
         // relation gradient is taken through the normalised factor
         // treating |r| as constant (projected-gradient approximation used
@@ -691,13 +691,13 @@ Variable rotate_score(const Variable& ent_rel,
         for (index_t i = 0; i < g.rows(); ++i) {
           const Triplet& t = (*batch)[static_cast<std::size_t>(i)];
           const float gi = g.at(i, 0) / std::max(scores->at(i, 0), kNormEps);
-          const float* h = e.row(t.head);
-          const float* r = e.row(num_entities + t.relation);
+          const float* h = ev.row(t.head);
+          const float* r = ev.row(num_entities + t.relation);
           const float* diff = diffs->row(i);
           float* dh = de.row(t.head);
           float* dr = de.row(num_entities + t.relation);
           float* dt = de.row(t.tail);
-          for (index_t j = 0; j < dc; ++j) {
+          for (index_t j = 0; j < gdc; ++j) {
             const float mag = std::max(
                 std::sqrt(r[2 * j] * r[2 * j] + r[2 * j + 1] * r[2 * j + 1]),
                 kNormEps);

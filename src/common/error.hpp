@@ -38,12 +38,24 @@ class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what,
                  ErrorCode code = ErrorCode::kPrecondition)
-      : std::runtime_error("[" + std::string(to_string(code)) + "] " + what),
-        code_(code) {}
+      : std::runtime_error(format_what(what, code)), code_(code) {}
 
   ErrorCode code() const { return code_; }
 
  private:
+  // Appends instead of an operator+ chain: GCC 12's -Wrestrict misfires on
+  // the inlined char_traits copy of `"[" + s + "] " + what` at -O3
+  // (upstream PR105651), and the build is -Werror.
+  static std::string format_what(const std::string& what, ErrorCode code) {
+    std::string s;
+    s.reserve(what.size() + 24);
+    s += '[';
+    s += to_string(code);
+    s += "] ";
+    s += what;
+    return s;
+  }
+
   ErrorCode code_;
 };
 

@@ -3,11 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/runtime_config.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace sptx::fault {
 
@@ -33,13 +33,13 @@ struct Harness {
   std::vector<std::unique_ptr<Rule>> rules;
 };
 
-std::mutex g_mu;
-std::shared_ptr<Harness> g_harness;          // guarded by g_mu for writes
+Mutex g_mu;
+std::shared_ptr<Harness> g_harness SPTX_GUARDED_BY(g_mu);
 std::atomic<bool> g_active{false};           // fast-path gate
 std::atomic<bool> g_config_checked{false};   // init_from_config ran once
 
-std::shared_ptr<Harness> snapshot() {
-  std::lock_guard<std::mutex> lock(g_mu);
+std::shared_ptr<Harness> snapshot() SPTX_EXCLUDES(g_mu) {
+  MutexLock lock(g_mu);
   return g_harness;
 }
 
@@ -152,7 +152,7 @@ void install(std::string_view spec, std::uint64_t seed) {
     if (comma == std::string_view::npos) break;
     rest.remove_prefix(comma + 1);
   }
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   g_harness = harness->rules.empty() ? nullptr : std::move(harness);
   g_active.store(g_harness != nullptr, std::memory_order_release);
   g_config_checked.store(true, std::memory_order_release);

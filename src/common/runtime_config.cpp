@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cctype>
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace sptx {
 
@@ -367,8 +367,8 @@ namespace {
 // version counter that install() bumps. Steady state is one atomic load —
 // no mutex, no atomic<shared_ptr> spin-lock, no refcount ping-pong. The
 // mutex guards only the (rare) install / first-use slow path.
-std::mutex g_mu;
-std::shared_ptr<const RuntimeConfig> g_snapshot;  // guarded by g_mu
+Mutex g_mu;
+std::shared_ptr<const RuntimeConfig> g_snapshot SPTX_GUARDED_BY(g_mu);
 std::atomic<std::uint64_t> g_version{0};          // 0 = not yet initialised
 
 struct TlsCache {
@@ -381,7 +381,7 @@ std::shared_ptr<const RuntimeConfig> current() {
   thread_local TlsCache cache;
   const std::uint64_t v = g_version.load(std::memory_order_acquire);
   if (cache.snap && cache.version == v) return cache.snap;
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   if (!g_snapshot) {
     g_snapshot =
         std::make_shared<const RuntimeConfig>(RuntimeConfig::from_env());
@@ -393,7 +393,7 @@ std::shared_ptr<const RuntimeConfig> current() {
 }
 
 void install(RuntimeConfig snapshot) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   g_snapshot = std::make_shared<const RuntimeConfig>(std::move(snapshot));
   // Monotonic: a TLS cache can never see a (version, different-snapshot)
   // pair collide, because versions are handed out once.

@@ -57,10 +57,10 @@ struct ConfigSpec {
   ConfigType type = ConfigType::kFlag;
   /// Canonical default in text form. Empty = tri-state "keep the caller's
   /// config-struct field" (the *_or accessors' fallback applies).
-  std::string_view default_value;
-  std::string_view doc;
+  std::string_view default_value = {};
+  std::string_view doc = {};
   /// kEnum only: pipe-separated valid values, e.g. "auto|scatter|transpose".
-  std::string_view choices;
+  std::string_view choices = {};
 };
 
 /// Where a knob's effective value came from.

@@ -1,0 +1,167 @@
+// Clang Thread Safety Analysis across the whole locking surface.
+//
+// The concurrency contract of this codebase — which mutex guards which
+// state, which functions must (or must not) hold which lock — used to live
+// in comments and in whatever interleavings TSan happened to exercise at
+// runtime. This header moves that contract into the type system: every
+// mutex-guarded subsystem (serve::MicroBatcher, serve::InferenceSession,
+// sparse::PlanCache, Workspace, the fault harness, the runtime-config
+// process snapshot, Engine's session registry) declares its discipline with
+// the SPTX_* attribute macros below, and a clang build with
+// `-Wthread-safety -Werror=thread-safety` (CMake: SPTX_THREAD_SAFETY,
+// auto-on for clang) rejects any access that violates it — at compile time,
+// on every build, on every path, not just the schedules a test hits.
+//
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so annotated code builds identically everywhere.
+//
+// The sptx::Mutex / sptx::MutexLock / sptx::CondVar wrappers exist because
+// libstdc++'s std::mutex carries no capability attributes: the analysis can
+// only track lock state through types that declare it. They are exact-cost
+// shims — Mutex is a std::mutex, MutexLock is a lock_guard that can also
+// drop/retake the lock mid-scope (the micro-batcher's execute-outside-the-
+// lock pattern), and CondVar waits on the wrapped mutex directly via
+// std::condition_variable_any.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SPTX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SPTX_THREAD_ANNOTATION
+#define SPTX_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// A type that is a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define SPTX_CAPABILITY(x) SPTX_THREAD_ANNOTATION(capability(x))
+
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define SPTX_SCOPED_CAPABILITY SPTX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define SPTX_GUARDED_BY(x) SPTX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by `x` (the pointer itself may
+/// be read freely).
+#define SPTX_PT_GUARDED_BY(x) SPTX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: caller holds the capability (exclusively).
+#define SPTX_REQUIRES(...) \
+  SPTX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SPTX_REQUIRES_SHARED(...) \
+  SPTX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the capability (not held on entry / held on
+/// exit, and vice versa).
+#define SPTX_ACQUIRE(...) \
+  SPTX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SPTX_RELEASE(...) \
+  SPTX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function may acquire the capability; returns `result` on success.
+#define SPTX_TRY_ACQUIRE(...) \
+  SPTX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard for
+/// self-locking public APIs).
+#define SPTX_EXCLUDES(...) SPTX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define SPTX_ASSERT_CAPABILITY(x) \
+  SPTX_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define SPTX_RETURN_CAPABILITY(x) SPTX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-order declaration: this mutex is acquired before/after `...`.
+#define SPTX_ACQUIRED_BEFORE(...) \
+  SPTX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SPTX_ACQUIRED_AFTER(...) \
+  SPTX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch — disables the analysis for one function. Every use must
+/// carry a comment justifying why the contract holds anyway.
+#define SPTX_NO_THREAD_SAFETY_ANALYSIS \
+  SPTX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sptx {
+
+/// std::mutex with the capability attribute the analysis tracks. Satisfies
+/// BasicLockable, so std::lock_guard / std::unique_lock still compile
+/// against it — but only sptx::MutexLock and the annotated lock()/unlock()
+/// methods inform the analysis, so annotated code should use those.
+class SPTX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPTX_ACQUIRE() { mu_.lock(); }
+  void unlock() SPTX_RELEASE() { mu_.unlock(); }
+  bool try_lock() SPTX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over sptx::Mutex. Beyond lock_guard, it supports the
+/// drop-and-retake pattern (unlock() mid-scope, lock() to re-enter) that
+/// the micro-batcher uses to run the scoring callback outside the lock —
+/// with the analysis tracking the held/released state across both.
+class SPTX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPTX_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SPTX_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drop the lock before a blocking/expensive region.
+  void unlock() SPTX_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Retake the lock after unlock().
+  void lock() SPTX_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to sptx::Mutex. Waits take the Mutex itself so
+/// the analysis can check the caller actually holds it; internally the wait
+/// runs on the wrapped std::mutex (condition_variable_any), so the
+/// unlock/relock inside libstdc++ never confuses the analysis.
+class CondVar {
+ public:
+  void wait(Mutex& mu) SPTX_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SPTX_REQUIRES(mu) {
+    return cv_.wait_until(mu.mu_, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sptx

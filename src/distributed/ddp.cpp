@@ -351,6 +351,16 @@ DdpResult train_ddp(
         for (index_t s = w; s < num_shards; s += p) run_shard(w, s);
       };
       {
+        // Synchronization contract (checked by inspection — there are no
+        // locks here for the thread-safety analysis to verify): the
+        // worker/driver handshake is pure fork/join. Each worker writes
+        // only its own disjoint slots of shard_grads / shard_loss /
+        // errors / support_verified (indexed by shard or worker id), and
+        // the driver reads them only after every join() below — the joins
+        // are the sole happens-before edges, so no slot needs a mutex or
+        // atomic. Anything cross-worker (profiling counters, the fault
+        // harness, workspace pools) is independently thread-safe.
+        //
         // Worker exceptions (bad_alloc compiling a plan, a failed
         // SPTX_CHECK, an injected ddp_worker fault) are captured at the
         // join so they surface like single-threaded errors instead of

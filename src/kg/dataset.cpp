@@ -179,14 +179,22 @@ Dataset split(Dataset all, double valid_frac, double test_frac, Rng& rng) {
 void write_tsv(const Dataset& ds, const std::string& path) {
   std::ofstream os(path);
   SPTX_CHECK(os.good(), "cannot write " << path);
+  // Synthetic labels build by insert rather than `"e" + to_string(...)` —
+  // GCC 12's -Wrestrict misfires on that inlined operator+ chain at -O3
+  // (upstream PR105651), and the build is -Werror.
   auto label_ent = [&](std::int64_t e) {
-    return ds.entity_names.empty() ? "e" + std::to_string(e)
-                                   : ds.entity_names[static_cast<std::size_t>(e)];
+    if (!ds.entity_names.empty())
+      return ds.entity_names[static_cast<std::size_t>(e)];
+    std::string label = std::to_string(e);
+    label.insert(label.begin(), 'e');
+    return label;
   };
   auto label_rel = [&](std::int64_t r) {
-    return ds.relation_names.empty()
-               ? "r" + std::to_string(r)
-               : ds.relation_names[static_cast<std::size_t>(r)];
+    if (!ds.relation_names.empty())
+      return ds.relation_names[static_cast<std::size_t>(r)];
+    std::string label = std::to_string(r);
+    label.insert(label.begin(), 'r');
+    return label;
   };
   for (const Triplet& t : ds.train.triplets()) {
     os << label_ent(t.head) << '\t' << label_rel(t.relation) << '\t'

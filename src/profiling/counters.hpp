@@ -11,6 +11,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace sptx::profiling {
@@ -30,6 +31,34 @@ enum class Counter : int {
   kAnnCandidates,         // exact-re-rank candidates scored by ANN queries
   kNumCounters,
 };
+
+/// Stable human-readable names, index-aligned with the Counter enum. Every
+/// enumerator (except the kNumCounters sentinel) MUST have an entry here —
+/// tools/sptx_lint.py cross-checks the two lists, and the health surface
+/// prints counters by these names.
+inline constexpr const char* kCounterNames[] = {
+    "incidence_builds",        // kIncidenceBuilds
+    "plan_compiles",           // kPlanCompiles
+    "plan_cache_hits",         // kPlanCacheHits
+    "plan_invalidations",      // kPlanInvalidations
+    "ddp_shards",              // kDdpShards
+    "ddp_allreduce_rows",      // kDdpAllReduceRows
+    "ddp_dense_reduces",       // kDdpDenseReduces
+    "fused_batches",           // kFusedBatches
+    "ann_index_builds",        // kAnnIndexBuilds
+    "ann_topk_queries",        // kAnnTopkQueries
+    "ann_brute_topk_queries",  // kAnnBruteTopkQueries
+    "ann_candidates",          // kAnnCandidates
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+                  static_cast<std::size_t>(Counter::kNumCounters),
+              "kCounterNames must stay index-aligned with the Counter enum: "
+              "add the name in the same position as the new enumerator");
+
+/// The stable name of `c` ("plan_cache_hits", ...).
+inline const char* counter_name(Counter c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
 
 namespace detail {
 inline std::atomic<std::int64_t>& counter_cell(Counter c) {

@@ -48,7 +48,7 @@ RejectReason MicroBatcher::try_execute(std::span<const Triplet> triplets,
   Request req{triplets, out, deadline};
   const auto size = static_cast<index_t>(triplets.size());
 
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Admission control, all under the one lock: an injected serve_queue
   // fault, a dead-on-arrival deadline, or a bounded queue at capacity each
   // bounce the request before it costs anything.
@@ -82,17 +82,17 @@ RejectReason MicroBatcher::try_execute(std::span<const Triplet> triplets,
   // below) and reports kDeadline. Once `taken` is set the request is
   // guaranteed to execute, so the deadline stops applying.
   while (!req.done) {
-    if (leader_active_ || queue_.empty() || !slot_free()) {
+    if (!can_lead()) {
       if (req.taken || req.deadline == kNoDeadline) {
-        cv_.wait(lk, [&] {
-          return req.done ||
-                 (!leader_active_ && !queue_.empty() && slot_free());
-        });
+        while (!req.done && !can_lead()) cv_.wait(mu_);
       } else {
-        const bool woke = cv_.wait_until(lk, req.deadline, [&] {
-          return req.done || req.taken ||
-                 (!leader_active_ && !queue_.empty() && slot_free());
-        });
+        bool woke = true;
+        while (!req.done && !req.taken && !can_lead()) {
+          if (cv_.wait_until(mu_, req.deadline) == std::cv_status::timeout) {
+            woke = req.done || req.taken || can_lead();
+            break;
+          }
+        }
         if (!woke && !req.done && !req.taken) {
           // Expired while queued: withdraw and shed the load.
           auto it = std::find(queue_.begin(), queue_.end(), &req);
@@ -112,8 +112,8 @@ RejectReason MicroBatcher::try_execute(std::span<const Triplet> triplets,
     // continuous batching, coalescing only what contention already queued.
     if (window_.count() > 0 && queued_triplets_ < max_batch_) {
       const auto linger = std::chrono::steady_clock::now() + window_;
-      cv_.wait_until(lk, linger,
-                     [&] { return queued_triplets_ >= max_batch_; });
+      while (queued_triplets_ < max_batch_)
+        if (cv_.wait_until(mu_, linger) == std::cv_status::timeout) break;
     }
 
     // Drain up to max_batch_ triplets in arrival order, shedding requests
@@ -190,7 +190,7 @@ RejectReason MicroBatcher::try_execute(std::span<const Triplet> triplets,
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -17,14 +17,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/tensor/matrix.hpp"
 
@@ -79,16 +78,18 @@ class MicroBatcher {
   /// Throws Error{kQueueFull} when a configured queue_limit (or an
   /// injected serve_queue fault) rejects the request — use try_execute for
   /// the non-throwing path.
-  void execute(std::span<const Triplet> triplets, float* out);
+  void execute(std::span<const Triplet> triplets, float* out)
+      SPTX_EXCLUDES(mu_);
 
   /// Deadline-aware variant: returns kNone with out[] filled, or the
   /// typed rejection. A request rejected for deadline never started
   /// scoring (load shedding — no work is wasted on a result nobody can
   /// use); once a leader takes a request, it is guaranteed to execute.
   RejectReason try_execute(std::span<const Triplet> triplets, float* out,
-                           Deadline deadline = kNoDeadline);
+                           Deadline deadline = kNoDeadline)
+      SPTX_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const SPTX_EXCLUDES(mu_);
 
  private:
   struct Request {
@@ -100,9 +101,15 @@ class MicroBatcher {
     RejectReason reject = RejectReason::kNone;
   };
 
-  /// True when a new leader may start an execution (call with mu_ held).
-  bool slot_free() const {
+  /// True when a new leader may start an execution.
+  bool slot_free() const SPTX_REQUIRES(mu_) {
     return max_concurrent_ == 0 || executing_ < max_concurrent_;
+  }
+
+  /// True when the caller may elect itself leader: nobody is draining, the
+  /// queue has work, and a concurrency slot is open.
+  bool can_lead() const SPTX_REQUIRES(mu_) {
+    return !leader_active_ && !queue_.empty() && slot_free();
   }
 
   ScoreFn score_;
@@ -111,13 +118,20 @@ class MicroBatcher {
   const index_t queue_limit_;
   const int max_concurrent_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request*> queue_;
-  index_t queued_triplets_ = 0;
-  bool leader_active_ = false;
-  int executing_ = 0;  // in-flight score() calls (bounded by max_concurrent_)
-  Stats stats_;
+  // Locking discipline: mu_ guards the queue and every scheduling decision
+  // (leader election, concurrency slots, deadline shedding) as well as the
+  // stats block. Request fields (done/taken/reject) belong to stack frames
+  // of waiting callers and are only ever touched with mu_ held. The
+  // underlying score_() runs with mu_ released — the whole point of the
+  // leader/follower design — so slow models never serialize admission.
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Request*> queue_ SPTX_GUARDED_BY(mu_);
+  index_t queued_triplets_ SPTX_GUARDED_BY(mu_) = 0;
+  bool leader_active_ SPTX_GUARDED_BY(mu_) = false;
+  // In-flight score() calls (bounded by max_concurrent_).
+  int executing_ SPTX_GUARDED_BY(mu_) = 0;
+  Stats stats_ SPTX_GUARDED_BY(mu_);
 };
 
 }  // namespace sptx::serve

@@ -76,7 +76,7 @@ std::shared_ptr<const ServingSnapshot> InferenceSession::cell_load() const {
 #if defined(__cpp_lib_atomic_shared_ptr)
   return snapshot_.load(std::memory_order_acquire);
 #else
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   return snapshot_;
 #endif
 }
@@ -86,7 +86,7 @@ void InferenceSession::cell_store(
 #if defined(__cpp_lib_atomic_shared_ptr)
   snapshot_.store(std::move(snapshot), std::memory_order_release);
 #else
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   snapshot_ = std::move(snapshot);
 #endif
 }
@@ -239,9 +239,9 @@ std::vector<float> InferenceSession::candidate_scores(
           std::move(staged), sparse::ScoringRecipe{}, n,
           model.num_relations());
       // The cap bounds resident memory, not correctness: over the cap the
-      // plan serves this query and is dropped.
-      if (plans_.stats().entries < options_.max_cached_plans)
-        plans_.put(*key, plan);
+      // plan serves this query and is dropped. Check-and-insert is one
+      // lock acquisition — concurrent misses can never overshoot the cap.
+      plans_.put_bounded(*key, plan, options_.max_cached_plans);
     }
     candidates = plan->triplets();
   } else {

@@ -42,13 +42,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/runtime_config.hpp"
+#include "src/common/thread_annotations.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/models/model.hpp"
 #include "src/serve/ann_index.hpp"
@@ -249,12 +249,14 @@ class InferenceSession {
   SessionOptions options_;
   std::unordered_set<Triplet, TripletHash> known_;
   // The RCU cell. libstdc++ ≥ 12 provides the lock-free-ish atomic
-  // specialization; the mutex fallback keeps older toolchains correct.
+  // specialization; the mutex fallback keeps older toolchains correct (and
+  // carries the guarded-by contract so the fallback is analyzable too).
 #if defined(__cpp_lib_atomic_shared_ptr)
   mutable std::atomic<std::shared_ptr<const ServingSnapshot>> snapshot_;
 #else
-  mutable std::mutex snapshot_mu_;
-  mutable std::shared_ptr<const ServingSnapshot> snapshot_;
+  mutable Mutex snapshot_mu_;
+  mutable std::shared_ptr<const ServingSnapshot> snapshot_
+      SPTX_GUARDED_BY(snapshot_mu_);
 #endif
   mutable sparse::PlanCache plans_;
   mutable MicroBatcher batcher_;

@@ -156,7 +156,7 @@ const std::shared_ptr<const RelationGroups>& CompiledBatch::relation_groups()
 }
 
 std::shared_ptr<const CompiledBatch> PlanCache::find(Key key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -168,8 +168,16 @@ std::shared_ptr<const CompiledBatch> PlanCache::find(Key key) const {
 }
 
 void PlanCache::put(Key key, std::shared_ptr<const CompiledBatch> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[key] = std::move(plan);
+}
+
+bool PlanCache::put_bounded(Key key, std::shared_ptr<const CompiledBatch> plan,
+                            std::int64_t max_entries) {
+  MutexLock lock(mu_);
+  if (static_cast<std::int64_t>(entries_.size()) >= max_entries) return false;
+  entries_[key] = std::move(plan);
+  return true;
 }
 
 std::shared_ptr<const CompiledBatch> PlanCache::get_or_compile(
@@ -183,7 +191,7 @@ std::shared_ptr<const CompiledBatch> PlanCache::get_or_compile(
 }
 
 void PlanCache::invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!entries_.empty()) {
     ++invalidations_;
     profiling::count_event(profiling::Counter::kPlanInvalidations);
@@ -192,7 +200,7 @@ void PlanCache::invalidate() {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

@@ -26,11 +26,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/kg/triplet.hpp"
 #include "src/sparse/sparse_matrix.hpp"
 
@@ -145,27 +145,37 @@ class PlanCache {
   };
 
   /// The cached plan for `key`, or null (counts a hit or a miss).
-  std::shared_ptr<const CompiledBatch> find(Key key) const;
+  std::shared_ptr<const CompiledBatch> find(Key key) const SPTX_EXCLUDES(mu_);
 
-  void put(Key key, std::shared_ptr<const CompiledBatch> plan);
+  void put(Key key, std::shared_ptr<const CompiledBatch> plan)
+      SPTX_EXCLUDES(mu_);
+
+  /// put(), but only while fewer than `max_entries` plans are resident.
+  /// The capacity check and the insert run under one lock acquisition, so
+  /// concurrent callers can never overshoot the cap the way a separate
+  /// stats()-then-put() sequence could. Returns true when inserted.
+  bool put_bounded(Key key, std::shared_ptr<const CompiledBatch> plan,
+                   std::int64_t max_entries) SPTX_EXCLUDES(mu_);
 
   /// find() or compile-and-put in one step.
   std::shared_ptr<const CompiledBatch> get_or_compile(
       Key key, std::span<const Triplet> batch, const ScoringRecipe& recipe,
-      index_t num_entities, index_t num_relations, bool copy_triplets);
+      index_t num_entities, index_t num_relations, bool copy_triplets)
+      SPTX_EXCLUDES(mu_);
 
   /// Drop every entry — the shuffle / resample_negatives hook. Plans still
   /// referenced elsewhere (the executing epoch) stay alive.
-  void invalidate();
+  void invalidate() SPTX_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const SPTX_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const CompiledBatch>> entries_;
-  mutable std::int64_t hits_ = 0;
-  mutable std::int64_t misses_ = 0;
-  std::int64_t invalidations_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const CompiledBatch>> entries_
+      SPTX_GUARDED_BY(mu_);
+  mutable std::int64_t hits_ SPTX_GUARDED_BY(mu_) = 0;
+  mutable std::int64_t misses_ SPTX_GUARDED_BY(mu_) = 0;
+  std::int64_t invalidations_ SPTX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sptx::sparse

@@ -26,22 +26,24 @@ Workspace& Workspace::instance() {
 }
 
 void Workspace::enable() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++depth_;
+  MutexLock lock(mu_);
+  depth_.fetch_add(1, std::memory_order_release);
 }
 
 void Workspace::disable() {
   bool drain = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (depth_ > 0 && --depth_ == 0) drain = true;
+    MutexLock lock(mu_);
+    if (depth_.load(std::memory_order_relaxed) > 0 &&
+        depth_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      drain = true;
   }
   if (drain) trim();
 }
 
 std::optional<Workspace::Buffer> Workspace::acquire(std::size_t padded_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (depth_ == 0) return std::nullopt;
+  MutexLock lock(mu_);
+  if (depth_.load(std::memory_order_relaxed) == 0) return std::nullopt;
   auto it = pool_.find(padded_bytes);
   if (it == pool_.end() || it->second.empty()) {
     ++misses_;
@@ -58,8 +60,8 @@ std::optional<Workspace::Buffer> Workspace::acquire(std::size_t padded_bytes) {
 bool Workspace::release(Buffer buffer, std::size_t padded_bytes) {
   SPTX_CHECK(aligned(buffer.data),
              "Workspace::release: buffer not 64-byte aligned");
-  std::lock_guard<std::mutex> lock(mu_);
-  if (depth_ == 0) return false;
+  MutexLock lock(mu_);
+  if (depth_.load(std::memory_order_relaxed) == 0) return false;
   pool_[padded_bytes].push_back(buffer);
   ++cached_count_;
   cached_bytes_ += static_cast<std::int64_t>(buffer.tracked_bytes);
@@ -67,7 +69,7 @@ bool Workspace::release(Buffer buffer, std::size_t padded_bytes) {
 }
 
 void Workspace::trim() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [size, buffers] : pool_) {
     for (Buffer& b : buffers) {
       MemoryTracker::instance().on_free(b.tracked_bytes);
@@ -80,7 +82,7 @@ void Workspace::trim() {
 }
 
 Workspace::Stats Workspace::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

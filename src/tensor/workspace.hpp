@@ -17,12 +17,14 @@
 // same "reserved" semantics torch.cuda reports — and peak() is unaffected.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "src/common/thread_annotations.hpp"
 
 namespace sptx {
 
@@ -42,35 +44,42 @@ class Workspace {
 
   static Workspace& instance();
 
-  bool enabled() const { return depth_ > 0; }
+  /// Advisory lock-free snapshot of "is any scope active". depth_ is
+  /// atomic — the historical plain-int read raced with enable()/disable()
+  /// from other threads (flagged by the thread-safety annotation pass).
+  bool enabled() const { return depth_.load(std::memory_order_acquire) > 0; }
 
   /// Nested enable/disable (ScopedWorkspace drives this); the pool drains —
   /// returns every parked buffer to the OS — when the last scope exits.
-  void enable();
-  void disable();
+  void enable() SPTX_EXCLUDES(mu_);
+  void disable() SPTX_EXCLUDES(mu_);
 
   /// A parked buffer of exactly `padded_bytes` capacity, or nullopt when the
   /// pool is disabled or empty for that size (caller mallocs and reports
   /// on_alloc itself).
-  std::optional<Buffer> acquire(std::size_t padded_bytes);
+  std::optional<Buffer> acquire(std::size_t padded_bytes) SPTX_EXCLUDES(mu_);
 
   /// Park `buffer` for reuse. Returns false when the pool is disabled — the
   /// caller then frees and reports on_free itself.
-  bool release(Buffer buffer, std::size_t padded_bytes);
+  bool release(Buffer buffer, std::size_t padded_bytes) SPTX_EXCLUDES(mu_);
 
   /// Free every parked buffer (reporting on_free for each).
-  void trim();
+  void trim() SPTX_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const SPTX_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  int depth_ = 0;
-  std::unordered_map<std::size_t, std::vector<Buffer>> pool_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
-  std::int64_t cached_bytes_ = 0;
-  std::int64_t cached_count_ = 0;
+  mutable Mutex mu_;
+  /// Active-scope count. Writes happen under mu_ (they must be serialized
+  /// with pool mutation and the drain decision); reads may be lock-free
+  /// (enabled()).
+  std::atomic<int> depth_{0};
+  std::unordered_map<std::size_t, std::vector<Buffer>> pool_
+      SPTX_GUARDED_BY(mu_);
+  std::int64_t hits_ SPTX_GUARDED_BY(mu_) = 0;
+  std::int64_t misses_ SPTX_GUARDED_BY(mu_) = 0;
+  std::int64_t cached_bytes_ SPTX_GUARDED_BY(mu_) = 0;
+  std::int64_t cached_count_ SPTX_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII hot-path scope: Matrix buffers recycle for the scope's lifetime.

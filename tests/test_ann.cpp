@@ -220,9 +220,9 @@ INSTANTIATE_TEST_SUITE_P(
                       FamilyCase{"DistMult", models::Dissimilarity::kL2},
                       FamilyCase{"ComplEx", models::Dissimilarity::kL2},
                       FamilyCase{"RotatE", models::Dissimilarity::kL2}),
-    [](const ::testing::TestParamInfo<FamilyCase>& info) {
-      return std::string(info.param.family) +
-             (info.param.dissim == models::Dissimilarity::kL1 ? "L1" : "");
+    [](const ::testing::TestParamInfo<FamilyCase>& param_info) {
+      return std::string(param_info.param.family) +
+             (param_info.param.dissim == models::Dissimilarity::kL1 ? "L1" : "");
     });
 
 // ---- dispatch gating --------------------------------------------------------

@@ -93,9 +93,9 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, OpShapeSweep,
     ::testing::Values(Shape{1, 1}, Shape{1, 7}, Shape{5, 1}, Shape{3, 4},
                       Shape{2, 16}, Shape{9, 3}),
-    [](const ::testing::TestParamInfo<Shape>& info) {
-      return std::to_string(info.param.rows) + "x" +
-             std::to_string(info.param.cols);
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      return std::to_string(param_info.param.rows) + "x" +
+             std::to_string(param_info.param.cols);
     });
 
 // Forward-value identities that must hold at any shape.
@@ -142,9 +142,9 @@ TEST_P(OpIdentitySweep, RowDotWithSelfIsSquaredL2) {
 INSTANTIATE_TEST_SUITE_P(
     Shapes, OpIdentitySweep,
     ::testing::Values(Shape{1, 1}, Shape{4, 4}, Shape{1, 33}, Shape{17, 2}),
-    [](const ::testing::TestParamInfo<Shape>& info) {
-      return std::to_string(info.param.rows) + "x" +
-             std::to_string(info.param.cols);
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      return std::to_string(param_info.param.rows) + "x" +
+             std::to_string(param_info.param.cols);
     });
 
 }  // namespace

@@ -77,11 +77,11 @@ ModelSpec build_spec(const Args& args) {
   return spec;
 }
 
-/// Engine with the model the args describe, checkpoint-restored when
-/// --load was given. --ann / --nprobe / --ann-min-entities become registry
-/// overrides so every session the engine opens resolves them uniformly
-/// (and `sptx config` run under the same env shows identical values).
-Engine make_engine(const Args& args, const kg::Dataset& ds) {
+/// Engine options from the args. --ann / --nprobe / --ann-min-entities
+/// become registry overrides so every session the engine opens resolves
+/// them uniformly (and `sptx config` run under the same env shows
+/// identical values).
+Engine::Options engine_options(const Args& args) {
   Engine::Options eo;
   if (args.has("ann"))
     eo.config_overrides.emplace_back("SPTX_ANN", args.get("ann", "auto"));
@@ -91,7 +91,13 @@ Engine make_engine(const Args& args, const kg::Dataset& ds) {
   if (args.has("ann-min-entities"))
     eo.config_overrides.emplace_back("SPTX_ANN_MIN_ENTITIES",
                                      args.get("ann-min-entities", "4096"));
-  Engine engine(eo);
+  return eo;
+}
+
+/// Give `engine` the model the args describe, checkpoint-restored when
+/// --load was given. (Two steps instead of returning an Engine by value:
+/// the Engine owns a mutex and is intentionally immovable.)
+void init_model(Engine& engine, const Args& args, const kg::Dataset& ds) {
   const ModelSpec spec = build_spec(args);
   if (args.has("load")) {
     engine.load_model(spec, ds.num_entities(), ds.num_relations(),
@@ -99,7 +105,6 @@ Engine make_engine(const Args& args, const kg::Dataset& ds) {
   } else {
     engine.create_model(spec, ds.num_entities(), ds.num_relations());
   }
-  return engine;
 }
 
 void print_metrics(const eval::RankingMetrics& m) {
@@ -118,7 +123,8 @@ int cmd_train(const Args& args) {
               static_cast<long long>(ds.train.size()),
               static_cast<long long>(ds.valid.size()),
               static_cast<long long>(ds.test.size()));
-  Engine engine = make_engine(args, ds);
+  Engine engine(engine_options(args));
+  init_model(engine, args, ds);
 
   train::TrainConfig tc;
   tc.epochs = static_cast<int>(args.num("epochs", 200));
@@ -181,7 +187,8 @@ int cmd_train(const Args& args) {
 int cmd_eval(const Args& args) {
   const kg::Dataset ds = load_dataset(args);
   SPTX_CHECK(args.has("load"), "eval needs --load <checkpoint>");
-  Engine engine = make_engine(args, ds);
+  Engine engine(engine_options(args));
+  init_model(engine, args, ds);
   eval::EvalConfig ec;
   ec.max_queries = static_cast<std::int64_t>(args.num("max-queries", 0));
   ec.filtered = args.num("filtered", 1) != 0;
@@ -254,7 +261,8 @@ int cmd_query(const Args& args) {
   const kg::Dataset ds = load_dataset(args);
   SPTX_CHECK(args.has("load"), "query needs --load <checkpoint>");
   SPTX_CHECK(args.has("relation"), "query needs --relation <id>");
-  Engine engine = make_engine(args, ds);
+  Engine engine(engine_options(args));
+  init_model(engine, args, ds);
 
   serve::SessionOptions so;
   if (args.num("filtered", 1) != 0) so.filter = &ds.train;
@@ -295,7 +303,8 @@ int cmd_query(const Args& args) {
 /// concurrent path CI's ASan job needs to see under instrumentation.
 int cmd_serve(const Args& args) {
   const kg::Dataset ds = load_dataset(args);
-  Engine engine = make_engine(args, ds);
+  Engine engine(engine_options(args));
+  init_model(engine, args, ds);
   if (!args.has("load")) {
     // No checkpoint: warm the model with a short training run so the
     // served scores are not pure noise.
