@@ -7,6 +7,7 @@
 #include "src/common/fault.hpp"
 #include "src/models/checkpoint.hpp"
 #include "src/profiling/counters.hpp"
+#include "src/runtime/task_pool.hpp"
 
 namespace sptx {
 
@@ -225,6 +226,12 @@ std::string Engine::health_json() const {
       << ", \"spec\": \"";
   json_escape_into(out, fault::spec());
   out << "\"},\n";
+  // The shared task runtime's gauges: pool mode/width, live queue depth,
+  // steal ratio, and per-class submitted/executed/stolen counts — an
+  // oversubscribed or starved pool is visible from `sptx health` without
+  // attaching a profiler.
+  out << "  \"runtime\": " << runtime::TaskPool::instance().stats_json()
+      << ",\n";
   out << "  \"serving\": {\"sessions_open\": " << live
       << ", \"queries\": " << total.queries
       << ", \"triplets_scored\": " << total.triplets_scored

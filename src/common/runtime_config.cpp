@@ -114,6 +114,16 @@ constexpr ConfigSpec kSpecs[] = {
     {"SPTX_FAULT_SEED", ConfigType::kInt, "",
      "Seed for probabilistic (eio) fault-injection rules; the same spec + "
      "seed faults the same hits in every run."},
+    {"SPTX_RUNTIME", ConfigType::kEnum, "pool",
+     "Threading backend: 'pool' schedules every parallel site (SpMM "
+     "kernels, epoch prefetch, DDP workers, serving, ANN builds) on the "
+     "shared work-stealing runtime::TaskPool; 'legacy' keeps the historical "
+     "per-site threads as a bit-identical escape hatch.",
+     "pool|legacy"},
+    {"SPTX_RUNTIME_THREADS", ConfigType::kInt, "",
+     "Width of the shared task pool, including the calling lane (N means "
+     "N-1 background workers). Default: hardware concurrency. Latched when "
+     "the pool first runs; tests/benches re-shape via TaskPool::resize."},
 };
 
 bool iequals(std::string_view a, std::string_view b) {
@@ -235,6 +245,7 @@ void RuntimeConfig::refresh_hot() {
   hot_.spmm_kernel = to_lower(value_or("SPTX_SPMM_KERNEL", "auto"));
   hot_.spmm_backward = to_lower(value_or("SPTX_SPMM_BACKWARD", "auto"));
   hot_.fused_off = to_lower(value_or("SPTX_FUSED", "auto")) == "off";
+  hot_.runtime_pool = to_lower(value_or("SPTX_RUNTIME", "pool")) != "legacy";
 }
 
 std::size_t RuntimeConfig::index_of(std::string_view name) {

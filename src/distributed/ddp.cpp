@@ -17,6 +17,7 @@
 #include "src/models/checkpoint.hpp"
 #include "src/models/snapshot.hpp"
 #include "src/profiling/counters.hpp"
+#include "src/runtime/task_pool.hpp"
 #include "src/sparse/incidence.hpp"
 
 namespace sptx::distributed {
@@ -367,8 +368,6 @@ DdpResult train_ddp(
         // terminating the process — or, while the retry budget lasts, get
         // repaired in place.
         std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
-        std::vector<std::thread> threads;
-        threads.reserve(static_cast<std::size_t>(p - 1));
         auto guarded = [&](int w) {
           try {
             run_worker(w);
@@ -376,9 +375,33 @@ DdpResult train_ddp(
             errors[static_cast<std::size_t>(w)] = std::current_exception();
           }
         };
-        for (int w = 1; w < p; ++w) threads.emplace_back(guarded, w);
-        guarded(0);  // the driving thread is worker 0
-        for (auto& t : threads) t.join();
+        if (runtime::use_pool()) {
+          // The same fork/join handshake, with the fork expressed as pool
+          // tasks: logical worker w keeps its id (so the shard assignment
+          // s = w, w+p, ... — and with it the die@epoch:worker fault sites
+          // and the shard-index-ordered reduction — is bit-identical to
+          // the thread-per-worker legacy path), and TaskGroup::wait() is
+          // the join edge. Workers running as pool tasks execute their
+          // fused kernels on the same pool: nested parallel_for composes
+          // instead of oversubscribing. On a pool with too few (or zero)
+          // background workers the wait()ing driver executes the queued
+          // worker bodies itself — execution placement changes, results
+          // do not.
+          runtime::TaskGroup tg;
+          auto& pool = runtime::TaskPool::instance();
+          for (int w = 1; w < p; ++w)
+            pool.submit(
+                tg, [&guarded, w] { guarded(w); },
+                runtime::TaskClass::kDdp);
+          guarded(0);  // the driving thread is worker 0
+          tg.wait();
+        } else {
+          std::vector<std::thread> threads;
+          threads.reserve(static_cast<std::size_t>(p - 1));
+          for (int w = 1; w < p; ++w) threads.emplace_back(guarded, w);
+          guarded(0);  // the driving thread is worker 0
+          for (auto& t : threads) t.join();
+        }
 
         // Clean abort: flush the (consistent — a batch's update is
         // all-or-nothing) parameters so nothing is lost, then raise the

@@ -9,7 +9,7 @@
 #include <cstring>
 
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
+#include "src/runtime/parallel.hpp"
 #include "src/common/simd.hpp"
 
 namespace sptx::nn {
@@ -33,7 +33,7 @@ void EmbeddingTable::normalize_rows_prefix(index_t count) {
   // (each row is touched by exactly one task — no synchronization needed).
   Matrix& w = var_.mutable_value();
   const index_t d = w.cols();
-  parallel_for(
+  runtime::parallel_for(
       0, count,
       [&](index_t i) {
         float* row = w.row(i);

@@ -29,6 +29,12 @@ enum class Counter : int {
   kAnnTopkQueries,        // top-k queries answered through the ANN index
   kAnnBruteTopkQueries,   // top-k queries answered by the brute-force scan
   kAnnCandidates,         // exact-re-rank candidates scored by ANN queries
+  kRuntimeTasksSubmitted,   // tasks + region tickets queued on the TaskPool
+  kRuntimeTasksExecuted,    // tasks + tickets consumed by a pool lane
+  kRuntimeTasksStolen,      // tasks taken from another worker's deque
+  kRuntimeChunksExecuted,   // parallel-region chunks run (any lane)
+  kRuntimeParallelRegions,  // parallel_for regions that engaged the pool
+  kRuntimeInlineLoops,      // parallel_for calls run inline (n <= grain)
   kNumCounters,
 };
 
@@ -49,6 +55,12 @@ inline constexpr const char* kCounterNames[] = {
     "ann_topk_queries",        // kAnnTopkQueries
     "ann_brute_topk_queries",  // kAnnBruteTopkQueries
     "ann_candidates",          // kAnnCandidates
+    "runtime_tasks_submitted",   // kRuntimeTasksSubmitted
+    "runtime_tasks_executed",    // kRuntimeTasksExecuted
+    "runtime_tasks_stolen",      // kRuntimeTasksStolen
+    "runtime_chunks_executed",   // kRuntimeChunksExecuted
+    "runtime_parallel_regions",  // kRuntimeParallelRegions
+    "runtime_inline_loops",      // kRuntimeInlineLoops
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
                   static_cast<std::size_t>(Counter::kNumCounters),

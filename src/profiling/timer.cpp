@@ -10,6 +10,7 @@ HotspotRegistry& HotspotRegistry::instance() {
 }
 
 std::vector<std::pair<std::string, double>> HotspotRegistry::ranked() const {
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, double>> out(accum_.begin(),
                                                   accum_.end());
   std::sort(out.begin(), out.end(),
@@ -18,6 +19,7 @@ std::vector<std::pair<std::string, double>> HotspotRegistry::ranked() const {
 }
 
 double HotspotRegistry::total() const {
+  MutexLock lock(mu_);
   double t = 0.0;
   for (const auto& [name, s] : accum_) t += s;
   return t;

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
+
 namespace sptx::profiling {
 
 using clock = std::chrono::steady_clock;
@@ -50,24 +52,31 @@ class ScopedAccum {
   clock::time_point t0_;
 };
 
-/// Named time attribution for Figure 2 style hotspot ranking.
-/// Not thread-safe across concurrent writers by design: hotspot profiling
-/// runs single-threaded training loops (as does the paper's perf profile).
+/// Named time attribution for Figure 2 style hotspot ranking. The fused
+/// kernels and autograd ops report from DDP workers and pool tasks, so
+/// accumulation is mutex-guarded; samples are per-batch (not per-row), so
+/// the lock is uncontended noise next to the work being attributed.
 class HotspotRegistry {
  public:
   static HotspotRegistry& instance();
 
-  void add(const std::string& name, double seconds) {
+  void add(const std::string& name, double seconds) SPTX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     accum_[name] += seconds;
   }
-  void reset() { accum_.clear(); }
+  void reset() SPTX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    accum_.clear();
+  }
 
   /// (name, seconds) sorted descending by time.
-  std::vector<std::pair<std::string, double>> ranked() const;
-  double total() const;
+  std::vector<std::pair<std::string, double>> ranked() const
+      SPTX_EXCLUDES(mu_);
+  double total() const SPTX_EXCLUDES(mu_);
 
  private:
-  std::map<std::string, double> accum_;
+  mutable Mutex mu_;
+  std::map<std::string, double> accum_ SPTX_GUARDED_BY(mu_);
 };
 
 /// RAII hotspot sample: attributes its lifetime to `name`.

@@ -1,0 +1,68 @@
+// parallel_for over the shared work-stealing TaskPool.
+//
+// Drop-in successor of the retired src/common/parallel.hpp: same signature,
+// same exactly-once contract, same grain semantics (`grain` is both the
+// serial cutoff and the chunk size). Two differences:
+//
+//  * Scheduling runs on runtime::TaskPool (one process-wide view of
+//    parallelism; nested regions compose instead of oversubscribing) unless
+//    SPTX_RUNTIME=legacy selects the historical OpenMP/serial path, which
+//    is kept bit-identical as an escape hatch.
+//  * Tiny trip counts are guaranteed inline: when n <= grain (or the pool
+//    is one lane wide) the body runs on the caller with zero pool
+//    round-trips — no task is submitted, no lock is taken, and the
+//    kRuntimeInlineLoops counter records the shortcut so tests can assert
+//    it stays that way.
+#pragma once
+
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "src/profiling/counters.hpp"
+#include "src/runtime/task_pool.hpp"
+
+namespace sptx::runtime {
+
+/// Parallel loop over [begin, end) with dynamic scheduling: `body(i)` runs
+/// exactly once per index. Exceptions from any chunk propagate to the
+/// caller after the region quiesces (first one wins). Safe to nest — an
+/// inner parallel_for inside a pool task degrades toward serial instead of
+/// deadlocking or spawning threads.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
+                  std::int64_t grain = 64) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (!use_pool()) {
+    // Legacy escape hatch: the exact pre-runtime implementation.
+#ifdef _OPENMP
+    if (n > grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+      const int chunk = static_cast<int>(grain > 1 << 20 ? 1 << 20 : grain);
+#pragma omp parallel for schedule(dynamic, chunk)
+      for (std::int64_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+#endif
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  if (n <= grain || TaskPool::instance().threads() <= 1) {
+    profiling::count_event(profiling::Counter::kRuntimeInlineLoops);
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  TaskPool::instance().run_region(
+      begin, end, grain,
+      [](void* ctx, std::int64_t i0, std::int64_t i1) {
+        const Body& b = *static_cast<const Body*>(ctx);
+        for (std::int64_t i = i0; i < i1; ++i) b(i);
+      },
+      const_cast<void*>(static_cast<const void*>(&body)),
+      TaskClass::kKernel);
+}
+
+}  // namespace sptx::runtime

@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
+#include "src/runtime/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/simd.hpp"
 #include "src/profiling/counters.hpp"
@@ -59,6 +59,12 @@ std::shared_ptr<const AnnIndex> AnnIndex::build(const Matrix& table,
   SPTX_CHECK(num_entities > 0 && num_entities <= table.rows(),
              "ANN build over " << num_entities << " entities but the table has "
                                << table.rows() << " rows");
+  // Runtime accounting: the build runs on the publisher's thread, but its
+  // k-means passes below are pool parallel regions — tag the whole build
+  // under the kAnnBuild class so health can attribute the pool traffic.
+  if (runtime::use_pool())
+    runtime::TaskPool::instance().record_external(
+        runtime::TaskClass::kAnnBuild);
   const index_t n = num_entities;
   const index_t d = table.cols();
   index_t k = options.k_lists > 0
@@ -99,7 +105,7 @@ std::shared_ptr<const AnnIndex> AnnIndex::build(const Matrix& table,
   std::vector<index_t> counts(static_cast<std::size_t>(k));
   for (int iter = 0; iter < std::max(options.iterations, 1); ++iter) {
     const std::vector<float> half = half_squared_norms(centroids);
-    parallel_for(
+    runtime::parallel_for(
         0, sample_size,
         [&](index_t i) {
           assign[static_cast<std::size_t>(i)] = nearest_centroid(
@@ -135,7 +141,7 @@ std::shared_ptr<const AnnIndex> AnnIndex::build(const Matrix& table,
   std::vector<index_t> full(static_cast<std::size_t>(n));
   {
     const std::vector<float> half = half_squared_norms(centroids);
-    parallel_for(
+    runtime::parallel_for(
         0, n,
         [&](index_t i) {
           full[static_cast<std::size_t>(i)] =

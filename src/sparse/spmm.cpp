@@ -5,7 +5,7 @@
 #include <cstring>
 
 #include "src/common/cpu_features.hpp"
-#include "src/common/parallel.hpp"
+#include "src/runtime/parallel.hpp"
 #include "src/common/simd.hpp"
 #include "src/profiling/flops.hpp"
 #include "src/profiling/timer.hpp"
@@ -107,7 +107,7 @@ void kernel_tiled(const Csr& a, const Matrix& x, Matrix& c) {
 }
 
 void kernel_parallel(const Csr& a, const Matrix& x, Matrix& c) {
-  parallel_for(0, a.rows,
+  runtime::parallel_for(0, a.rows,
                [&](index_t i) { kernel_row_unrolled(a, x, c, i); });
 }
 
@@ -430,7 +430,7 @@ void kernel_tiled_parallel(const Csr& a, const Matrix& x, Matrix& c) {
   constexpr index_t kPanel = 512;  // floats per panel (2 KiB)
   const index_t d = x.cols();
   const index_t blocks = (a.rows + kRowBlock - 1) / kRowBlock;
-  parallel_for(
+  runtime::parallel_for(
       0, blocks,
       [&](index_t b) {
         const index_t i0 = b * kRowBlock;
@@ -478,7 +478,8 @@ SpmmKernel spmm_auto_kernel(const Csr& a, index_t dim) {
       parse_kernel_name(config::current()->hot().spmm_kernel);
   if (forced != SpmmKernel::kAuto) return forced;
   const std::int64_t work = a.nnz() * dim;
-  const bool parallel_pays = num_threads() > 1 && work >= kParallelMinWork;
+  const bool parallel_pays =
+      runtime::num_threads() > 1 && work >= kParallelMinWork;
   if (!simd_enabled()) {
     if (parallel_pays) return SpmmKernel::kParallel;
     return dim >= 512 ? SpmmKernel::kTiled : SpmmKernel::kUnrolled;
@@ -567,7 +568,7 @@ bool spmm_backward_uses_transpose(const Csr& a, index_t dim) {
   // heuristic stays conservative so uncached callers never pay a full-table
   // transpose to replace a few thousand axpys.
   const std::int64_t work = a.nnz() * dim;
-  bool use_transpose = num_threads() > 1 && work >= kParallelMinWork / 8 &&
+  bool use_transpose = runtime::num_threads() > 1 && work >= kParallelMinWork / 8 &&
                        work >= 8 * (a.nnz() + a.cols);
   const auto snapshot = config::current();  // keeps hot() storage alive
   const std::string& forced = snapshot->hot().spmm_backward;
@@ -594,7 +595,7 @@ void spmm_csr_transposed_accumulate(const Csr& a, const Matrix& g,
     const Csr& at = a.transposed();
     constexpr index_t kRowBlock = 256;
     const index_t blocks = (at.rows + kRowBlock - 1) / kRowBlock;
-    parallel_for(
+    runtime::parallel_for(
         0, blocks,
         [&](index_t b) {
           const index_t i0 = b * kRowBlock;

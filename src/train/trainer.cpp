@@ -9,13 +9,13 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 
 #include "src/common/fault.hpp"
 #include "src/models/checkpoint.hpp"
 #include "src/profiling/counters.hpp"
 #include "src/profiling/flops.hpp"
+#include "src/runtime/task_pool.hpp"
 #include "src/tensor/memory_tracker.hpp"
 #include "src/tensor/workspace.hpp"
 #include "src/train/batch_plan.hpp"
@@ -25,12 +25,11 @@ namespace sptx::train {
 namespace {
 
 /// Joins on destruction so an exception unwinding past a live prefetch
-/// thread never reaches std::thread's terminating destructor.
+/// thread never reaches std::thread's terminating destructor (legacy-mode
+/// prefetch; the pool path gets the same guarantee from TaskGroup's
+/// draining destructor).
 struct JoiningThread {
-  std::thread t;
-  ~JoiningThread() {
-    if (t.joinable()) t.join();
-  }
+  runtime::Thread t;
 };
 
 /// Fisher–Yates with the run's RNG (reproducible given the seed).
@@ -279,9 +278,10 @@ void run_planned(TrainLoop& loop) {
     std::vector<index_t> next_positions;
     std::exception_ptr prefetch_error;
     // Declared after everything the worker writes: unwinding destroys in
-    // reverse order, so the joining destructor runs while those locals are
-    // still alive.
+    // reverse order, so the joining/draining destructor runs while those
+    // locals are still alive.
     JoiningThread worker;
+    runtime::TaskGroup prefetch_group;
     bool have_next = false;
     // Next-epoch compilation done inside this epoch's wall (sync mode);
     // excluded from epoch_seconds so per-epoch numbers stay comparable
@@ -309,14 +309,24 @@ void run_planned(TrainLoop& loop) {
         // Exceptions on the worker (bad_alloc compiling a large epoch, a
         // failed SPTX_CHECK) are captured and rethrown at the join point —
         // same surface the legacy path gives the caller. compile_next is
-        // copied into the thread: it outlives this block.
-        worker.t = std::thread([compile_next, &prefetch_error]() {
+        // copied into the task/thread: it outlives this block. Under
+        // SPTX_RUNTIME=pool the compile is a kPrefetch task on the shared
+        // pool (a zero-worker pool runs it inside the wait below, which is
+        // exactly sync-mode semantics); legacy keeps the dedicated thread.
+        auto guarded_compile = [compile_next, &prefetch_error]() {
           try {
             compile_next();
           } catch (...) {
             prefetch_error = std::current_exception();
           }
-        });
+        };
+        if (runtime::use_pool()) {
+          runtime::TaskPool::instance().submit(
+              prefetch_group, std::move(guarded_compile),
+              runtime::TaskClass::kPrefetch);
+        } else {
+          worker.t = runtime::Thread(std::move(guarded_compile));
+        }
       } else {
         profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
         const auto t0 = profiling::clock::now();
@@ -352,9 +362,10 @@ void run_planned(TrainLoop& loop) {
     // time — they are the pipeline bubble prefetch exists to hide).
     // Adoption runs even when early stopping fires so a checkpoint taken
     // here captures the state a resumed run continues from.
-    if (worker.t.joinable()) {
+    if (worker.t.joinable() || prefetch_group.pending() > 0) {
       profiling::ScopedAccum plan_timer(loop.result.plan_compile_s);
-      worker.t.join();
+      if (worker.t.joinable()) worker.t.join();
+      prefetch_group.wait();
     }
     if (prefetch_error) std::rethrow_exception(prefetch_error);
     if (have_next) {

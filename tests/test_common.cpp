@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
+#include "src/runtime/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/string_utils.hpp"
 
@@ -87,7 +87,7 @@ TEST(Rng, SplitProducesIndependentStream) {
 
 TEST(Parallel, EveryIndexVisitedExactlyOnce) {
   std::vector<std::atomic<int>> visits(1000);
-  parallel_for(0, 1000, [&](std::int64_t i) {
+  runtime::parallel_for(0, 1000, [&](std::int64_t i) {
     visits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
@@ -95,14 +95,14 @@ TEST(Parallel, EveryIndexVisitedExactlyOnce) {
 
 TEST(Parallel, EmptyAndReversedRangesAreNoops) {
   int count = 0;
-  parallel_for(5, 5, [&](std::int64_t) { ++count; });
-  parallel_for(10, 3, [&](std::int64_t) { ++count; });
+  runtime::parallel_for(5, 5, [&](std::int64_t) { ++count; });
+  runtime::parallel_for(10, 3, [&](std::int64_t) { ++count; });
   EXPECT_EQ(count, 0);
 }
 
 TEST(Parallel, OffsetRange) {
   std::atomic<std::int64_t> sum{0};
-  parallel_for(100, 200, [&](std::int64_t i) { sum += i; });
+  runtime::parallel_for(100, 200, [&](std::int64_t i) { sum += i; });
   EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
 }
 

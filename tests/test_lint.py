@@ -189,6 +189,33 @@ class RngDisciplineRule(unittest.TestCase):
             self.assertEqual(lint(root, "rng-discipline"), [])
 
 
+class RawThreadsRule(unittest.TestCase):
+    def test_flags_raw_thread_outside_runtime(self):
+        files = {"src/serve/foo.cpp":
+                 "std::thread t([] { work(); });\nt.join();\n"}
+        with FixtureTree(files) as root:
+            found = lint(root, "raw-threads")
+        self.assertEqual(len(found), 1)
+        self.assertIn("raw-threads", found[0])
+        self.assertIn("foo.cpp", found[0])
+
+    def test_runtime_dir_and_ddp_fork_join_site_are_exempt(self):
+        files = {
+            "src/runtime/pool.cpp": "std::thread worker(loop);\n",
+            "src/distributed/ddp.cpp": "std::thread w(run_shard);\n",
+        }
+        with FixtureTree(files) as root:
+            self.assertEqual(lint(root, "raw-threads"), [])
+
+    def test_this_thread_and_comments_are_clean(self):
+        files = {"src/serve/bar.cpp":
+                 "std::this_thread::sleep_for(d);\n"
+                 "// a std::thread used to live here\n"
+                 "runtime::Thread t(fn);\n"}
+        with FixtureTree(files) as root:
+            self.assertEqual(lint(root, "raw-threads"), [])
+
+
 class IncludeLayersRule(unittest.TestCase):
     def test_flags_upward_include(self):
         files = {"src/tensor/matrix.cpp":

@@ -26,6 +26,9 @@
 #   BENCH_fused.json     bench_fused: fused (SPTX_FUSED=on) vs autograd
 #                        (off) per-epoch training time for TransE / TransR /
 #                        TorusE on the Fig-2 workload
+#   BENCH_runtime.json   bench_runtime: TaskPool thread scaling (SpMM /
+#                        fused epoch / serve QPS at 1-8 lanes) + composed
+#                        train+serve, pool vs legacy threading
 #
 # Knobs: SPTX_BENCH_MIN_TIME (per-benchmark min time, default 0.2s),
 # SPTX_EPOCHS / SPTX_SCALE forwarded to the hotspot bench as usual.
@@ -90,6 +93,11 @@ fi
 if [[ -x "$build_dir/bench_fused" ]]; then
   echo "== Fused vs autograd scoring kernels -> $out_dir/BENCH_fused.json"
   (cd "$build_dir" && ./bench_fused) > "$out_dir/BENCH_fused.json"
+fi
+
+if [[ -x "$build_dir/bench_runtime" ]]; then
+  echo "== Runtime pool (thread scaling + composed) -> $out_dir/BENCH_runtime.json"
+  (cd "$build_dir" && ./bench_runtime) > "$out_dir/BENCH_runtime.json"
 fi
 
 echo "done."

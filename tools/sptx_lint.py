@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """sptx_lint — repo-invariant checker for the SparseTransX tree.
 
-Six rules, each guarding a discipline the codebase relies on but no
+Seven rules, each guarding a discipline the codebase relies on but no
 compiler enforces:
 
   env-getenv      std::getenv("SPTX_...") appears only in
@@ -22,9 +22,15 @@ compiler enforces:
   rng-discipline  no rand()/srand()/std::random_device in src/ — every
                   random stream is a seeded sptx::Rng, so any run is
                   replayable from its logged seeds.
+  raw-threads     std::thread appears only inside src/runtime/ (the
+                  TaskPool's workers plus the legacy-mode runtime::Thread
+                  wrapper) and src/distributed/ddp.cpp's documented
+                  fork/join site — every other site schedules through
+                  runtime::TaskPool so the process keeps one view of
+                  available parallelism.
   include-layers  src/ subdirectories form layers; an #include may point
                   sideways or down, never up (common -> kg -> profiling ->
-                  tensor -> sparse -> autograd/kernels -> nn ->
+                  tensor/runtime -> sparse -> autograd/kernels -> nn ->
                   baseline/models -> train/eval/distributed/serve -> api).
 
 Exit status 0 when the tree is clean; 1 with one "file:line: rule: message"
@@ -47,6 +53,7 @@ LAYERS = {
     "kg": 1,
     "profiling": 2,
     "tensor": 3,
+    "runtime": 3,
     "sparse": 4,
     "autograd": 5,
     "kernels": 5,
@@ -274,6 +281,34 @@ class Linter:
                         "unseeded/global RNG in src/ — use a seeded "
                         "sptx::Rng so the run replays from logged seeds")
 
+    # -- rule: raw-threads ----------------------------------------------------
+
+    def check_raw_threads(self):
+        """std::thread construction is a runtime-internal privilege.
+
+        Allowed: src/runtime/ (the pool's workers and the legacy-mode
+        runtime::Thread wrapper) and src/distributed/ddp.cpp, whose
+        fork/join worker handshake documents its synchronization contract
+        in place and stays as the SPTX_RUNTIME=legacy escape hatch.
+        std::this_thread (sleep/yield) is fine anywhere.
+        """
+        allowed_dir = os.path.join("src", "runtime") + os.sep
+        allowed_files = {os.path.join("src", "distributed", "ddp.cpp")}
+        pattern = re.compile(r"\bstd\s*::\s*thread\b")
+        for path in iter_source_files(self.root):
+            rel = os.path.relpath(path, self.root)
+            if rel.startswith(allowed_dir) or rel in allowed_files:
+                continue
+            for lineno, line in enumerate(
+                    strip_comments(read(path)).splitlines(), 1):
+                if pattern.search(line):
+                    self.report(
+                        path, lineno, "raw-threads",
+                        "raw std::thread outside src/runtime/ — submit to "
+                        "runtime::TaskPool (or spawn a runtime::Thread on a "
+                        "legacy-mode path) so the process keeps one view of "
+                        "available parallelism")
+
     # -- rule: include-layers -----------------------------------------------
 
     def check_layers(self):
@@ -316,6 +351,7 @@ class Linter:
             "counter-names": self.check_counter_names,
             "checkpoint-io": self.check_checkpoint_io,
             "rng-discipline": self.check_rng,
+            "raw-threads": self.check_raw_threads,
             "include-layers": self.check_layers,
         }
         for name, check in checks.items():
