@@ -113,7 +113,8 @@ struct Task {
   enum class Kind : std::uint8_t { kClosure, kTicket };
   Kind kind = Kind::kClosure;
   TaskClass cls = TaskClass::kGeneral;
-  int partition = -1;  // hint from the submitting scope
+  int partition = -1;   // hint from the submitting scope (routes push())
+  bool migrated = false;  // left the deque it was queued on (steal_from)
   std::function<void()> fn;          // kClosure
   TaskGroup* group = nullptr;        // kClosure
   RegionState* region = nullptr;     // kTicket
@@ -213,6 +214,10 @@ struct TaskPool::Impl {
   std::atomic<std::int64_t> stolen[kNumClasses] = {};
   std::atomic<int> parked{0};
 
+  // Round-robin cursor spreading partition-hinted pushes across the hinted
+  // partition's workers.
+  std::atomic<std::uint32_t> hint_cursor{0};
+
   // ---- queue plumbing ------------------------------------------------------
 
   void count_submit(TaskClass cls, std::int64_t n = 1) {
@@ -220,14 +225,42 @@ struct TaskPool::Impl {
     profiling::count_event(profiling::Counter::kRuntimeTasksSubmitted, n);
   }
 
+  /// Deque owned by a worker serving partition `part` (workers map to
+  /// partitions round-robin: worker w serves partition w % partitions),
+  /// rotating among that partition's workers. nullptr when no spawned
+  /// worker serves it (zero-worker pool, or width < partition count).
+  WorkerQueue* partition_queue(int part) {
+    const int n = static_cast<int>(deques.size());
+    if (n == 0) return nullptr;
+    const int residue = part % partitions;
+    const int offset = static_cast<int>(
+        hint_cursor.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<std::uint32_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int cand = (offset + i) % n;
+      if (cand % partitions == residue) return deques[cand].get();
+    }
+    return nullptr;
+  }
+
   void push(Task t) {
     const int w = tls_worker_index;
-    WorkerQueue& q = (w >= 0 && w < static_cast<int>(deques.size()))
-                         ? *deques[static_cast<std::size_t>(w)]
-                         : global;
+    WorkerQueue* q = nullptr;
+    // A Partition hint targeting a different partition than the submitting
+    // lane routes the task onto one of that partition's deques, where
+    // pass 0 of try_steal keeps it among same-partition workers. Without a
+    // hint (or when the hint names the submitter's own partition) the
+    // owner's deque / global injection queue preserves LIFO locality.
+    if (t.partition >= 0 &&
+        (w < 0 || w % partitions != t.partition % partitions))
+      q = partition_queue(t.partition);
+    if (q == nullptr)
+      q = (w >= 0 && w < static_cast<int>(deques.size()))
+              ? deques[static_cast<std::size_t>(w)].get()
+              : &global;
     {
-      MutexLock lock(q.mu);
-      q.ring.push_back(std::move(t));
+      MutexLock lock(q->mu);
+      q->ring.push_back(std::move(t));
     }
     total_queued.fetch_add(1, std::memory_order_release);
     wake_one();
@@ -276,11 +309,10 @@ struct TaskPool::Impl {
       for (std::size_t i = 0; i < take; ++i)
         haul.push_back(q.ring.pop_front());
     }
-    std::int64_t count = static_cast<std::int64_t>(haul.size());
-    for (const Task& t : haul) {
-      stolen[static_cast<int>(t.cls)].fetch_add(1, std::memory_order_relaxed);
-    }
-    profiling::count_event(profiling::Counter::kRuntimeTasksStolen, count);
+    // Mark (don't count) the haul: the take-1 tasks re-queued below can be
+    // stolen again, so counting here would double-count them. execute()
+    // bumps the stolen counters exactly once per migrated task.
+    for (Task& t : haul) t.migrated = true;
     out = std::move(haul.front());
     total_queued.fetch_sub(1, std::memory_order_relaxed);
     if (haul.size() > 1) {
@@ -341,6 +373,13 @@ struct TaskPool::Impl {
   void execute(Task t) {
     executed[static_cast<int>(t.cls)].fetch_add(1, std::memory_order_relaxed);
     profiling::count_event(profiling::Counter::kRuntimeTasksExecuted);
+    if (t.migrated) {
+      // Counted at execution, once per task: a task that migrated off the
+      // deque it was queued on (however many hops it took) is one steal,
+      // so stolen <= executed and steal_ratio stays a true fraction.
+      stolen[static_cast<int>(t.cls)].fetch_add(1, std::memory_order_relaxed);
+      profiling::count_event(profiling::Counter::kRuntimeTasksStolen);
+    }
     if (t.kind == Task::Kind::kTicket) {
       // A ticket for an already-finished (recycled) region is a no-op: the
       // serial check refuses entry and the ticket is simply consumed.
@@ -351,16 +390,24 @@ struct TaskPool::Impl {
       return;
     }
     TaskGroup* group = t.group;
+    std::exception_ptr err;
     try {
       t.fn();
     } catch (...) {
-      MutexLock lock(group->mu_);
-      if (!group->error_) group->error_ = std::current_exception();
+      err = std::current_exception();
     }
-    if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      MutexLock lock(group->mu_);
+    // Destroy the closure before signaling completion: once pending_ hits 0
+    // the submitter may tear down state the closure's captures reference.
+    t.fn = nullptr;
+    // Decrement and notify inside one critical section on the group lock.
+    // This is the lifetime handshake with help_group(): a waiter only
+    // returns after taking mu_ and thus after this lane has released it,
+    // so a stack TaskGroup (ddp's tg, the trainer's prefetch group) can be
+    // destroyed the moment wait() returns without racing this notify.
+    MutexLock lock(group->mu_);
+    if (err && !group->error_) group->error_ = std::move(err);
+    if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
       group->cv_.notify_all();
-    }
   }
 
   /// One dequeue attempt from the perspective of thread `w` (-1 = external:
@@ -388,9 +435,10 @@ struct TaskPool::Impl {
         continue;
       }
       // Exponential-backoff parking: brief spin (other lanes may be about
-      // to publish tickets), then a timed wait that doubles up to ~51ms.
-      // total_queued is re-checked under park_mu, so a push+notify cannot
-      // slip between our last scan and the wait.
+      // to publish tickets), then a timed wait that doubles from 50us up
+      // to the 2ms kMaxBackoff cap. total_queued is re-checked under
+      // park_mu, so a push+notify cannot slip between our last scan and
+      // the wait.
       bool stop = false;
       {
         MutexLock lock(park_mu);
@@ -599,11 +647,19 @@ void TaskPool::help_group(TaskGroup& group) {
     // lanes. Block until the count drains (timed, as a lost-wakeup
     // backstop — correctness never depends on the notify arriving).
     MutexLock lock(group.mu_);
-    if (group.pending_.load(std::memory_order_acquire) == 0) break;
+    // Safe exit: pending_ only reaches 0 inside mu_ (see execute()), so
+    // observing 0 while holding the lock proves the last notifier has
+    // already released the group.
+    if (group.pending_.load(std::memory_order_acquire) == 0) return;
     group.cv_.wait_until(
         group.mu_,
         std::chrono::steady_clock::now() + std::chrono::milliseconds(2));
   }
+  // The loop condition observed pending_ == 0 *without* the lock — the
+  // final notifier may still be inside its decrement-and-notify critical
+  // section. Take mu_ once so its release happens-before we return and the
+  // caller is free to destroy the group.
+  MutexLock lock(group.mu_);
 }
 
 TaskPool::Stats TaskPool::stats() const {
@@ -659,13 +715,18 @@ std::string TaskPool::stats_json() const {
 // ---- TaskGroup -------------------------------------------------------------
 
 TaskGroup::~TaskGroup() {
-  if (pending_.load(std::memory_order_acquire) == 0) return;
-  // Unwind safety: drain without throwing (mirrors the joining-thread
-  // destructor the prefetch path used to rely on).
-  try {
-    TaskPool::help_group(*this);
-  } catch (...) {
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    // Unwind safety: drain without throwing (mirrors the joining-thread
+    // destructor the prefetch path used to rely on).
+    try {
+      TaskPool::help_group(*this);
+    } catch (...) {
+    }
   }
+  // A group that drained an instant ago may still have its last notifier
+  // inside the decrement-and-notify critical section (execute()); taking
+  // mu_ once orders that release before the members are destroyed.
+  MutexLock lock(mu_);
 }
 
 void TaskGroup::wait() {

@@ -61,9 +61,10 @@ enum class TaskClass : int {
 const char* task_class_name(TaskClass c);
 
 /// Per-class counters, surfaced through TaskPool::stats / stats_json and
-/// Engine::health_json. `stolen` counts tasks executed by a worker that
-/// took them from another worker's deque (the work-stealing did something);
-/// queue depth and steal ratio live on TaskPool::Stats.
+/// Engine::health_json. `stolen` counts executed tasks that migrated off
+/// the deque they were queued on (the work-stealing did something) — each
+/// task at most once, however many steal hops it took, so stolen <=
+/// executed; queue depth and steal ratio live on TaskPool::Stats.
 struct ClassStats {
   std::int64_t submitted = 0;
   std::int64_t executed = 0;
@@ -106,10 +107,11 @@ class TaskGroup {
 
 /// Scoped partition hint for NUMA/core-affinity. Workers are assigned to
 /// partitions round-robin over the machine's NUMA nodes (1 partition on
-/// UMA boxes); tasks submitted inside a Partition scope carry the hint and
-/// thieves prefer victims in their own partition, keeping a partition's
-/// task graph on its own cores when the pool is busy. It is a *hint*: any
-/// idle worker may still steal any task — throughput beats placement.
+/// UMA boxes); tasks submitted inside a Partition scope from outside that
+/// partition are pushed onto deques owned by its workers, and thieves
+/// prefer victims in their own partition, keeping a partition's task graph
+/// on its own cores when the pool is busy. It is a *hint*: any idle worker
+/// may still steal any task — throughput beats placement.
 class Partition {
  public:
   explicit Partition(int partition);

@@ -172,6 +172,25 @@ TEST_F(RuntimeTest, PartitionScopeIsAHintNotACorrectnessHazard) {
   EXPECT_EQ(ran.load(), 32);
 }
 
+// Regression for a completion race: execute() used to decrement pending_
+// outside the group mutex and then lock it to notify, so a waiter could
+// observe pending_ == 0, return from wait(), and destroy the stack
+// TaskGroup while the worker was still about to lock/notify the destroyed
+// mutex and condvar. Rapid create-wait-destroy cycles with near-empty
+// tasks maximize that window; the SPTX_SANITIZE=thread CI job flags the
+// use-after-free if the decrement-and-notify handshake ever regresses.
+TEST_F(RuntimeTest, StackGroupDestroyedRightAfterWaitChurn) {
+  auto& pool = TaskPool::instance();
+  std::atomic<int> ran{0};
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    TaskGroup group;
+    pool.submit(group, [&ran] { ran++; });
+    group.wait();
+  }
+  EXPECT_EQ(ran.load(), kRounds);
+}
+
 TEST_F(RuntimeTest, StatsGaugesDrainAtIdleAndJsonCarriesHealthKeys) {
   auto& pool = TaskPool::instance();
   TaskGroup group;
