@@ -17,6 +17,7 @@
 
 #include "bench/bench_common.hpp"
 #include "src/distributed/ddp.hpp"
+#include "src/distributed/proc_ddp.hpp"
 #include "src/kg/streaming_store.hpp"
 
 namespace sptx {
@@ -25,6 +26,7 @@ namespace {
 struct DdpRow {
   int workers = 0;
   std::string mode;
+  std::string exec = "threads";  // "threads" | "procs"
   double seconds = 0.0;
   float final_loss = 0.0f;
   std::int64_t shards = 0;
@@ -33,25 +35,23 @@ struct DdpRow {
   std::int64_t plan_misses = 0;
 };
 
-DdpRow run(const kg::Dataset& ds, const kg::TripletSource& source,
-           const std::string& mode, int workers, int epochs,
-           index_t shard_size) {
-  models::ModelConfig cfg = bench::bench_config("TransE");
+distributed::DdpConfig bench_ddp_config(int workers, int epochs,
+                                        index_t shard_size) {
   distributed::DdpConfig dc;
   dc.workers = workers;
   dc.epochs = epochs;
   dc.batch_size = 4096;
   dc.shard_size = shard_size;  // fixed: results invariant to `workers`
   dc.lr = 0.0004f;
-  const auto result = distributed::train_ddp(
-      [&](Rng& rng) {
-        return models::make_sparse_model("TransE", ds.num_entities(),
-                                         ds.num_relations(), cfg, rng);
-      },
-      source, dc);
+  return dc;
+}
+
+DdpRow to_row(const distributed::DdpResult& result, const std::string& mode,
+              const std::string& exec) {
   DdpRow row;
   row.workers = result.workers;  // resolved (after SPTX_DDP_WORKERS)
   row.mode = mode;
+  row.exec = exec;
   row.seconds = result.total_seconds;
   row.final_loss = result.epoch_loss.back();
   row.shards = result.shards_executed;
@@ -59,6 +59,34 @@ DdpRow run(const kg::Dataset& ds, const kg::TripletSource& source,
   row.plan_hits = result.plan_stats.hits;
   row.plan_misses = result.plan_stats.misses;
   return row;
+}
+
+DdpRow run(const kg::Dataset& ds, const kg::TripletSource& source,
+           const std::string& mode, int workers, int epochs,
+           index_t shard_size) {
+  models::ModelConfig cfg = bench::bench_config("TransE");
+  const auto result = distributed::train_ddp(
+      [&](Rng& rng) {
+        return models::make_sparse_model("TransE", ds.num_entities(),
+                                         ds.num_relations(), cfg, rng);
+      },
+      source, bench_ddp_config(workers, epochs, shard_size));
+  return to_row(result, mode, "threads");
+}
+
+/// The same workload through the multi-process supervisor (fork-only
+/// workers): the threads-vs-procs delta is the transport + process-isolation
+/// overhead, and final_loss must match the threaded rows bit for bit.
+DdpRow run_procs(const kg::Dataset& ds, int workers, int epochs,
+                 index_t shard_size) {
+  models::ModelSpec spec;
+  spec.family = "TransE";
+  spec.framework = "sparse";
+  spec.config = bench::bench_config("TransE");
+  auto dc = bench_ddp_config(workers, epochs, shard_size);
+  dc.mode = "procs";
+  const auto result = distributed::train_ddp_procs(spec, ds.train, dc);
+  return to_row(result, "memory", "procs");
 }
 
 }  // namespace
@@ -82,23 +110,27 @@ int main() {
               static_cast<long long>(shard_size));
   std::printf("  \"rows\": [\n");
   bool first = true;
+  const auto emit = [&first](const DdpRow& row) {
+    std::printf("%s    {\"workers\": %d, \"mode\": \"%s\", "
+                "\"exec\": \"%s\", "
+                "\"seconds\": %.4f, \"final_loss\": %.6f, "
+                "\"shards\": %lld, \"allreduce_rows\": %lld, "
+                "\"plan_hits\": %lld, \"plan_misses\": %lld}",
+                first ? "" : ",\n", row.workers, row.mode.c_str(),
+                row.exec.c_str(), row.seconds, row.final_loss,
+                static_cast<long long>(row.shards),
+                static_cast<long long>(row.allreduce_rows),
+                static_cast<long long>(row.plan_hits),
+                static_cast<long long>(row.plan_misses));
+    first = false;
+  };
   for (int p : {1, 2, 4}) {
     for (const auto& [mode, source] :
          {std::pair<std::string, kg::TripletSource>{"memory", ds.train},
           std::pair<std::string, kg::TripletSource>{"streaming", store}}) {
-      const DdpRow row = run(ds, source, mode, p, ep, shard_size);
-      std::printf("%s    {\"workers\": %d, \"mode\": \"%s\", "
-                  "\"seconds\": %.4f, \"final_loss\": %.6f, "
-                  "\"shards\": %lld, \"allreduce_rows\": %lld, "
-                  "\"plan_hits\": %lld, \"plan_misses\": %lld}",
-                  first ? "" : ",\n", row.workers, row.mode.c_str(),
-                  row.seconds, row.final_loss,
-                  static_cast<long long>(row.shards),
-                  static_cast<long long>(row.allreduce_rows),
-                  static_cast<long long>(row.plan_hits),
-                  static_cast<long long>(row.plan_misses));
-      first = false;
+      emit(run(ds, source, mode, p, ep, shard_size));
     }
+    emit(run_procs(ds, p, ep, shard_size));
   }
   std::printf("\n  ]\n}\n");
   std::remove(path.c_str());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/fault.hpp"
+#include "src/distributed/proc_ddp.hpp"
 #include "src/models/checkpoint.hpp"
 #include "src/profiling/counters.hpp"
 #include "src/runtime/task_pool.hpp"
@@ -63,22 +64,31 @@ distributed::DdpResult Engine::train_ddp(
   SPTX_CHECK(model_ != nullptr, "no model — call create_model first "
                                 "(train_ddp trains the engine's spec from "
                                 "fresh per-worker replicas)");
-  // Replicas are built exactly the way distributed::train_ddp builds them:
-  // one factory invocation per worker, each drawing the initial weights
-  // from the Rng the trainer seeds — so results are bit-identical to a
-  // caller passing this same factory to the free function.
   const ModelSpec spec = spec_;
-  distributed::DdpResult result = distributed::train_ddp(
-      [&](Rng& rng) {
-        return spec.framework == "dense"
-                   ? models::make_dense_model(spec.family, data.num_entities(),
-                                              data.num_relations(),
-                                              spec.config, rng)
-                   : models::make_sparse_model(
-                         spec.family, data.num_entities(),
-                         data.num_relations(), spec.config, rng);
-      },
-      data, config, config_);
+  // Dispatch on the resolved execution mode: "procs" runs the supervised
+  // multi-process executor (proc_ddp.cpp), anything else the in-process
+  // threaded one. Both initialize replicas from Rng(config.seed) through
+  // the same factories, so the two modes are bit-identical.
+  distributed::DdpResult result;
+  if (distributed::resolve(config, config_).mode == "procs") {
+    result = distributed::train_ddp_procs(spec, data, config, config_);
+  } else {
+    // Replicas are built exactly the way distributed::train_ddp builds
+    // them: one factory invocation per worker, each drawing the initial
+    // weights from the Rng the trainer seeds — so results are bit-identical
+    // to a caller passing this same factory to the free function.
+    result = distributed::train_ddp(
+        [&](Rng& rng) {
+          return spec.framework == "dense"
+                     ? models::make_dense_model(
+                           spec.family, data.num_entities(),
+                           data.num_relations(), spec.config, rng)
+                     : models::make_sparse_model(
+                           spec.family, data.num_entities(),
+                           data.num_relations(), spec.config, rng);
+        },
+        data, config, config_);
+  }
   // Adopt the trained replica as the engine's model.
   model_ = std::move(result.model);
   num_entities_ = data.num_entities();
@@ -232,6 +242,11 @@ std::string Engine::health_json() const {
   // attaching a profiler.
   out << "  \"runtime\": " << runtime::TaskPool::instance().stats_json()
       << ",\n";
+  // Multi-process DDP: worker liveness, respawn traffic, per-rank heartbeat
+  // ages and transport totals for the current (or last) procs-mode run —
+  // the operator's first stop when a distributed run degrades (see the
+  // README's reliability runbook).
+  out << "  \"ddp\": " << distributed::ddp_health_json() << ",\n";
   out << "  \"serving\": {\"sessions_open\": " << live
       << ", \"queries\": " << total.queries
       << ", \"triplets_scored\": " << total.triplets_scored

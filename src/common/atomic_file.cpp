@@ -15,6 +15,19 @@ namespace sptx {
 
 namespace {
 
+constexpr std::size_t kBufBytes = 64 * 1024;
+
+/// open(2) with EINTR retry — the same idiom as StreamingTripletStore::open:
+/// signal-heavy hosts (profilers, timers, checkpoint alarms) interrupt slow
+/// opens on networked filesystems.
+int open_retry(const char* path, int flags, mode_t mode) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
 /// fsync an already-open descriptor, retrying on EINTR.
 int fsync_retry(int fd) {
   int rc;
@@ -24,17 +37,13 @@ int fsync_retry(int fd) {
   return rc;
 }
 
-/// Open + fsync + close a path (used for both the temp file after the
-/// buffered stream is closed, and the parent directory after rename).
-/// When `required` is false an unopenable path is silently skipped — some
+/// Open + fsync + close a path (the parent directory after rename). When
+/// `required` is false an unopenable path is silently skipped — some
 /// filesystems refuse O_RDONLY on directories, and a non-durable rename
 /// beats a failed checkpoint there.
 void fsync_path(const std::string& path, int open_flags,
                 bool required = true) {
-  int fd;
-  do {
-    fd = ::open(path.c_str(), open_flags);
-  } while (fd < 0 && errno == EINTR);
+  const int fd = open_retry(path.c_str(), open_flags, 0);
   if (fd < 0 && !required) return;
   SPTX_CHECK_CODE(fd >= 0, ErrorCode::kIo,
                   "open for fsync failed: " << path << " ("
@@ -49,29 +58,108 @@ void fsync_path(const std::string& path, int open_flags,
 
 }  // namespace
 
+// ---- FdStreamBuf -----------------------------------------------------------
+
+FdStreamBuf::FdStreamBuf() : buf_(kBufBytes) {
+  setp(buf_.data(), buf_.data() + buf_.size());
+}
+
+void FdStreamBuf::attach(int fd) {
+  fd_ = fd;
+  saved_errno_ = 0;
+  setp(buf_.data(), buf_.data() + buf_.size());
+}
+
+bool FdStreamBuf::write_all(const char* data, std::size_t len) {
+  if (saved_errno_ != 0) return false;  // latched: fail fast, keep errno
+  std::size_t done = 0;
+  while (done < len) {
+    // Injected write failure: `file_write:eio@P` / fail_once@N — exercises
+    // the partial-checkpoint abort path without a real full disk.
+    if (fault::should_fail("file_write")) {
+      saved_errno_ = EIO;
+      return false;
+    }
+    const ssize_t n = ::write(fd_, data + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;  // the whole point of this class
+    saved_errno_ = n < 0 ? errno : EIO;  // n == 0: no progress, no errno
+    return false;
+  }
+  return true;
+}
+
+bool FdStreamBuf::flush_buffer() {
+  const std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
+  if (pending > 0 && !write_all(pbase(), pending)) return false;
+  setp(buf_.data(), buf_.data() + buf_.size());
+  return saved_errno_ == 0;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_buffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+std::streamsize FdStreamBuf::xsputn(const char* s, std::streamsize n) {
+  const std::size_t len = static_cast<std::size_t>(n);
+  // Large writes bypass the buffer (after draining it) — checkpoint blobs
+  // are written in matrix-row chunks that would otherwise double-copy.
+  if (len >= buf_.size()) {
+    if (!flush_buffer() || !write_all(s, len)) return 0;
+    return n;
+  }
+  if (static_cast<std::size_t>(epptr() - pptr()) < len && !flush_buffer())
+    return 0;
+  std::memcpy(pptr(), s, len);
+  pbump(static_cast<int>(len));
+  return n;
+}
+
+int FdStreamBuf::sync() { return flush_buffer() ? 0 : -1; }
+
+// ---- AtomicFileWriter ------------------------------------------------------
+
 AtomicFileWriter::AtomicFileWriter(std::string path)
     : path_(std::move(path)),
       tmp_path_(path_ + ".tmp." + std::to_string(::getpid())),
-      out_(tmp_path_, std::ios::binary | std::ios::trunc) {
-  SPTX_CHECK_CODE(out_.good(), ErrorCode::kIo,
-                  "cannot open temp file for atomic write: " << tmp_path_);
+      out_(&buf_) {
+  fd_ = open_retry(tmp_path_.c_str(),
+                   O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  SPTX_CHECK_CODE(fd_ >= 0, ErrorCode::kIo,
+                  "cannot open temp file for atomic write: "
+                      << tmp_path_ << " (" << std::strerror(errno) << ")");
+  buf_.attach(fd_);
+}
+
+void AtomicFileWriter::close_fd() {
+  if (fd_ < 0) return;
+  // POSIX leaves the fd state unspecified on EINTR from close(); on Linux
+  // the fd is always released, so retrying would race a concurrent open.
+  // One call, result ignored — matches StreamingTripletStore's teardown.
+  ::close(fd_);
+  fd_ = -1;
 }
 
 AtomicFileWriter::~AtomicFileWriter() {
-  if (!committed_) {
-    out_.close();
-    std::remove(tmp_path_.c_str());
-  }
+  close_fd();
+  if (!committed_) std::remove(tmp_path_.c_str());
 }
 
 void AtomicFileWriter::commit() {
   SPTX_CHECK(!committed_, "AtomicFileWriter::commit called twice");
-  out_.flush();
-  SPTX_CHECK_CODE(out_.good(), ErrorCode::kIo,
-                  "write to temp file failed: " << tmp_path_);
-  out_.close();
-  SPTX_CHECK_CODE(!out_.fail(), ErrorCode::kIo,
-                  "close of temp file failed: " << tmp_path_);
+  const bool flushed = buf_.flush_buffer();
+  SPTX_CHECK_CODE(flushed && !out_.fail(), ErrorCode::kIo,
+                  "write to temp file failed: "
+                      << tmp_path_ << " ("
+                      << std::strerror(buf_.saved_errno()) << ")");
 
   // The payload is fully on its way to disk but the destination is still
   // the previous complete file: this is the injection point a mid-write
@@ -80,7 +168,10 @@ void AtomicFileWriter::commit() {
   // destructor unlinks the temp).
   fault::maybe_fail("checkpoint_write");
 
-  fsync_path(tmp_path_, O_WRONLY);
+  SPTX_CHECK_CODE(fsync_retry(fd_) == 0, ErrorCode::kIo,
+                  "fsync failed: " << tmp_path_ << " ("
+                                   << std::strerror(errno) << ")");
+  close_fd();
   SPTX_CHECK_CODE(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
                   ErrorCode::kIo,
                   "rename " << tmp_path_ << " -> " << path_ << " failed ("

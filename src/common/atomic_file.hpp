@@ -8,6 +8,14 @@
 // checkpoint first and filled it back in, which is exactly the window the
 // kill-and-resume test slams.
 //
+// The writer owns a raw descriptor behind a buffering streambuf: open and
+// every write retry EINTR the same way StreamingTripletStore::open does —
+// signal-heavy hosts (profilers, timers, checkpoint alarms, the DDP
+// supervisor's child reaper) interrupt slow I/O on networked filesystems,
+// and an ofstream surfaces that as a failed checkpoint. A short write or
+// error is latched in the buffer and reported as a typed Error{kIo} at
+// commit() with the original errno.
+//
 // Usage:
 //   AtomicFileWriter w(path);
 //   w.stream() << payload;   // buffered writes to <path>.tmp.<pid>
@@ -17,14 +25,44 @@
 // unlinks the temp file and the destination is untouched.
 #pragma once
 
-#include <fstream>
+#include <cstddef>
+#include <ostream>
+#include <streambuf>
 #include <string>
+#include <vector>
 
 namespace sptx {
 
+/// Buffering streambuf over a raw fd whose flushes retry EINTR and honor
+/// the "file_write" fault site. Errors latch (saved errno) instead of
+/// throwing — std::ostream swallows streambuf exceptions into rdstate(),
+/// so AtomicFileWriter::commit() re-raises them typed.
+class FdStreamBuf : public std::streambuf {
+ public:
+  FdStreamBuf();
+  void attach(int fd);
+  /// Flush everything buffered; false on a latched or fresh write error.
+  bool flush_buffer();
+  int saved_errno() const { return saved_errno_; }
+  bool failed() const { return saved_errno_ != 0; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+
+ private:
+  bool write_all(const char* data, std::size_t len);
+  int fd_ = -1;
+  int saved_errno_ = 0;
+  std::vector<char> buf_;
+};
+
 class AtomicFileWriter {
  public:
-  /// Opens `<path>.tmp.<pid>` for writing. Throws Error{kIo} on failure.
+  /// Opens `<path>.tmp.<pid>` for writing (O_CLOEXEC — checkpoint temp fds
+  /// must not leak into fork+exec'd DDP workers). Throws Error{kIo} on
+  /// failure.
   explicit AtomicFileWriter(std::string path);
 
   /// Abandons the write: closes and unlinks the temp file unless commit()
@@ -35,7 +73,7 @@ class AtomicFileWriter {
   AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
 
   /// The buffered output stream for the payload.
-  std::ofstream& stream() { return out_; }
+  std::ostream& stream() { return out_; }
 
   /// Flush + fsync the temp file, rename it over the destination, fsync the
   /// containing directory so the rename itself is durable. Throws
@@ -45,9 +83,13 @@ class AtomicFileWriter {
   void commit();
 
  private:
+  void close_fd();
+
   std::string path_;
   std::string tmp_path_;
-  std::ofstream out_;
+  int fd_ = -1;
+  FdStreamBuf buf_;
+  std::ostream out_;
   bool committed_ = false;
 };
 

@@ -28,6 +28,8 @@ enum class ErrorCode {
   kDeadlineExceeded,   // request missed its serving deadline
   kQueueFull,          // bounded serving queue rejected the request
   kWorkerFailed,       // a DDP worker died and recovery was exhausted
+  kWorkerLost,         // a DDP worker *process* died / missed its heartbeat
+  kTransportError,     // socket/shm framing failure between DDP processes
   kFaultInjected,      // raised by the deterministic fault harness
 };
 
@@ -75,6 +77,10 @@ inline const char* to_string(ErrorCode code) {
       return "queue_full";
     case ErrorCode::kWorkerFailed:
       return "worker_failed";
+    case ErrorCode::kWorkerLost:
+      return "worker_lost";
+    case ErrorCode::kTransportError:
+      return "transport_error";
     case ErrorCode::kFaultInjected:
       return "fault_injected";
   }

@@ -5,8 +5,18 @@
 // to named call sites threaded through the tree:
 //
 //   checkpoint_write   AtomicFileWriter::commit, before the rename
+//   file_write         AtomicFileWriter buffer flush, per write(2) attempt
+//                      (latches EIO into the stream instead of throwing)
 //   mmap_read          StreamingTripletStore open + slice
 //   ddp_worker         per-shard inside train_ddp workers (ctx = epoch, worker)
+//   ddp_proc_kill      procs-mode worker, before its first owned shard of an
+//                      epoch (ctx = epoch, rank) — fires _Exit(137), a real
+//                      SIGKILL-equivalent for the supervisor to survive
+//   transport_drop     Conn::send in the DDP socket transport, per frame —
+//                      send retries then raises kTransportError after 3 hits
+//   heartbeat_stall    procs-mode worker heartbeat thread, per beacon
+//                      (ctx = rank) — suppresses the beacon so the
+//                      supervisor's liveness deadline trips
 //   serve_queue        MicroBatcher enqueue
 //
 // Modes:

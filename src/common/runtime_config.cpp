@@ -107,6 +107,26 @@ constexpr ConfigSpec kSpecs[] = {
      "Override DdpConfig::max_worker_retries: how many times a batch "
      "re-runs a failed worker's shards before aborting with a checkpoint "
      "flush."},
+    {"SPTX_DDP_MODE", ConfigType::kEnum, "",
+     "Override DdpConfig::mode: 'threads' runs DDP workers as threads in "
+     "this process (the historical path), 'procs' fork/execs supervised "
+     "worker processes over the sockets/shm transport — bit-identical "
+     "results, process-level fault isolation.",
+     "threads|procs"},
+    {"SPTX_DDP_HEARTBEAT_MS", ConfigType::kInt, "",
+     "Override DdpConfig::heartbeat_ms: procs-mode liveness deadline — a "
+     "worker process that sends no frame for this long is declared lost "
+     "and its shards re-run on the supervisor."},
+    {"SPTX_DDP_POLICY", ConfigType::kEnum, "",
+     "Override DdpConfig::policy: what procs mode does when the respawn "
+     "budget (SPTX_DDP_RETRIES) is exhausted — 'strict' flushes a "
+     "<checkpoint>.abort and throws kWorkerLost, 'degrade' continues on "
+     "the surviving workers (down to the supervisor alone).",
+     "strict|degrade"},
+    {"SPTX_DDP_SHM_BYTES", ConfigType::kInt, "",
+     "Override DdpConfig::shm_bytes: per-worker shared-memory ring size "
+     "for gradient payloads in procs mode (0 = sockets only; payloads "
+     "that outgrow the ring fall back to the socket inline path)."},
     {"SPTX_FAULT_SPEC", ConfigType::kString, "",
      "Deterministic fault-injection spec, comma-separated site:mode[@args] "
      "rules (see src/common/fault.hpp), e.g. "

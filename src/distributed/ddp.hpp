@@ -83,6 +83,33 @@ struct DdpConfig {
   int checkpoint_keep = 3;
   /// Resume from a `.ep<N>` file or a base path (newest rotation wins).
   std::string resume_from;
+  // ---- multi-process mode (proc_ddp.hpp executes these) ------------------
+  /// "threads" (this file) or "procs": supervised worker *processes* over
+  /// the UDS/shm transport — bit-identical results, process-level fault
+  /// isolation (a worker SIGKILL/OOM cannot take down the trainer).
+  /// SPTX_DDP_MODE overrides. Engine::train_ddp dispatches on this.
+  std::string mode = "threads";
+  /// Procs-mode liveness deadline: a worker that sends no frame (data or
+  /// heartbeat) for this long is declared lost. SPTX_DDP_HEARTBEAT_MS
+  /// overrides.
+  int heartbeat_ms = 1000;
+  /// What procs mode does once the respawn budget (max_worker_retries) is
+  /// exhausted: "strict" flushes `<checkpoint_path>.abort` and throws
+  /// Error{kWorkerLost}; "degrade" keeps training on the surviving workers
+  /// (down to the supervisor alone). SPTX_DDP_POLICY overrides.
+  std::string policy = "strict";
+  /// Per-worker shared-memory ring bytes for gradient payloads (0 = socket
+  /// inline only; oversized payloads always fall back to the socket).
+  /// SPTX_DDP_SHM_BYTES overrides.
+  std::int64_t shm_bytes = 1 << 20;
+  /// Executable to spawn workers from ("" = fork-only: the child runs the
+  /// worker loop in-process, which is what the tests use; the CLI passes
+  /// /proc/self/exe so workers are real fork+exec `sptx ddp-worker`
+  /// processes).
+  std::string worker_exec;
+  /// Base respawn backoff; doubles per consecutive respawn of the same
+  /// rank (exponential backoff), capped at 32x.
+  int respawn_backoff_ms = 25;
 };
 
 struct DdpResult {
@@ -111,6 +138,15 @@ struct DdpResult {
   /// Crash-safety traffic: rotated checkpoints written, newest path.
   int checkpoints_written = 0;
   std::string last_checkpoint;
+  // ---- procs mode only (proc_ddp.cpp) ------------------------------------
+  /// Worker processes declared dead (exit, EOF, missed heartbeat) and
+  /// respawned from the last epoch checkpoint.
+  int workers_lost = 0;
+  int workers_respawned = 0;
+  /// Transport traffic over the run (kDdpTransport* counter windows).
+  std::int64_t transport_frames = 0;
+  std::int64_t transport_bytes = 0;
+  std::int64_t transport_retries = 0;
 };
 
 /// Thread-backed sharded data-parallel training of any KgeModel. The model

@@ -1,0 +1,370 @@
+#include "src/distributed/transport.hpp"
+
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/crc32.hpp"
+#include "src/common/fault.hpp"
+#include "src/profiling/counters.hpp"
+
+namespace sptx::distributed {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x53505446u;  // "SPTF"
+constexpr std::uint16_t kShmPayload = 0x0001;
+/// Consecutive injected `transport_drop` fires a single send absorbs
+/// before failing typed — each absorbed drop is one kDdpTransportRetries.
+constexpr int kDropRetryBudget = 3;
+/// Ring header size (two cache lines ahead of the data area).
+constexpr std::size_t kRingHdrBytes = 64;
+
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint16_t type;
+  std::uint16_t flags;
+  std::uint32_t payload_len;
+  std::uint32_t crc;
+};
+static_assert(sizeof(FrameHeader) == 16, "frame header must be padding-free");
+
+struct RingHdr {
+  std::atomic<std::uint64_t> written;   // producer cursor (logical bytes)
+  std::atomic<std::uint64_t> consumed;  // consumer watermark (logical bytes)
+};
+static_assert(sizeof(RingHdr) <= kRingHdrBytes, "ring header overflow");
+
+/// Millisecond countdown anchored at construction; remaining() never goes
+/// negative, so it can feed poll() timeouts directly.
+class Deadline {
+ public:
+  explicit Deadline(int ms)
+      : end_(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(ms < 0 ? 0 : ms)) {}
+  int remaining_ms() const {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+  bool expired() const { return remaining_ms() == 0; }
+
+ private:
+  std::chrono::steady_clock::time_point end_;
+};
+
+/// poll() one fd for `events`, EINTR-safe. True when ready, false on
+/// deadline expiry. POLLERR/POLLHUP count as ready — the following
+/// read/write surfaces the actual condition (EOF, ECONNRESET).
+bool poll_fd(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, deadline.remaining_ms());
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_error(ErrorCode::kTransportError,
+                std::string("poll failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+// ---- ShmRing ---------------------------------------------------------------
+
+ShmRing::~ShmRing() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<ShmRing> ShmRing::create(std::size_t bytes) {
+#ifdef __linux__
+  if (bytes <= kRingHdrBytes) return nullptr;
+  // No MFD_CLOEXEC: the whole point is that the fd survives fork+exec into
+  // the worker, which re-maps it via attach().
+  const int fd = static_cast<int>(::memfd_create("sptx-ddp-ring", 0));
+  if (fd < 0) return nullptr;
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* map =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto ring = std::unique_ptr<ShmRing>(new ShmRing());
+  ring->fd_ = fd;
+  ring->map_ = static_cast<char*>(map);
+  ring->map_bytes_ = bytes;
+  ring->capacity_ = bytes - kRingHdrBytes;
+  new (ring->map_) RingHdr{};  // memfd pages are zeroed; make it official
+  return ring;
+#else
+  (void)bytes;
+  return nullptr;
+#endif
+}
+
+std::unique_ptr<ShmRing> ShmRing::attach(int fd, std::size_t bytes) {
+  if (fd < 0 || bytes <= kRingHdrBytes) return nullptr;
+  void* map =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) return nullptr;
+  auto ring = std::unique_ptr<ShmRing>(new ShmRing());
+  ring->fd_ = fd;
+  ring->map_ = static_cast<char*>(map);
+  ring->map_bytes_ = bytes;
+  ring->capacity_ = bytes - kRingHdrBytes;
+  return ring;
+}
+
+bool ShmRing::produce(const void* data, std::size_t len,
+                      std::uint64_t& logical_offset) {
+  if (len == 0 || len > capacity_) return false;
+  auto* hdr = reinterpret_cast<RingHdr*>(map_);
+  const std::uint64_t written = hdr->written.load(std::memory_order_relaxed);
+  const std::uint64_t consumed = hdr->consumed.load(std::memory_order_acquire);
+  std::uint64_t start = written;
+  const std::uint64_t pos = written % capacity_;
+  if (pos + len > capacity_) start = written + (capacity_ - pos);  // pad
+  if (start + len - consumed > capacity_) return false;  // ring full
+  std::memcpy(map_ + kRingHdrBytes + (start % capacity_), data, len);
+  hdr->written.store(start + len, std::memory_order_release);
+  logical_offset = start;
+  return true;
+}
+
+const char* ShmRing::at(std::uint64_t logical_offset) const {
+  return map_ + kRingHdrBytes + (logical_offset % capacity_);
+}
+
+void ShmRing::consume(std::uint64_t logical_offset, std::size_t len) {
+  auto* hdr = reinterpret_cast<RingHdr*>(map_);
+  // In-order SPSC: offset+len also covers any pad the producer skipped.
+  hdr->consumed.store(logical_offset + len, std::memory_order_release);
+}
+
+// ---- Conn ------------------------------------------------------------------
+
+Conn::~Conn() { close(); }
+
+void Conn::close() {
+  if (fd_ < 0) return;
+  // POSIX leaves the fd state unspecified on EINTR from close(); on Linux
+  // the fd is always released, so retrying would race a concurrent open.
+  // One call, result ignored — matches StreamingTripletStore's teardown.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Conn::set_send_ring(ShmRing* ring, std::size_t threshold) {
+  send_ring_ = ring;
+  shm_threshold_ = threshold;
+}
+
+void Conn::set_recv_ring(ShmRing* ring) { recv_ring_ = ring; }
+
+void Conn::write_all(const void* data, std::size_t len, int deadline_ms) {
+  const Deadline deadline(deadline_ms);
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    if (!poll_fd(fd_, POLLOUT, deadline))
+      throw_error(ErrorCode::kTransportError,
+                  "send deadline expired mid-frame (peer wedged?)");
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    throw_error(ErrorCode::kTransportError,
+                std::string("send failed: ") + std::strerror(errno));
+  }
+}
+
+void Conn::read_all(void* data, std::size_t len, int deadline_ms) {
+  const Deadline deadline(deadline_ms);
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    if (!poll_fd(fd_, POLLIN, deadline))
+      throw_error(ErrorCode::kTransportError,
+                  "recv deadline expired mid-frame (peer wedged?)");
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0)
+      throw_error(ErrorCode::kTransportError, "peer closed the connection");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_error(ErrorCode::kTransportError,
+                std::string("recv failed: ") + std::strerror(errno));
+  }
+}
+
+bool Conn::wait_readable(int deadline_ms) {
+  return poll_fd(fd_, POLLIN, Deadline(deadline_ms));
+}
+
+void Conn::send(FrameType type, std::string_view payload, int deadline_ms) {
+  SPTX_CHECK_CODE(fd_ >= 0, ErrorCode::kTransportError,
+                  "send on a closed connection");
+  // Injected frame drops: each fire burns one retry; a burst longer than
+  // the budget becomes a typed failure (the caller's worker-lost path).
+  int drops = 0;
+  while (fault::should_fail("transport_drop")) {
+    profiling::count_event(profiling::Counter::kDdpTransportRetries);
+    if (++drops >= kDropRetryBudget)
+      throw_error(ErrorCode::kTransportError,
+                  "transport_drop retry budget exhausted (injected)");
+  }
+
+  FrameHeader hdr{};
+  hdr.magic = kFrameMagic;
+  hdr.type = static_cast<std::uint16_t>(type);
+  hdr.flags = 0;
+  hdr.crc = crc32(payload);
+
+  std::string descriptor;  // shm path: the 12-byte {offset, len} stand-in
+  std::string_view wire = payload;
+  if (send_ring_ != nullptr && payload.size() >= shm_threshold_) {
+    std::uint64_t offset = 0;
+    if (send_ring_->produce(payload.data(), payload.size(), offset)) {
+      WireWriter w;
+      w.u64(offset);
+      w.u32(static_cast<std::uint32_t>(payload.size()));
+      descriptor = w.take();
+      wire = descriptor;
+      hdr.flags |= kShmPayload;
+    }
+  }
+  hdr.payload_len = static_cast<std::uint32_t>(wire.size());
+
+  write_all(&hdr, sizeof(hdr), deadline_ms);
+  if (!wire.empty()) write_all(wire.data(), wire.size(), deadline_ms);
+  profiling::count_event(profiling::Counter::kDdpTransportFrames);
+  profiling::count_event(profiling::Counter::kDdpTransportBytes,
+                         static_cast<std::int64_t>(payload.size()));
+}
+
+bool Conn::recv(Frame& out, int deadline_ms) {
+  SPTX_CHECK_CODE(fd_ >= 0, ErrorCode::kTransportError,
+                  "recv on a closed connection");
+  if (!wait_readable(deadline_ms)) return false;  // no frame started
+  FrameHeader hdr{};
+  read_all(&hdr, sizeof(hdr), deadline_ms);
+  SPTX_CHECK_CODE(hdr.magic == kFrameMagic, ErrorCode::kTransportError,
+                  "bad frame magic 0x" << std::hex << hdr.magic
+                                       << " — desynchronized stream");
+  std::string wire(hdr.payload_len, '\0');
+  if (hdr.payload_len > 0) read_all(wire.data(), wire.size(), deadline_ms);
+
+  if ((hdr.flags & kShmPayload) != 0) {
+    SPTX_CHECK_CODE(recv_ring_ != nullptr, ErrorCode::kTransportError,
+                    "shm-payload frame but no ring attached");
+    WireReader r(wire);
+    const std::uint64_t offset = r.u64();
+    const std::uint32_t len = r.u32();
+    SPTX_CHECK_CODE(len <= recv_ring_->capacity(),
+                    ErrorCode::kTransportError,
+                    "shm payload larger than the ring");
+    out.payload.assign(recv_ring_->at(offset), len);
+    recv_ring_->consume(offset, len);
+  } else {
+    out.payload = std::move(wire);
+  }
+  SPTX_CHECK_CODE(crc32(out.payload) == hdr.crc, ErrorCode::kTransportError,
+                  "frame CRC mismatch (torn or corrupted payload)");
+  out.type = static_cast<FrameType>(hdr.type);
+  profiling::count_event(profiling::Counter::kDdpTransportFrames);
+  profiling::count_event(profiling::Counter::kDdpTransportBytes,
+                         static_cast<std::int64_t>(out.payload.size()));
+  return true;
+}
+
+// ---- Listener / connect ----------------------------------------------------
+
+Listener::Listener(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  SPTX_CHECK_CODE(path.size() < sizeof(addr.sun_path),
+                  ErrorCode::kTransportError,
+                  "socket path too long: " << path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SPTX_CHECK_CODE(fd_ >= 0, ErrorCode::kTransportError,
+                  "socket() failed: " << std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a crashed run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw_error(ErrorCode::kTransportError,
+                "bind/listen on " + path + " failed: " + std::strerror(err));
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Conn> Listener::accept(int deadline_ms) {
+  const Deadline deadline(deadline_ms);
+  for (;;) {
+    if (!poll_fd(fd_, POLLIN, deadline)) return nullptr;
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return std::make_unique<Conn>(fd);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_error(ErrorCode::kTransportError,
+                std::string("accept failed: ") + std::strerror(errno));
+  }
+}
+
+std::unique_ptr<Conn> connect_uds(const std::string& path, int deadline_ms) {
+  sockaddr_un addr{};
+  SPTX_CHECK_CODE(path.size() < sizeof(addr.sun_path),
+                  ErrorCode::kTransportError,
+                  "socket path too long: " << path);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const Deadline deadline(deadline_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    SPTX_CHECK_CODE(fd >= 0, ErrorCode::kTransportError,
+                    "socket() failed: " << std::strerror(errno));
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) return std::make_unique<Conn>(fd);
+    const int err = errno;
+    ::close(fd);
+    // The supervisor binds before spawning, so these are races with run-dir
+    // teardown or a crashed supervisor — brief retry, then typed failure.
+    if ((err == ENOENT || err == ECONNREFUSED) && !deadline.expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    throw_error(ErrorCode::kTransportError,
+                "connect to " + path + " failed: " + std::strerror(err));
+  }
+}
+
+}  // namespace sptx::distributed

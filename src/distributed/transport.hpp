@@ -1,0 +1,223 @@
+// Framed Unix-domain-socket transport for multi-process DDP
+// (proc_ddp.hpp), with an optional shared-memory ring for large payloads.
+//
+// Wire format: every message is a fixed header {magic, type, flags,
+// payload_len, crc32(payload)} followed by the payload bytes. The CRC makes
+// a torn or corrupted frame a *typed* kTransportError instead of silently
+// training on garbage gradients. When a frame's payload travels through the
+// shm ring instead (flags & kShmPayload), the socket carries only a 12-byte
+// {logical_offset, len} descriptor and the receiver copies the payload out
+// of the mapping — the CRC still covers the real payload, so a racing or
+// mis-offset ring read is caught exactly like a socket corruption.
+//
+// Robustness posture, used by both supervisor and worker:
+//  * every read/write polls with a deadline first — no call can block
+//    forever on a dead or wedged peer;
+//  * all syscalls retry EINTR (the supervisor runs timers/reapers, workers
+//    run a heartbeat thread — signals are normal here);
+//  * sends use MSG_NOSIGNAL so a vanished peer surfaces as kTransportError,
+//    never SIGPIPE;
+//  * the `transport_drop` fault site simulates a dropped outgoing frame:
+//    the send retries (counted in kDdpTransportRetries) up to a small
+//    budget, then fails typed — deterministically replayable via
+//    SPTX_FAULT_SPEC=transport_drop:eio@P.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace sptx::distributed {
+
+/// Frame types of the supervisor/worker protocol (proc_ddp.cpp).
+enum class FrameType : std::uint16_t {
+  kHello = 1,      // worker → supervisor: rank + pid, first frame on connect
+  kSetup,          // supervisor → worker: model spec, data path, train config
+  kEpochBegin,     // supervisor → worker: epoch index + live rank list
+  kShardGrad,      // worker → supervisor: one shard's harvested gradients
+  kStep,           // supervisor → worker: reduced gradient for the batch
+  kHeartbeat,      // worker → supervisor: liveness beacon
+  kShutdown,       // supervisor → worker: training done, exit cleanly
+  kWorkerError,    // worker → supervisor: fatal error message before exit
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Single-producer/single-consumer byte arena in a memfd mapping, used to
+/// move large gradient payloads without a socket copy. Offsets are logical
+/// (monotonic); the producer pads to the buffer boundary when a payload
+/// would wrap, and the consumer acknowledges by publishing the consumed
+/// watermark — both cursors live in the mapping itself.
+class ShmRing {
+ public:
+  ~ShmRing();
+
+  /// Supervisor side: allocate a ring of `bytes` via memfd_create. Returns
+  /// nullptr when the platform refuses (shm then gates off — sockets only).
+  static std::unique_ptr<ShmRing> create(std::size_t bytes);
+  /// Worker side: map the fd inherited across fork/exec.
+  static std::unique_ptr<ShmRing> attach(int fd, std::size_t bytes);
+
+  /// The fd a spawned worker inherits (no CLOEXEC).
+  int fd() const { return fd_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer: copy `len` bytes in; on success `logical_offset` identifies
+  /// them for the consumer. False when the ring lacks space (the caller
+  /// falls back to the socket inline path).
+  bool produce(const void* data, std::size_t len,
+               std::uint64_t& logical_offset);
+  /// Consumer: pointer to the payload at `logical_offset`.
+  const char* at(std::uint64_t logical_offset) const;
+  /// Consumer: release everything up to and including
+  /// [logical_offset, logical_offset + len).
+  void consume(std::uint64_t logical_offset, std::size_t len);
+
+ private:
+  ShmRing() = default;
+  int fd_ = -1;
+  char* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t capacity_ = 0;
+  bool owns_fd_ = true;
+};
+
+/// One connected, framed UDS endpoint. Not thread-safe per se: callers that
+/// share a Conn across threads (the worker's heartbeat thread) serialize
+/// sends themselves.
+class Conn {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn();
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  int fd() const { return fd_; }
+  void close();
+
+  /// Route payloads at least `threshold` bytes through `ring` (producer
+  /// side). The receiving end must attach the same ring via set_recv_ring.
+  void set_send_ring(ShmRing* ring, std::size_t threshold = 4096);
+  void set_recv_ring(ShmRing* ring);
+
+  /// Send one frame. Throws Error{kTransportError} on a dead peer, a
+  /// deadline miss, or an exhausted transport_drop retry budget.
+  void send(FrameType type, std::string_view payload, int deadline_ms);
+
+  /// Receive one frame. Returns false on deadline expiry with no frame
+  /// started; throws Error{kTransportError} on EOF, corruption, or a
+  /// deadline that expires mid-frame.
+  bool recv(Frame& out, int deadline_ms);
+
+ private:
+  void write_all(const void* data, std::size_t len, int deadline_ms);
+  void read_all(void* data, std::size_t len, int deadline_ms);
+  /// Poll for readability; false on timeout.
+  bool wait_readable(int deadline_ms);
+
+  int fd_ = -1;
+  ShmRing* send_ring_ = nullptr;
+  ShmRing* recv_ring_ = nullptr;
+  std::size_t shm_threshold_ = 4096;
+};
+
+/// Listening UDS endpoint; unlinks the socket path on destruction.
+class Listener {
+ public:
+  explicit Listener(const std::string& path);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// The listening fd (the supervisor closes it in forked children).
+  int fd() const { return fd_; }
+  /// Accept one connection; nullptr on deadline expiry.
+  std::unique_ptr<Conn> accept(int deadline_ms);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connect to a supervisor's listener (worker side), retrying briefly while
+/// the socket appears (the supervisor binds before forking, so this is one
+/// attempt in practice). Throws Error{kTransportError} on failure.
+std::unique_ptr<Conn> connect_uds(const std::string& path, int deadline_ms);
+
+// ---- little-endian POD/byte-buffer serialization helpers -----------------
+// Same-machine transport, so native layout is the wire layout; these exist
+// to make the framing code explicit about field order, not to byte-swap.
+
+class WireWriter {
+ public:
+  std::string take() { return std::move(buf_); }
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void i32(std::int32_t v) { pod(v); }
+  void i64(std::int64_t v) { pod(v); }
+  void f32(float v) { pod(v); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+ private:
+  template <class T>
+  void pod(T v) {
+    buf_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view buf) : buf_(buf) {}
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint32_t u32() { return pod<std::uint32_t>(); }
+  std::uint64_t u64() { return pod<std::uint64_t>(); }
+  std::int32_t i32() { return pod<std::int32_t>(); }
+  std::int64_t i64() { return pod<std::int64_t>(); }
+  float f32() { return pod<float>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    const std::string_view s = take(n);
+    return std::string(s);
+  }
+  std::string_view raw(std::size_t len) { return take(len); }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  template <class T>
+  T pod() {
+    T v;
+    const std::string_view s = take(sizeof(T));
+    std::memcpy(&v, s.data(), sizeof(T));
+    return v;
+  }
+  std::string_view take(std::size_t n) {
+    SPTX_CHECK_CODE(pos_ + n <= buf_.size(), ErrorCode::kTransportError,
+                    "truncated frame payload: need " << n << " bytes at "
+                        << pos_ << " of " << buf_.size());
+    const std::string_view s = buf_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sptx::distributed

@@ -252,6 +252,12 @@ std::vector<FoundCheckpoint> rotated_checkpoints(const std::string& base) {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
+    // A strict-abort flush (`<base>.abort`, or any `.abort`-suffixed
+    // sibling) is never a rotation: it must not be resumed from (it has no
+    // epoch cursor) and must never be pruned as clutter — it can be the
+    // only surviving copy of an aborted run's parameters. Skip explicitly
+    // rather than relying on the digit check below.
+    if (name.ends_with(".abort")) continue;
     if (!name.starts_with(prefix)) continue;
     const std::string suffix = name.substr(prefix.size());
     if (suffix.empty() ||
@@ -286,6 +292,15 @@ void prune_checkpoints(const std::string& base, int keep) {
     std::error_code ec;
     std::filesystem::remove(found[i].path, ec);  // best-effort
   }
+}
+
+std::string describe_abort_sibling(const std::string& base) {
+  const std::string abort_path = base + ".abort";
+  std::error_code ec;
+  if (!std::filesystem::exists(abort_path, ec)) return std::string();
+  return "; note: a strict-abort parameter flush exists at '" + abort_path +
+         "' — it is not a resumable rotation (no epoch cursor); inspect it "
+         "with load_checkpoint, or delete it after recovery";
 }
 
 }  // namespace sptx::models

@@ -88,7 +88,15 @@ struct FoundCheckpoint {
 std::optional<FoundCheckpoint> latest_checkpoint(const std::string& base);
 
 /// Delete all but the newest `keep` rotated checkpoints (keep <= 0 keeps
-/// everything). Best-effort: unlink failures are ignored.
+/// everything). Best-effort: unlink failures are ignored. A strict-abort
+/// flush (`<base>.abort`) is never rotation-eligible: it is neither counted
+/// against `keep` nor deleted — it holds the only copy of an aborted run's
+/// parameters and only the operator may remove it.
 void prune_checkpoints(const std::string& base, int keep);
+
+/// When `<base>.abort` exists, a short diagnostic sentence describing it
+/// (for resume-failure messages: the stale flush is often the reason an
+/// operator expected a resumable rotation to exist). Empty otherwise.
+std::string describe_abort_sibling(const std::string& base);
 
 }  // namespace sptx::models

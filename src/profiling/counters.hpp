@@ -35,6 +35,13 @@ enum class Counter : int {
   kRuntimeChunksExecuted,   // parallel-region chunks run (any lane)
   kRuntimeParallelRegions,  // parallel_for regions that engaged the pool
   kRuntimeInlineLoops,      // parallel_for calls run inline (n <= grain)
+  kDdpProcSpawns,           // worker processes fork/exec'd by the supervisor
+  kDdpProcRespawns,         // lost workers respawned from a checkpoint
+  kDdpProcWorkersLost,      // worker processes declared dead (exit/heartbeat)
+  kDdpProcHeartbeats,       // heartbeat frames received by the supervisor
+  kDdpTransportFrames,      // frames moved over the UDS/shm transport
+  kDdpTransportBytes,       // payload bytes moved over the transport
+  kDdpTransportRetries,     // frame sends retried after a (injected) drop
   kNumCounters,
 };
 
@@ -61,6 +68,13 @@ inline constexpr const char* kCounterNames[] = {
     "runtime_chunks_executed",   // kRuntimeChunksExecuted
     "runtime_parallel_regions",  // kRuntimeParallelRegions
     "runtime_inline_loops",      // kRuntimeInlineLoops
+    "ddp_proc_spawns",           // kDdpProcSpawns
+    "ddp_proc_respawns",         // kDdpProcRespawns
+    "ddp_proc_workers_lost",     // kDdpProcWorkersLost
+    "ddp_proc_heartbeats",       // kDdpProcHeartbeats
+    "ddp_transport_frames",      // kDdpTransportFrames
+    "ddp_transport_bytes",       // kDdpTransportBytes
+    "ddp_transport_retries",     // kDdpTransportRetries
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
                   static_cast<std::size_t>(Counter::kNumCounters),

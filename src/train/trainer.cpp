@@ -159,9 +159,10 @@ struct TrainLoop {
     if (!std::filesystem::exists(path)) {
       const auto found = models::latest_checkpoint(source);
       SPTX_CHECK_CODE(found.has_value(), ErrorCode::kIo,
-                      "no checkpoint found at '" << source
-                                                 << "' (or rotations "
-                                                 << source << ".ep<N>)");
+                      "no checkpoint found at '"
+                          << source << "' (or rotations " << source
+                          << ".ep<N>)"
+                          << models::describe_abort_sibling(source));
       path = found->path;
     }
     models::TrainCheckpointState st =

@@ -1,12 +1,18 @@
 // Tests for matrix serialisation and model checkpointing.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/time.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "src/common/atomic_file.hpp"
 #include "src/common/error.hpp"
 #include "src/common/fault.hpp"
 #include "src/common/rng.hpp"
@@ -308,6 +314,123 @@ TEST(CheckpointRotation, LatestFindsHighestEpochAndPrunes) {
     std::remove(models::checkpoint_path_for_epoch(base, epoch).c_str());
   std::remove((base + ".ep12.tmp.1234").c_str());
   EXPECT_FALSE(models::latest_checkpoint(base).has_value());
+}
+
+TEST(CheckpointRotation, AbortSiblingIsSkippedReportedAndNeverPruned) {
+  // A strict-abort flush next to live rotations: never resumed from, never
+  // counted against the retention budget, never deleted — but reported.
+  const std::string base = temp_path("abortbase");
+  auto model = small_model(7);
+  for (int epoch : {2, 4})
+    models::save_checkpoint(*model,
+                            models::checkpoint_path_for_epoch(base, epoch));
+  models::save_checkpoint(*model, base + ".abort");
+
+  auto found = models::latest_checkpoint(base);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->epoch, 4);  // the abort flush is not a rotation
+
+  // keep=1 must count only real rotations: ep2 goes, ep4 AND the abort
+  // flush stay (the flush can be the only copy of an aborted run).
+  models::prune_checkpoints(base, 1);
+  EXPECT_FALSE(
+      std::filesystem::exists(models::checkpoint_path_for_epoch(base, 2)));
+  EXPECT_TRUE(
+      std::filesystem::exists(models::checkpoint_path_for_epoch(base, 4)));
+  EXPECT_TRUE(std::filesystem::exists(base + ".abort"));
+
+  // The diagnostic names the flush; without one it stays silent.
+  const std::string note = models::describe_abort_sibling(base);
+  EXPECT_NE(note.find(base + ".abort"), std::string::npos) << note;
+  EXPECT_EQ(models::describe_abort_sibling(base + "_other"), "");
+
+  // Orphaned abort (rotations gone): still invisible to latest_checkpoint,
+  // still loadable as a plain model checkpoint.
+  std::remove(models::checkpoint_path_for_epoch(base, 4).c_str());
+  EXPECT_FALSE(models::latest_checkpoint(base).has_value());
+  EXPECT_NO_THROW(models::load_checkpoint(*model, base + ".abort"));
+  std::remove((base + ".abort").c_str());
+}
+
+// ---- the atomic writer itself ----------------------------------------------
+
+TEST(AtomicFile, InjectedWriteErrorIsTypedAndLeavesDestinationUntouched) {
+  // A failed write(2) (here: the injected "file_write" site standing in for
+  // a full disk) must latch, surface as Error{kIo} at commit, clean up the
+  // temp file, and leave the previous complete destination byte-identical.
+  auto model = small_model(7);
+  const std::string path = temp_path("ckpt_efault.sptxc");
+  models::save_checkpoint(*model, path);
+  const std::string good = read_bytes(path);
+
+  auto newer = small_model(99);
+  fault::install("file_write:fail_once@1");
+  try {
+    models::save_checkpoint(*newer, path);
+    fault::clear();
+    FAIL() << "the injected write failure must surface";
+  } catch (const Error& e) {
+    fault::clear();
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find(std::strerror(EIO)),
+              std::string::npos)
+        << "commit error lost the latched errno: " << e.what();
+  }
+
+  EXPECT_EQ(read_bytes(path), good);  // destination untouched
+  int leftovers = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir()))
+    if (entry.path().filename().string().starts_with(
+            "ckpt_efault.sptxc.tmp"))
+      ++leftovers;
+  EXPECT_EQ(leftovers, 0);  // failed write cleaned up its temp file
+  std::remove(path.c_str());
+}
+
+volatile sig_atomic_t g_alarms_seen = 0;
+void count_alarm(int) { g_alarms_seen = g_alarms_seen + 1; }
+
+TEST(AtomicFile, SurvivesAnEintrSignalStorm) {
+  // A non-SA_RESTART SIGALRM storm over a multi-megabyte write: every
+  // interrupted open/write/fsync must be retried (StreamingTripletStore's
+  // idiom) and the committed bytes must round-trip exactly. An ofstream
+  // here would surface spurious failures.
+  struct sigaction sa {};
+  sa.sa_handler = count_alarm;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+  struct sigaction old_sa {};
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 500;  // every 0.5 ms
+  storm.it_value.tv_usec = 500;
+  itimerval old_timer{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, &old_timer), 0);
+
+  const std::string path = temp_path("eintr_storm.bin");
+  std::string chunk(64 * 1024, '\0');
+  for (std::size_t i = 0; i < chunk.size(); ++i)
+    chunk[i] = static_cast<char>(i * 131 + 7);
+  {
+    AtomicFileWriter writer(path);
+    for (int i = 0; i < 64; ++i) writer.stream() << chunk;  // 4 MiB
+    writer.commit();
+  }
+
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &old_timer, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &old_sa, nullptr), 0);
+  EXPECT_GT(static_cast<int>(g_alarms_seen), 0)
+      << "the storm never fired — the test proved nothing";
+
+  const std::string back = read_bytes(path);
+  ASSERT_EQ(back.size(), chunk.size() * 64);
+  for (int i = 0; i < 64; ++i)
+    ASSERT_EQ(back.compare(chunk.size() * static_cast<std::size_t>(i),
+                           chunk.size(), chunk),
+              0)
+        << "chunk " << i << " corrupted under the signal storm";
+  std::remove(path.c_str());
 }
 
 }  // namespace

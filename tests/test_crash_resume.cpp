@@ -22,6 +22,7 @@
 #include "src/kg/synthetic.hpp"
 #include "src/models/checkpoint.hpp"
 #include "src/models/model.hpp"
+#include "src/runtime/task_pool.hpp"
 #include "src/train/trainer.hpp"
 
 namespace sptx {
@@ -166,7 +167,16 @@ TEST_P(CrashResumeTest, KillMidCheckpointThenResumeIsBitIdentical) {
   const pid_t pid = ::fork();
   ASSERT_GE(pid, 0);
   if (pid == 0) {
-    // Child: simulated SIGKILL on the SECOND checkpoint commit (epoch 4's),
+    // Child: warm the TaskPool FIRST so its workers are live threads when
+    // the kill lands — the pool4 variant of this suite then proves the
+    // drill survives dying (and the fork surviving) with a populated pool,
+    // the exact hazard TaskPool's getpid() revalidation exists for.
+    {
+      runtime::TaskGroup warmup;
+      runtime::TaskPool::instance().submit(warmup, [] {});
+      warmup.wait();
+    }
+    // Simulated SIGKILL on the SECOND checkpoint commit (epoch 4's),
     // after the temp file is written but before the rename — the classic
     // torn-write window.
     fault::install("checkpoint_write:kill@2");

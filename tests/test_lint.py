@@ -216,6 +216,37 @@ class RawThreadsRule(unittest.TestCase):
             self.assertEqual(lint(root, "raw-threads"), [])
 
 
+class ProcessControlRule(unittest.TestCase):
+    def test_flags_fork_and_kill_outside_distributed(self):
+        files = {
+            "src/serve/spawn.cpp": "pid_t pid = fork();\n",
+            "src/runtime/reaper.cpp": "::kill(pid, SIGTERM);\n"
+                                      "waitpid(pid, &st, 0);\n",
+        }
+        with FixtureTree(files) as root:
+            found = lint(root, "process-control")
+        self.assertEqual(len(found), 3)
+        self.assertIn("process-control", found[0])
+
+    def test_distributed_dir_is_exempt(self):
+        files = {"src/distributed/proc_ddp.cpp":
+                 "pid_t pid = ::fork();\n"
+                 "::execv(exe, argv);\n"
+                 "::kill(pid, SIGKILL);\n"
+                 "::waitpid(pid, &st, WNOHANG);\n"}
+        with FixtureTree(files) as root:
+            self.assertEqual(lint(root, "process-control"), [])
+
+    def test_members_comments_and_lookalikes_are_clean(self):
+        files = {"src/serve/bar.cpp":
+                 "// the supervisor calls fork() for us\n"
+                 "task.kill();\n"
+                 "session.fork_stream(id);\n"
+                 "int pitchfork(int x);\nint y = pitchfork(3);\n"}
+        with FixtureTree(files) as root:
+            self.assertEqual(lint(root, "process-control"), [])
+
+
 class IncludeLayersRule(unittest.TestCase):
     def test_flags_upward_include(self):
         files = {"src/tensor/matrix.cpp":

@@ -25,6 +25,7 @@
 
 #include "src/api/engine.hpp"
 #include "src/common/cli_args.hpp"
+#include "src/distributed/proc_ddp.hpp"
 #include "src/kg/synthetic.hpp"
 #include "src/profiling/timer.hpp"
 
@@ -114,6 +115,86 @@ void print_metrics(const eval::RankingMetrics& m) {
               m.hits_at_10, m.mrr, m.mean_rank);
 }
 
+/// `sptx train --ddp-workers N [--ddp-mode threads|procs] ...` — sharded
+/// data-parallel training through Engine::train_ddp. In procs mode the
+/// supervisor fork+execs this binary's hidden `ddp-worker` verb, so
+/// worker_exec is our own executable.
+int run_ddp_train(Engine& engine, const Args& args, const kg::Dataset& ds) {
+  distributed::DdpConfig dc;
+  dc.workers = static_cast<int>(args.num("ddp-workers", 4));
+  dc.epochs = static_cast<int>(args.num("epochs", 10));
+  dc.batch_size = static_cast<index_t>(args.num("batch", 4096));
+  dc.shard_size = static_cast<index_t>(args.num("ddp-shard", 0));
+  dc.lr = static_cast<float>(args.num("lr", 0.0004));
+  dc.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  dc.mode = args.get("ddp-mode", "threads");
+  dc.policy = args.get("ddp-policy", "strict");
+  dc.heartbeat_ms = static_cast<int>(args.num("ddp-heartbeat-ms", 1000));
+  dc.max_worker_retries = static_cast<int>(args.num("ddp-retries", 1));
+  dc.checkpoint_path = args.get("checkpoint", "");
+  dc.checkpoint_every = static_cast<int>(
+      args.num("checkpoint-every", dc.checkpoint_path.empty() ? 0 : 10));
+  dc.checkpoint_keep = static_cast<int>(args.num("checkpoint-keep", 3));
+  dc.resume_from = args.get("resume", "");
+  dc.worker_exec = "/proc/self/exe";
+  const int log_every = std::max(dc.epochs / 10, 1);
+  dc.on_epoch = [&](int epoch, float loss) {
+    if (epoch % log_every == 0)
+      std::printf("  epoch %4d  loss %.6f\n", epoch, loss);
+  };
+
+  const auto result = engine.train_ddp(ds.train, dc);
+  if (result.start_epoch > 0)
+    std::printf("resumed from epoch %d (%s)\n", result.start_epoch,
+                dc.resume_from.c_str());
+  std::printf("ddp-trained %s in %.2fs: %d workers, shard %lld, "
+              "%lld shards executed\n",
+              engine.model().name().c_str(), result.total_seconds,
+              result.workers, static_cast<long long>(result.shard_size),
+              static_cast<long long>(result.shards_executed));
+  if (result.workers_lost > 0 || result.workers_respawned > 0)
+    std::printf("  fault tolerance: %d worker(s) lost, %d respawned, "
+                "%lld shard(s) re-run on the supervisor\n",
+                result.workers_lost, result.workers_respawned,
+                static_cast<long long>(result.shards_reassigned));
+  if (result.transport_frames > 0)
+    std::printf("  transport: %lld frames, %.1f MB, %lld injected retries\n",
+                static_cast<long long>(result.transport_frames),
+                static_cast<double>(result.transport_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<long long>(result.transport_retries));
+  if (result.checkpoints_written > 0)
+    std::printf("wrote %d checkpoint(s), newest %s\n",
+                result.checkpoints_written, result.last_checkpoint.c_str());
+
+  if (args.has("save")) {
+    engine.save(args.get("save", ""));
+    std::printf("checkpoint written to %s\n", args.get("save", "").c_str());
+  }
+  if (!ds.test.empty() && args.num("eval", 1) != 0) {
+    eval::EvalConfig ec;
+    ec.max_queries =
+        static_cast<std::int64_t>(args.num("max-queries", 200));
+    std::printf("filtered link prediction on test split:\n");
+    print_metrics(engine.evaluate(ds, ec));
+  }
+  return 0;
+}
+
+/// Hidden verb: what the DDP supervisor fork+execs. Not part of the user
+/// surface (absent from usage()) — arguments come from proc_ddp.cpp's
+/// spawn(), never a human.
+int cmd_ddp_worker(const Args& args) {
+  distributed::WorkerEndpoint endpoint;
+  endpoint.socket_path = args.get("connect", "");
+  endpoint.rank = static_cast<int>(args.num("rank", 0));
+  endpoint.shm_fd = static_cast<int>(args.num("shm-fd", -1));
+  endpoint.shm_bytes = static_cast<std::int64_t>(args.num("shm-bytes", 0));
+  SPTX_CHECK(!endpoint.socket_path.empty(),
+             "ddp-worker needs --connect <socket>");
+  return distributed::ddp_worker_main(endpoint);
+}
+
 int cmd_train(const Args& args) {
   const kg::Dataset ds = load_dataset(args);
   std::printf("dataset %s: %lld entities, %lld relations, %lld/%lld/%lld "
@@ -125,6 +206,8 @@ int cmd_train(const Args& args) {
               static_cast<long long>(ds.test.size()));
   Engine engine(engine_options(args));
   init_model(engine, args, ds);
+  if (args.has("ddp-workers") || args.has("ddp-mode"))
+    return run_ddp_train(engine, args, ds);
 
   train::TrainConfig tc;
   tc.epochs = static_cast<int>(args.num("epochs", 200));
@@ -506,6 +589,9 @@ void usage() {
       "          --shuffle 0|1 --weight-decay L --clip-norm C --patience P\n"
       "          --checkpoint base --checkpoint-every N --checkpoint-keep K\n"
       "          --resume base|file.epN   (crash-safe rotated checkpoints)\n"
+      "  ddp:    --ddp-workers N --ddp-mode threads|procs\n"
+      "          --ddp-policy strict|degrade --ddp-heartbeat-ms MS\n"
+      "          --ddp-retries R --ddp-shard S  (elastic multi-process DDP)\n"
       "  eval:   --load ckpt --max-queries Q --filtered 0|1 --by-category 1\n"
       "  query:  --load ckpt --relation R [--head H] [--tail T] --top K\n"
       "  serve:  [--load ckpt] --threads T --queries N --microbatch 0|1\n"
@@ -519,9 +605,12 @@ void usage() {
       "  config: [--json 1]   print the SPTX_* runtime-config registry\n");
 }
 
+// "ddp-worker" is the hidden verb the DDP supervisor fork+execs — valid to
+// dispatch, deliberately absent from usage().
 constexpr std::string_view kCommands[] = {"train",  "eval",     "query",
                                           "serve",  "health",   "config",
-                                          "info",   "profiles", "help"};
+                                          "info",   "profiles", "help",
+                                          "ddp-worker"};
 
 }  // namespace
 
@@ -538,6 +627,7 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+    if (args.command == "ddp-worker") return cmd_ddp_worker(args);
     if (args.command == "train") return cmd_train(args);
     if (args.command == "eval") return cmd_eval(args);
     if (args.command == "query") return cmd_query(args);

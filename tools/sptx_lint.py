@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """sptx_lint — repo-invariant checker for the SparseTransX tree.
 
-Seven rules, each guarding a discipline the codebase relies on but no
+Eight rules, each guarding a discipline the codebase relies on but no
 compiler enforces:
 
   env-getenv      std::getenv("SPTX_...") appears only in
@@ -28,6 +28,10 @@ compiler enforces:
                   fork/join site — every other site schedules through
                   runtime::TaskPool so the process keeps one view of
                   available parallelism.
+  process-control fork/exec/kill/waitpid appear only inside
+                  src/distributed/ — child-process lifecycle is the DDP
+                  supervisor's exclusive job, so no other subsystem can
+                  leak a pid, steal a SIGCHLD, or fork a threaded process.
   include-layers  src/ subdirectories form layers; an #include may point
                   sideways or down, never up (common -> kg -> profiling ->
                   tensor/runtime -> sparse -> autograd/kernels -> nn ->
@@ -309,6 +313,36 @@ class Linter:
                         "legacy-mode path) so the process keeps one view of "
                         "available parallelism")
 
+    # -- rule: process-control ------------------------------------------------
+
+    def check_process_control(self):
+        """Child-process lifecycle calls live only in src/distributed/.
+
+        The DDP supervisor is the one place that forks, execs, signals and
+        reaps workers; a fork() elsewhere in a process that already started
+        the TaskPool clones a half-initialized runtime, and a stray
+        waitpid() races the supervisor's reaper. Member calls like
+        `task.kill(...)` are fine — only the bare/::-qualified libc names
+        are matched.
+        """
+        allowed_dir = os.path.join("src", "distributed") + os.sep
+        pattern = re.compile(
+            r"(?<![\w.])(?:::\s*)?"
+            r"(fork|vfork|execve|execv|execvp|execl|execlp|kill|waitpid)"
+            r"\s*\(")
+        for path in iter_source_files(self.root):
+            rel = os.path.relpath(path, self.root)
+            if rel.startswith(allowed_dir):
+                continue
+            for lineno, line in enumerate(
+                    strip_comments(read(path)).splitlines(), 1):
+                m = pattern.search(line)
+                if m:
+                    self.report(
+                        path, lineno, "process-control",
+                        f"{m.group(1)}() outside src/distributed/ — child-"
+                        "process lifecycle belongs to the DDP supervisor")
+
     # -- rule: include-layers -----------------------------------------------
 
     def check_layers(self):
@@ -352,6 +386,7 @@ class Linter:
             "checkpoint-io": self.check_checkpoint_io,
             "rng-discipline": self.check_rng,
             "raw-threads": self.check_raw_threads,
+            "process-control": self.check_process_control,
             "include-layers": self.check_layers,
         }
         for name, check in checks.items():
